@@ -1,0 +1,70 @@
+"""Benchmark-harness fixtures.
+
+Each benchmark regenerates one table or figure of the paper (DESIGN.md §4
+maps experiment ids to files).  Experiments run once per benchmark
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+printed table/figure and the asserted *shape* (orderings, gaps), not the
+wall-clock statistics.
+
+Scale is the "tiny" preset: synthetic datasets, width-scaled models,
+few rounds.  Absolute numbers therefore differ from the paper; the
+qualitative orderings it reports are asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import tiny_preset
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_experiment(id): marks a paper table/figure bench")
+
+
+@pytest.fixture
+def bench_preset():
+    """Standard benchmark-scale federation preset."""
+    return tiny_preset(
+        "fashion_mnist-tiny",
+        num_clients=8,
+        rounds=6,
+        n_train=640,
+        n_test=300,
+        test_per_client=40,
+        ktpfl_local_epochs=2,
+        n_public=100,
+    )
+
+
+@pytest.fixture
+def bench_preset_cifar():
+    return tiny_preset(
+        "cifar10-tiny",
+        num_clients=8,
+        rounds=6,
+        n_train=640,
+        n_test=300,
+        test_per_client=40,
+        ktpfl_local_epochs=2,
+        n_public=100,
+    )
+
+
+@pytest.fixture
+def bench_preset_emnist():
+    return tiny_preset(
+        "emnist-tiny",
+        num_clients=8,
+        rounds=6,
+        n_train=832,
+        n_test=416,
+        test_per_client=40,
+        ktpfl_local_epochs=2,
+        n_public=100,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Design-choice ablation: SupCon vs NT-Xent vs no contrastive term.
+
+The paper's conclusion suggests exploring other contrastive losses; this
+bench swaps the L^CL term between the supervised contrastive loss (the
+paper's choice), the label-free NT-Xent loss, and none, holding
+everything else fixed.  Expected shape: both contrastive variants are
+competitive, and SupCon (which exploits labels) is at least as good as
+NT-Xent on average.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import FedClassAvg
+from repro.experiments import make_spec
+from repro.federated import build_federation
+
+
+@pytest.mark.paper_experiment("ablation-contrastive")
+def test_contrastive_loss_choice(benchmark, bench_preset):
+    def experiment():
+        results = {}
+        for label, kwargs in (
+            ("supcon", {"use_contrastive": True, "contrastive": "supcon"}),
+            ("ntxent", {"use_contrastive": True, "contrastive": "ntxent"}),
+            ("none", {"use_contrastive": False}),
+        ):
+            spec = make_spec(bench_preset, partition="dirichlet")
+            clients, _ = build_federation(spec)
+            algo = FedClassAvg(clients, rho=bench_preset.rho, seed=0, **kwargs)
+            results[label] = algo.run(6).final_acc()
+        return results
+
+    results = run_once(benchmark, experiment)
+    print()
+    for label, (mean, std) in results.items():
+        print(f"  L^CL = {label:8s}: {mean:.4f} ± {std:.4f}")
+
+    for label, (mean, _) in results.items():
+        assert 0 <= mean <= 1
+    # the paper's supervised term should not lose badly to the label-free one
+    assert results["supcon"][0] >= results["ntxent"][0] - 0.1

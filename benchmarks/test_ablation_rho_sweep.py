@@ -1,0 +1,38 @@
+"""Design-choice ablation: proximal strength ρ sweep.
+
+The paper notes (§4.1) that too large or too small ρ causes under/over-
+fitting of the local model.  This bench sweeps ρ over four decades and
+prints the accuracy profile; an extreme ρ (weights pinned to the global
+classifier) must not beat every moderate setting.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import FedClassAvg
+from repro.experiments import make_spec
+from repro.federated import build_federation
+
+RHOS = (0.0, 0.1, 1.0, 10.0)
+
+
+@pytest.mark.paper_experiment("ablation-rho")
+def test_rho_sweep(benchmark, bench_preset):
+    def experiment():
+        out = {}
+        for rho in RHOS:
+            spec = make_spec(bench_preset, partition="dirichlet")
+            clients, _ = build_federation(spec)
+            algo = FedClassAvg(
+                clients, rho=rho, use_proximal=rho > 0, use_contrastive=True, seed=0
+            )
+            out[rho] = algo.run(5).final_acc()[0]
+        return out
+
+    accs = run_once(benchmark, experiment)
+    print()
+    for rho, acc in accs.items():
+        print(f"  rho = {rho:>5}: acc {acc:.4f}")
+
+    moderate = max(accs[0.1], accs[1.0])
+    assert moderate >= accs[10.0] - 0.05, "extreme rho should not dominate moderate settings"

@@ -1,0 +1,46 @@
+"""Extension study: FedClassAvg under client failures.
+
+Real federations lose uploads; the server aggregates survivors.  This
+bench runs identical federations at increasing failure probabilities and
+asserts graceful degradation — training still progresses when a third of
+uploads vanish every round, because classifier averaging over any
+non-empty survivor set remains a valid (reweighted) Eq. 3.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import FedClassAvg
+from repro.experiments import make_spec
+from repro.federated import FaultInjector, build_federation
+
+
+@pytest.mark.paper_experiment("ext-fault-tolerance")
+def test_fault_tolerance(benchmark, bench_preset):
+    def experiment():
+        out = {}
+        for p in (0.0, 0.3, 0.6):
+            spec = make_spec(bench_preset, partition="dirichlet")
+            clients, _ = build_federation(spec)
+            algo = FedClassAvg(
+                clients,
+                rho=bench_preset.rho,
+                seed=0,
+                fault_injector=FaultInjector(p, seed=0),
+            )
+            hist = algo.run(5)
+            out[p] = (hist.final_acc()[0], algo.fault_injector.total_dropped)
+        return out
+
+    results = run_once(benchmark, experiment)
+    print()
+    for p, (acc, dropped) in results.items():
+        print(f"  failure prob {p:.1f}: acc {acc:.4f}  ({dropped} uploads lost)")
+
+    # failures actually happened at p > 0
+    assert results[0.3][1] > 0 and results[0.6][1] > results[0.3][1]
+    # graceful degradation: even at 60% loss the run learns something
+    # (well above untrained performance) and stays within reach of the
+    # failure-free run
+    assert results[0.6][0] > 0.1
+    assert results[0.6][0] >= results[0.0][0] - 0.25

@@ -1,0 +1,51 @@
+"""Extension study: head sharing (FedClassAvg) vs body sharing (FedPer/FedRep).
+
+FedClassAvg averages the classifier *head* and personalizes the body;
+FedPer/FedRep do the opposite.  This bench runs all three plus FedBN on
+one homogeneous federation and prints accuracy and per-round bytes —
+quantifying the communication/personalization trade-off between the
+decompositions (not in the paper; extension analysis).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.algorithms import FedBN, FedPer, FedRep
+from repro.comm import format_bytes
+from repro.core import FedClassAvg
+from repro.experiments import make_spec
+from repro.federated import build_federation
+
+
+@pytest.mark.paper_experiment("ext-head-vs-body")
+def test_head_vs_body_sharing(benchmark, bench_preset):
+    def experiment():
+        out = {}
+        for label, make in (
+            ("FedClassAvg (head)", lambda c: FedClassAvg(c, rho=bench_preset.rho, seed=0)),
+            ("FedPer (body)", lambda c: FedPer(c, seed=0)),
+            ("FedRep (body, 2-phase)", lambda c: FedRep(c, seed=0)),
+            ("FedBN (all but BN)", lambda c: FedBN(c, seed=0)),
+        ):
+            spec = make_spec(bench_preset, partition="dirichlet", homogeneous_arch="resnet18")
+            clients, _ = build_federation(spec)
+            algo = make(clients)
+            hist = algo.run(5)
+            out[label] = (
+                hist.final_acc(),
+                algo.comm.cost.per_client_round_bytes(len(clients)),
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+    print()
+    for label, ((mean, std), bytes_pcr) in results.items():
+        print(f"  {label:24s} acc {mean:.4f} ± {std:.4f}   {format_bytes(bytes_pcr)}/client-round")
+
+    # communication ordering: head-only ≪ body or full sharing
+    head_bytes = results["FedClassAvg (head)"][1]
+    body_bytes = results["FedPer (body)"][1]
+    assert head_bytes * 5 < body_bytes
+    # all variants produce valid accuracies
+    for (mean, _), _b in results.values():
+        assert 0 <= mean <= 1

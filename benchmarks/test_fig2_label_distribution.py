@@ -1,0 +1,41 @@
+"""Figure 2 — non-iid label distribution across clients (CIFAR-10-like).
+
+Regenerates the client × class heatmaps for Dir(0.5) and the skewed
+2-class scheme with 20 clients, matching the paper's setup.
+Shape checks: skewed clients hold ≤2 classes; Dirichlet entropy sits
+between skewed and uniform; shard sizes are equal.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_partition_figure, run_partition_figure
+
+
+@pytest.mark.paper_experiment("fig2")
+def test_fig2_cifar10_label_distribution(benchmark):
+    def experiment():
+        dir_fig = run_partition_figure(
+            "cifar10-tiny", "dirichlet", num_clients=20, n_train=2000, alpha=0.5
+        )
+        skew_fig = run_partition_figure(
+            "cifar10-tiny", "skewed", num_clients=20, n_train=2000, classes_per_client=2
+        )
+        return dir_fig, skew_fig
+
+    dir_fig, skew_fig = run_once(benchmark, experiment)
+
+    print()
+    print(format_partition_figure(dir_fig))
+    print()
+    print(format_partition_figure(skew_fig))
+
+    # skewed: exactly the paper's 2-classes-per-client property
+    assert ((skew_fig.distribution > 0).sum(axis=1) <= 2).all()
+    # equal shard sizes ("data sizes of all clients were equally distributed")
+    assert len(set(dir_fig.distribution.sum(axis=1))) == 1
+    assert len(set(skew_fig.distribution.sum(axis=1))) == 1
+    # Dirichlet is skewed but less extreme than the 2-class scheme
+    uniform_entropy = np.log(10)
+    assert skew_fig.entropies.mean() < dir_fig.entropies.mean() < uniform_entropy

@@ -1,0 +1,32 @@
+"""Figure 3 — non-iid label distribution across clients (EMNIST, 26 classes)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_partition_figure, run_partition_figure
+
+
+@pytest.mark.paper_experiment("fig3")
+def test_fig3_emnist_label_distribution(benchmark):
+    def experiment():
+        dir_fig = run_partition_figure(
+            "emnist-tiny", "dirichlet", num_clients=20, n_train=2600, alpha=0.5
+        )
+        skew_fig = run_partition_figure(
+            "emnist-tiny", "skewed", num_clients=20, n_train=2600, classes_per_client=2
+        )
+        return dir_fig, skew_fig
+
+    dir_fig, skew_fig = run_once(benchmark, experiment)
+
+    print()
+    print(format_partition_figure(dir_fig))
+    print()
+    print(format_partition_figure(skew_fig))
+
+    assert dir_fig.distribution.shape == (20, 26)
+    assert ((skew_fig.distribution > 0).sum(axis=1) <= 2).all()
+    # 26 classes: Dirichlet clients see many classes, skewed clients two
+    assert (dir_fig.distribution > 0).sum(axis=1).mean() > 5
+    assert skew_fig.entropies.mean() < dir_fig.entropies.mean() < np.log(26)

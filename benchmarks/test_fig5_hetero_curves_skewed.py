@@ -1,0 +1,23 @@
+"""Figure 5 — heterogeneous learning curves under the skewed (2-class)
+partition.  Same comparison as Figure 4 on the harder label skew."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_curves, run_hetero_curves
+
+
+@pytest.mark.paper_experiment("fig5")
+def test_fig5_skewed_curves(benchmark, bench_preset):
+    def experiment():
+        return run_hetero_curves(bench_preset, partition="skewed", rounds=6)
+
+    result = run_once(benchmark, experiment)
+    print()
+    print(format_curves(result))
+
+    _, ours = result.curves["Ours"]
+    _, base = result.curves["baseline"]
+    assert ours[-1] >= base[-1] - 0.03
+    # two-class tasks are easy: both must be far above 10-class chance
+    assert ours[-1] > 0.3

@@ -1,0 +1,26 @@
+"""Figure 6 — homogeneous-model learning curves (full participation,
+Dir(0.5)): FedAvg / FedProx / KT-pFL(+w) / Ours(+w) / Ours."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_curves, run_homo_curves
+
+
+@pytest.mark.paper_experiment("fig6")
+def test_fig6_homogeneous_curves(benchmark, bench_preset):
+    def experiment():
+        return run_homo_curves(
+            bench_preset, arch="resnet18", num_clients=6, sample_rate=1.0, rounds=5
+        )
+
+    result = run_once(benchmark, experiment)
+    print()
+    print(format_curves(result))
+
+    assert set(result.curves) == {"FedAvg", "FedProx", "KT-pFL +w", "Ours +w", "Ours"}
+    for name, (_, accs) in result.curves.items():
+        assert len(accs) == 5
+        assert 0 <= accs[-1] <= 1
+    # the +weight proposed variant must end at/above the FC-only one
+    assert result.curves["Ours +w"][1][-1] >= result.curves["Ours"][1][-1] - 0.05

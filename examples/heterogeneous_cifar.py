@@ -1,0 +1,31 @@
+"""Heterogeneous personalized FL on the CIFAR-10-like benchmark.
+
+Reproduces the Table 2 / Figure 4 scenario at small scale: 8 clients
+holding four different architectures under skewed (2-classes-per-client)
+label distribution, comparing FedClassAvg against local-only training and
+FedProto.
+
+Run:  python examples/heterogeneous_cifar.py
+"""
+
+from repro.analysis import ascii_curves
+from repro.config import tiny_preset
+from repro.experiments import run_algorithm
+
+
+def main() -> None:
+    preset = tiny_preset("cifar10-tiny", num_clients=8, rounds=6)
+    curves = {}
+    for method in ("baseline", "fedproto", "fedclassavg"):
+        history, cost = run_algorithm(method, preset, partition="skewed", rounds=6)
+        mean, std = history.final_acc()
+        curves[method] = history.mean_curve
+        print(f"{method:12s} final acc {mean:.4f} ± {std:.4f}  comm {cost.total_bytes} B")
+    print()
+    print(ascii_curves(curves, height=12, width=60))
+    assert curves["fedclassavg"][-1] >= curves["baseline"][-1], "expected proposed ≥ baseline"
+    print("\nshape check passed: FedClassAvg ≥ local-only baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Homogeneous-model scenarios (Table 3 / Figures 6–7) at small scale.
+
+Compares FedAvg, FedProx, and FedClassAvg(+weight) when all clients run
+the same architecture, in a fully-participating small federation and a
+partially-sampled larger one.
+
+Run:  python examples/homogeneous_scaling.py
+"""
+
+from repro.config import tiny_preset
+from repro.experiments import format_table3, run_table3, TABLE3_METHODS
+
+
+def main() -> None:
+    preset = tiny_preset("fashion_mnist-tiny", num_clients=6, rounds=5)
+    methods = tuple(m for m in TABLE3_METHODS if m[0] in ("FedAvg", "FedProx", "Proposed +weight", "Proposed"))
+    result = run_table3(
+        preset,
+        arch="resnet18",
+        client_settings=((6, 1.0), (12, 0.5)),
+        methods=methods,
+        rounds=5,
+    )
+    print(format_table3(result))
+
+
+if __name__ == "__main__":
+    main()

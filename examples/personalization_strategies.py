@@ -1,0 +1,47 @@
+"""Extension: comparing personalization strategies on one federation.
+
+FedClassAvg personalizes the *feature extractor* and shares the head;
+FedPer/FedRep share the *body* and personalize the head; FedBN shares
+everything except BatchNorm.  This example runs all four on the same
+non-iid homogeneous federation and reports accuracy vs bytes shipped.
+
+Run:  python examples/personalization_strategies.py
+"""
+
+from repro.algorithms import FedBN, FedPer, FedRep
+from repro.comm import format_bytes
+from repro.core import FedClassAvg
+from repro.federated import FederationSpec, build_federation
+
+
+def main() -> None:
+    spec = FederationSpec(
+        dataset="fashion_mnist-tiny",
+        num_clients=6,
+        partition="dirichlet",
+        homogeneous_arch="resnet18",
+        n_train=480,
+        n_test=300,
+        test_per_client=40,
+        batch_size=32,
+        lr=3e-3,
+        seed=0,
+    )
+    strategies = {
+        "FedClassAvg (share head)": lambda c: FedClassAvg(c, rho=0.1, seed=0),
+        "FedPer (share body)": lambda c: FedPer(c, seed=0),
+        "FedRep (share body, 2-phase)": lambda c: FedRep(c, seed=0),
+        "FedBN (share all but BN)": lambda c: FedBN(c, seed=0),
+    }
+    print(f"{'strategy':30s} {'accuracy':>18s} {'bytes/client-round':>20s}")
+    for label, make in strategies.items():
+        clients, _ = build_federation(spec)
+        algo = make(clients)
+        history = algo.run(5)
+        mean, std = history.final_acc()
+        per_round = algo.comm.cost.per_client_round_bytes(len(clients))
+        print(f"{label:30s} {mean:>8.4f} ± {std:.4f} {format_bytes(per_round):>20s}")
+
+
+if __name__ == "__main__":
+    main()

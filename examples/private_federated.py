@@ -1,0 +1,66 @@
+"""Extension: privacy-preserving FedClassAvg.
+
+Runs the algorithm three ways on the same federation:
+
+1. plain uploads,
+2. differentially-private uploads (clip + Gaussian noise; ε-accounting),
+3. secure-aggregation demonstration (pairwise masks cancel in the sum —
+   shown on classifier states directly).
+
+Run:  python examples/private_federated.py
+"""
+
+import numpy as np
+
+from repro.comm import GaussianMechanism, SecureAggregationSimulator, state_l2_norm
+from repro.core import FedClassAvg
+from repro.federated import FederationSpec, build_federation
+
+
+def main() -> None:
+    spec = FederationSpec(
+        dataset="fashion_mnist-tiny",
+        num_clients=6,
+        partition="dirichlet",
+        n_train=480,
+        n_test=300,
+        test_per_client=40,
+        batch_size=32,
+        lr=3e-3,
+        seed=0,
+    )
+
+    # 1. plain
+    clients, _ = build_federation(spec)
+    plain = FedClassAvg(clients, rho=0.1, seed=0).run(4).final_acc()
+
+    # 2. differentially private uploads.  At tiny scale per-round noise is
+    # punishing, so a loose budget is used to keep the demo informative —
+    # tighten epsilon to watch utility collapse.
+    clients, _ = build_federation(spec)
+    dp = GaussianMechanism(clip=10.0, epsilon=50.0, delta=1e-5, seed=0)
+    private = FedClassAvg(clients, rho=0.1, seed=0, privacy=dp).run(4).final_acc()
+
+    print(f"plain:   acc {plain[0]:.4f} ± {plain[1]:.4f}")
+    print(
+        f"DP:      acc {private[0]:.4f} ± {private[1]:.4f}   "
+        f"(σ={dp.sigma:.3f}, naive ε spent ≈ {dp.spent_epsilon:.0f} over {dp.releases} releases)"
+    )
+
+    # 3. secure aggregation: server learns only the sum
+    sim = SecureAggregationSimulator(seed=0, scale=5.0)
+    cohort = [c.client_id for c in clients]
+    states = [c.model.classifier_state() for c in clients]
+    masked = [sim.mask(s, i, cohort) for i, s in zip(cohort, states)]
+    agg = sim.aggregate_masked(masked)
+    true_sum = {k: np.sum([s[k] for s in states], axis=0) for k in states[0]}
+    err = max(float(np.abs(agg[k] - true_sum[k]).max()) for k in agg)
+    mask_mag = state_l2_norm(masked[0]) / max(1e-9, state_l2_norm(states[0]))
+    print(
+        f"secure aggregation: masked upload is {mask_mag:.1f}x the true norm "
+        f"(unreadable), yet the aggregate error is {err:.2e} (exact sum recovered)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: train 8 heterogeneous clients with FedClassAvg.
+
+Builds a synthetic Fashion-MNIST-like federation with non-iid (Dirichlet)
+client shards and four different client architectures, runs a few
+communication rounds of FedClassAvg, and prints the learning curve and
+communication costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import ascii_curves
+from repro.comm import format_bytes
+from repro.core import FedClassAvg
+from repro.federated import FederationSpec, build_federation
+
+
+def main() -> None:
+    # 1. Describe the federation: dataset, partition, models, scale.
+    spec = FederationSpec(
+        dataset="fashion_mnist-tiny",
+        num_clients=8,
+        partition="dirichlet",
+        alpha=0.5,
+        scale="tiny",
+        n_train=640,
+        n_test=300,
+        test_per_client=40,
+        batch_size=32,
+        lr=3e-3,
+        seed=0,
+    )
+    clients, info = build_federation(spec)
+    print("architectures:", info["architectures"])
+
+    # 2. Run FedClassAvg: classifier averaging + contrastive + proximal.
+    algo = FedClassAvg(clients, rho=0.1, local_epochs=1, seed=0)
+    history = algo.run(rounds=6, verbose=True)
+
+    # 3. Inspect results.
+    print()
+    print(ascii_curves({"FedClassAvg": history.mean_curve}, height=10, width=50))
+    mean, std = history.final_acc()
+    print(f"\nfinal personalized accuracy: {mean:.4f} ± {std:.4f}")
+    cost = algo.comm.cost
+    print(
+        f"communication: {format_bytes(cost.total_bytes)} total, "
+        f"{format_bytes(cost.per_client_round_bytes(len(clients)))} per client-round"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of *FedClassAvg* (Jang et al., ICPP 2022).
+
+Subpackages
+-----------
+``repro.tensor``      from-scratch autograd engine over NumPy
+``repro.nn``          neural-network layers and module system
+``repro.optim``       optimizers and LR schedulers
+``repro.losses``      cross-entropy, supervised contrastive, proximal, KL
+``repro.models``      heterogeneous CNN zoo (ResNet-18, ShuffleNetV2, ...)
+``repro.data``        synthetic datasets, loaders, augmentation
+``repro.partition``   non-iid client partitioners (Dirichlet / skewed)
+``repro.comm``        simulated MPI-style communicator + cost accounting
+``repro.federated``   client/server/round-loop machinery
+``repro.core``        the FedClassAvg algorithm (the paper's contribution)
+``repro.algorithms``  baselines: local-only, FedAvg, FedProx, FedProto, KT-pFL
+``repro.analysis``    t-SNE, layer conductance, text plots
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,62 @@
+"""FedAvg (McMahan et al., AISTATS 2017) — homogeneous full-model averaging.
+
+The server broadcasts the global model, clients run E local epochs of
+cross-entropy, and the server data-weights the returned full state dicts.
+Only defined when all clients share one architecture (Table 3's
+homogeneous setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated.aggregation import weighted_average_state
+from repro.federated.base import FederatedAlgorithm
+from repro.federated.trainer import LocalUpdateConfig, local_update
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(FederatedAlgorithm):
+    """FedAvg: data-weighted full-model averaging (homogeneous clients)."""
+
+    name = "fedavg"
+
+    def __init__(self, clients, sample_rate: float = 1.0, local_epochs: int = 1, comm=None, seed: int = 0):
+        super().__init__(clients, sample_rate, local_epochs, comm, seed)
+        shapes = {tuple(sorted((k, v.shape) for k, v in c.model.state_dict().items())) for c in clients}
+        if len(shapes) > 1:
+            raise ValueError("FedAvg requires homogeneous client models")
+        self.config = LocalUpdateConfig(use_contrastive=False, use_proximal=False)
+        self.global_state: dict[str, np.ndarray] | None = None
+
+    def setup(self) -> None:
+        # The server owns the initial global model and broadcasts it —
+        # averaging *independently initialized* networks would destroy the
+        # function (neuron permutation mismatch), so FedAvg requires a
+        # common starting point.  Client 0's init plays the server's w⁰.
+        self.global_state = self.clients[0].model.state_dict()
+        for c in self.clients:
+            c.model.load_state_dict(self.global_state)
+
+    def round(self, t: int, sampled: list[int]) -> float:
+        assert self.global_state is not None
+        server = self.server_rank()
+        self.comm.bcast(self.global_state, root=server, ranks=[self.rank_of(k) for k in sampled])
+        for k in sampled:
+            self.clients[k].model.load_state_dict(self.global_state)
+
+        losses = [
+            local_update(self.clients[k], self.local_epochs, self.config, None) for k in sampled
+        ]
+
+        payloads = {self.rank_of(k): self.clients[k].model.state_dict() for k in sampled}
+        states = self.comm.gather(payloads, root=server)
+        weights = [self.clients[k].data_size for k in sampled]
+        self.global_state = weighted_average_state(states, weights)
+
+        # Evaluation uses the aggregated global model on every client
+        # (FedAvg has no personalization), so push it to everyone.
+        for c in self.clients:
+            c.model.load_state_dict(self.global_state)
+        return float(np.mean(losses)) if losses else 0.0

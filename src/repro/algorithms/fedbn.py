@@ -1,0 +1,88 @@
+"""FedBN (Li et al., ICLR 2021) — FedAvg with client-local BatchNorm.
+
+A widely used pFL baseline orthogonal to FedClassAvg: all weights are
+averaged *except* BatchNorm parameters and running statistics, which stay
+personalized.  Non-iid clients have different feature distributions, so
+sharing BN statistics mismatches everyone; keeping them local gives each
+client a lightweight personalization handle at zero extra communication.
+
+Included as an extension baseline (not in the paper's tables) — the
+"fedbn-vs-fedavg" bench quantifies how much of FedAvg's non-iid gap BN
+localization recovers versus FedClassAvg's classifier personalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.fedavg import FedAvg
+from repro.federated.aggregation import weighted_average_state
+from repro.federated.trainer import local_update
+
+__all__ = ["FedBN", "is_bn_key"]
+
+_BN_MARKERS = ("bn", "running_mean", "running_var", "num_batches_tracked", "shortcut.1")
+
+
+def is_bn_key(key: str, bn_param_names: set[str]) -> bool:
+    """True when ``key`` belongs to a BatchNorm layer of the model."""
+    return key in bn_param_names
+
+
+def _bn_keys_of(model) -> set[str]:
+    """All state-dict keys owned by BatchNorm modules."""
+    from repro.nn.norm import _BatchNorm
+
+    keys: set[str] = set()
+    for mod_name, mod in model.named_modules():
+        if isinstance(mod, _BatchNorm):
+            prefix = mod_name + "." if mod_name else ""
+            for p_name, _ in mod._parameters.items():
+                keys.add(prefix + p_name)
+            for b_name in mod._buffers:
+                keys.add(prefix + b_name)
+    return keys
+
+
+class FedBN(FedAvg):
+    """FedAvg with client-local BatchNorm parameters and statistics."""
+
+    name = "fedbn"
+
+    def __init__(self, clients, sample_rate: float = 1.0, local_epochs: int = 1, comm=None, seed: int = 0):
+        super().__init__(clients, sample_rate, local_epochs, comm, seed)
+        self._bn_keys = _bn_keys_of(clients[0].model)
+
+    def _strip_bn(self, state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        return {k: v for k, v in state.items() if k not in self._bn_keys}
+
+    def setup(self) -> None:
+        # Common non-BN initialization; BN stays per-client from the start.
+        full = self.clients[0].model.state_dict()
+        self.global_state = self._strip_bn(full)
+        for c in self.clients:
+            c.model.load_state_dict(self.global_state, strict=False)
+
+    def round(self, t: int, sampled: list[int]) -> float:
+        assert self.global_state is not None
+        server = self.server_rank()
+        self.comm.bcast(self.global_state, root=server, ranks=[self.rank_of(k) for k in sampled])
+        for k in sampled:
+            self.clients[k].model.load_state_dict(self.global_state, strict=False)
+
+        losses = [
+            local_update(self.clients[k], self.local_epochs, self.config, None) for k in sampled
+        ]
+
+        payloads = {
+            self.rank_of(k): self._strip_bn(self.clients[k].model.state_dict()) for k in sampled
+        }
+        states = self.comm.gather(payloads, root=server)
+        weights = [self.clients[k].data_size for k in sampled]
+        self.global_state = weighted_average_state(states, weights)
+
+        # every client receives the shared non-BN weights; BN stays local,
+        # so (unlike FedAvg) models remain personalized
+        for c in self.clients:
+            c.model.load_state_dict(self.global_state, strict=False)
+        return float(np.mean(losses)) if losses else 0.0

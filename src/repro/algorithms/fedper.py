@@ -1,0 +1,67 @@
+"""FedPer (Arivazhagan et al., 2019) — shared body, personalized head.
+
+The structural mirror image of FedClassAvg: the server averages the
+*feature extractor* while each client keeps a private classifier.
+Requires homogeneous extractors.  Included as an extension baseline so
+the "head-vs-body sharing" bench can contrast the two decompositions on
+identical federations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated.aggregation import weighted_average_state
+from repro.federated.base import FederatedAlgorithm
+from repro.federated.trainer import LocalUpdateConfig, local_update
+from repro.models.split import CLASSIFIER_PREFIX
+
+__all__ = ["FedPer"]
+
+
+class FedPer(FederatedAlgorithm):
+    """Shared feature extractor, personalized classifier head."""
+
+    name = "fedper"
+
+    def __init__(self, clients, sample_rate: float = 1.0, local_epochs: int = 1, comm=None, seed: int = 0):
+        super().__init__(clients, sample_rate, local_epochs, comm, seed)
+        shapes = {
+            tuple(sorted((n, v.shape) for n, v in c.model.feature_extractor.state_dict().items()))
+            for c in clients
+        }
+        if len(shapes) > 1:
+            raise ValueError("FedPer requires homogeneous feature extractors")
+        self.config = LocalUpdateConfig(use_contrastive=False, use_proximal=False)
+        self.global_body: dict[str, np.ndarray] | None = None
+
+    @staticmethod
+    def _body_state(client) -> dict[str, np.ndarray]:
+        return client.model.feature_extractor.state_dict()
+
+    def setup(self) -> None:
+        # Like FedAvg, the shared part starts from one common initialization.
+        self.global_body = self._body_state(self.clients[0])
+        for c in self.clients:
+            c.model.feature_extractor.load_state_dict(self.global_body)
+
+    def round(self, t: int, sampled: list[int]) -> float:
+        assert self.global_body is not None
+        server = self.server_rank()
+        self.comm.bcast(self.global_body, root=server, ranks=[self.rank_of(k) for k in sampled])
+        for k in sampled:
+            self.clients[k].model.feature_extractor.load_state_dict(self.global_body)
+
+        losses = [
+            local_update(self.clients[k], self.local_epochs, self.config, None) for k in sampled
+        ]
+
+        payloads = {self.rank_of(k): self._body_state(self.clients[k]) for k in sampled}
+        states = self.comm.gather(payloads, root=server)
+        weights = [self.clients[k].data_size for k in sampled]
+        self.global_body = weighted_average_state(states, weights)
+        # heads (classifiers) never cross the wire — they are the
+        # personalization; bodies sync for everyone before evaluation
+        for c in self.clients:
+            c.model.feature_extractor.load_state_dict(self.global_body)
+        return float(np.mean(losses)) if losses else 0.0

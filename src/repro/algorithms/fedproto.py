@@ -1,0 +1,121 @@
+"""FedProto baseline (Tan et al., AAAI 2022) — prototype aggregation.
+
+Clients never exchange weights; instead each client uploads per-class
+mean feature vectors ("prototypes").  The server averages prototypes per
+class and broadcasts them; clients add a regularizer pulling their
+features toward the global prototype of each sample's class:
+
+    L = CE(y, ŷ) + λ · mean‖F(x) − proto_global[y]‖²
+
+The paper's Table 2 notes FedProto assumes *less* heterogeneous models
+(same prototype dimension); our SplitModel already fixes the feature
+dimension, and the FedProto-style model scheme (2-conv CNNs with varying
+channels / ResNet-18 with varying strides) is available through
+``build_model`` overrides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayView
+from repro.data.loader import DataLoader
+from repro.federated.base import FederatedAlgorithm
+from repro.losses import compute_prototypes, cross_entropy, prototype_loss
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["FedProto"]
+
+
+class FedProto(FederatedAlgorithm):
+    """Prototype-aggregation personalized FL (weights never exchanged)."""
+
+    name = "fedproto"
+
+    def __init__(
+        self,
+        clients,
+        lam: float = 1.0,
+        sample_rate: float = 1.0,
+        local_epochs: int = 1,
+        comm=None,
+        seed: int = 0,
+    ):
+        super().__init__(clients, sample_rate, local_epochs, comm, seed)
+        self.lam = lam
+        self.global_protos: dict[int, np.ndarray] = {}
+        dims = {c.model.feature_dim for c in clients}
+        if len(dims) > 1:
+            raise ValueError("FedProto requires a common prototype (feature) dimension")
+
+    # ------------------------------------------------------------------
+    def _local_prototypes(self, client) -> tuple[dict[int, np.ndarray], dict[int, int]]:
+        """Per-class mean features over the client's train shard (no grad)."""
+        model = client.model
+        model.eval()
+        feats = []
+        with no_grad():
+            for start in range(0, len(client.train_labels), 256):
+                xb = client.train_images[start : start + 256]
+                feats.append(model.features(Tensor(xb)).data)
+        model.train()
+        features = np.concatenate(feats, axis=0)
+        protos = compute_prototypes(features, client.train_labels, model.num_classes)
+        counts = {
+            c: int((client.train_labels == c).sum()) for c in protos
+        }
+        return protos, counts
+
+    def _train_client(self, client) -> float:
+        losses = []
+        for _ in range(self.local_epochs):
+            loader = DataLoader(
+                ArrayView(client.train_images, client.train_labels),
+                batch_size=client.batch_size,
+                shuffle=True,
+                rng=client.loader_rng,
+            )
+            for xb, yb in loader:
+                client.optimizer.zero_grad()
+                feats = client.model.features(Tensor(xb))
+                logits = client.model.classifier(feats)
+                loss = cross_entropy(logits, yb)
+                if self.global_protos:
+                    loss = loss + self.lam * prototype_loss(feats, yb, self.global_protos)
+                loss.backward()
+                client.optimizer.step()
+                losses.append(loss.item())
+        return float(np.mean(losses)) if losses else 0.0
+
+    # ------------------------------------------------------------------
+    def round(self, t: int, sampled: list[int]) -> float:
+        server = self.server_rank()
+
+        # broadcast current global prototypes (empty dict on round 0)
+        self.comm.bcast(self.global_protos, root=server, ranks=[self.rank_of(k) for k in sampled])
+
+        losses = [self._train_client(self.clients[k]) for k in sampled]
+
+        # clients upload (prototypes, per-class counts)
+        uploads = {}
+        for k in sampled:
+            protos, counts = self._local_prototypes(self.clients[k])
+            uploads[self.rank_of(k)] = (protos, counts)
+        received = self.comm.gather(uploads, root=server)
+
+        # class-count-weighted aggregation per class (a weighted variant of
+        # losses.aggregate_prototypes, which weights whole clients instead)
+        sums: dict[int, np.ndarray] = {}
+        totals: dict[int, float] = {}
+        for protos, counts in received:
+            for c, vec in protos.items():
+                w = counts.get(c, 1)
+                if c in sums:
+                    sums[c] += w * vec
+                    totals[c] += w
+                else:
+                    sums[c] = w * vec.astype(np.float64).copy()
+                    totals[c] = float(w)
+        self.global_protos = {c: sums[c] / totals[c] for c in sums}
+        return float(np.mean(losses)) if losses else 0.0
+

@@ -1,0 +1,92 @@
+"""FedRep (Collins et al., ICML 2021) — shared representation, two-phase
+local update.
+
+Like FedPer, the feature extractor is averaged and the classifier stays
+local — but each local round first fits the *head* with the body frozen
+(``head_epochs``), then fine-tunes the *body* with the head frozen
+(``body_epochs``).  The alternating schedule is FedRep's contribution and
+what distinguishes it from FedPer's joint update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.fedper import FedPer
+from repro.data.dataset import ArrayView
+from repro.data.loader import DataLoader
+from repro.losses import cross_entropy
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+__all__ = ["FedRep"]
+
+
+class FedRep(FedPer):
+    """FedPer with the two-phase (head-then-body) local update."""
+
+    name = "fedrep"
+
+    def __init__(
+        self,
+        clients,
+        head_epochs: int = 1,
+        body_epochs: int = 1,
+        sample_rate: float = 1.0,
+        comm=None,
+        seed: int = 0,
+    ):
+        super().__init__(clients, sample_rate, head_epochs + body_epochs, comm, seed)
+        self.head_epochs = head_epochs
+        self.body_epochs = body_epochs
+        # Separate optimizers per phase so Adam state does not leak between
+        # head-only and body-only updates.
+        self._head_opts = {c.client_id: Adam(c.model.classifier.parameters(), lr=c.optimizer.lr) for c in clients}
+        self._body_opts = {
+            c.client_id: Adam(c.model.feature_extractor.parameters(), lr=c.optimizer.lr) for c in clients
+        }
+
+    def _epoch(self, client, optimizer) -> float:
+        losses = []
+        loader = DataLoader(
+            ArrayView(client.train_images, client.train_labels),
+            batch_size=client.batch_size,
+            shuffle=True,
+            rng=client.loader_rng,
+        )
+        for xb, yb in loader:
+            optimizer.zero_grad()
+            loss = cross_entropy(client.model(Tensor(xb)), yb)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses)) if losses else 0.0
+
+    def round(self, t: int, sampled: list[int]) -> float:
+        assert self.global_body is not None
+        server = self.server_rank()
+        self.comm.bcast(self.global_body, root=server, ranks=[self.rank_of(k) for k in sampled])
+        for k in sampled:
+            self.clients[k].model.feature_extractor.load_state_dict(self.global_body)
+
+        losses = []
+        for k in sampled:
+            client = self.clients[k]
+            # phase 1: fit head, body frozen (head optimizer only touches
+            # classifier params, so body grads are simply never applied)
+            for _ in range(self.head_epochs):
+                losses.append(self._epoch(client, self._head_opts[k]))
+            # phase 2: fine-tune body with the freshly fitted head
+            for _ in range(self.body_epochs):
+                losses.append(self._epoch(client, self._body_opts[k]))
+
+        from repro.federated.aggregation import weighted_average_state
+
+        payloads = {self.rank_of(k): self._body_state(self.clients[k]) for k in sampled}
+        states = self.comm.gather(payloads, root=server)
+        weights = [self.clients[k].data_size for k in sampled]
+        self.global_body = weighted_average_state(states, weights)
+        for c in self.clients:
+            c.model.feature_extractor.load_state_dict(self.global_body)
+        return float(np.mean(losses)) if losses else 0.0
+

@@ -1,0 +1,31 @@
+"""Local-only baseline ("Baseline (local training)" rows of Table 2).
+
+Each client trains on its own shard with plain cross-entropy; no
+communication ever happens.  The per-round granularity matches the other
+algorithms so learning curves share an x-axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated.base import FederatedAlgorithm
+from repro.federated.trainer import LocalUpdateConfig, local_update
+
+__all__ = ["LocalOnly"]
+
+
+class LocalOnly(FederatedAlgorithm):
+    """Local-only training baseline (no communication)."""
+
+    name = "local_only"
+
+    def __init__(self, clients, sample_rate: float = 1.0, local_epochs: int = 1, comm=None, seed: int = 0):
+        super().__init__(clients, sample_rate, local_epochs, comm, seed)
+        self.config = LocalUpdateConfig(use_contrastive=False, use_proximal=False)
+
+    def round(self, t: int, sampled: list[int]) -> float:
+        losses = [
+            local_update(self.clients[k], self.local_epochs, self.config, None) for k in sampled
+        ]
+        return float(np.mean(losses)) if losses else 0.0

@@ -1,0 +1,27 @@
+"""Post-training analysis: t-SNE, layer conductance, feature metrics, plots."""
+
+from repro.analysis.tsne import pairwise_sq_dists, perplexity_affinities, tsne
+from repro.analysis.conductance import layer_conductance, rank_correlation, rank_scores
+from repro.analysis.cka import linear_cka, pairwise_cka
+from repro.analysis.drift import DriftTracker, measure_drift
+from repro.analysis.features import cross_client_alignment, extract_features, silhouette_by_label
+from repro.analysis.plots import ascii_curves, ascii_heatmap, format_table
+
+__all__ = [
+    "tsne",
+    "pairwise_sq_dists",
+    "perplexity_affinities",
+    "layer_conductance",
+    "rank_scores",
+    "rank_correlation",
+    "extract_features",
+    "linear_cka",
+    "pairwise_cka",
+    "DriftTracker",
+    "measure_drift",
+    "cross_client_alignment",
+    "silhouette_by_label",
+    "ascii_curves",
+    "ascii_heatmap",
+    "format_table",
+]

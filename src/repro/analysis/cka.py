@@ -1,0 +1,43 @@
+"""Centered kernel alignment (Kornblith et al., ICML 2019).
+
+CKA measures representation similarity between two feature matrices over
+the same inputs, invariant to orthogonal transforms and isotropic
+scaling — the right tool for comparing what *different architectures*
+learned (Figure 8's question, posed quantitatively).  Linear-kernel CKA:
+
+    CKA(X, Y) = ‖Yᵀ X‖²_F / (‖Xᵀ X‖_F · ‖Yᵀ Y‖_F)
+
+computed on column-centered features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear_cka", "pairwise_cka"]
+
+
+def linear_cka(x: np.ndarray, y: np.ndarray) -> float:
+    """Linear CKA between (N, d1) and (N, d2) feature matrices."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("feature matrices must share the sample axis")
+    x = x - x.mean(axis=0, keepdims=True)
+    y = y - y.mean(axis=0, keepdims=True)
+    xty = y.T @ x
+    num = (xty**2).sum()
+    den = np.linalg.norm(x.T @ x) * np.linalg.norm(y.T @ y)
+    if den == 0:
+        return 0.0
+    return float(num / den)
+
+
+def pairwise_cka(features: np.ndarray) -> np.ndarray:
+    """CKA matrix across M clients' features (M, N, d) → (M, M)."""
+    m = features.shape[0]
+    out = np.eye(m)
+    for i in range(m):
+        for j in range(i + 1, m):
+            out[i, j] = out[j, i] = linear_cka(features[i], features[j])
+    return out

@@ -1,0 +1,84 @@
+"""Feature-space summary statistics (quantitative Figure 8 support).
+
+Rather than eyeballing a t-SNE plot, these metrics quantify what the
+figure shows: after FedClassAvg, features of the same label drawn from
+*different clients* should be closer together than under local-only
+training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.split import SplitModel
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["extract_features", "cross_client_alignment", "silhouette_by_label"]
+
+
+def extract_features(models: list[SplitModel], images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Stack features of the same images from every model: (M, N, D)."""
+    out = []
+    for m in models:
+        m.eval()
+        feats = []
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                feats.append(m.features(Tensor(images[start : start + batch_size])).data)
+        m.train()
+        out.append(np.concatenate(feats, axis=0))
+    return np.stack(out)
+
+
+def cross_client_alignment(features: np.ndarray, labels: np.ndarray) -> float:
+    """Ratio of mean inter-label to mean intra-label distance across clients.
+
+    ``features`` is (M, N, D) from :func:`extract_features`.  All client
+    feature sets are pooled (after per-client standardization so scale
+    differences between extractors don't dominate); higher is better —
+    same-label points from different clients sit closer together than
+    different-label points.
+    """
+    m, n, d = features.shape
+    pooled = []
+    owner = []
+    for i in range(m):
+        f = features[i]
+        mu, sd = f.mean(axis=0, keepdims=True), f.std(axis=0, keepdims=True) + 1e-8
+        pooled.append((f - mu) / sd)
+        owner.extend([i] * n)
+    x = np.concatenate(pooled)
+    y = np.tile(np.asarray(labels), m)
+    owner = np.asarray(owner)
+
+    sq = (x * x).sum(axis=1)
+    dist = np.sqrt(np.maximum(sq[:, None] + sq[None, :] - 2 * x @ x.T, 0.0))
+    cross_client = owner[:, None] != owner[None, :]
+    same_label = y[:, None] == y[None, :]
+
+    intra = dist[cross_client & same_label]
+    inter = dist[cross_client & ~same_label]
+    if len(intra) == 0 or len(inter) == 0:
+        return 1.0
+    return float(inter.mean() / max(1e-12, intra.mean()))
+
+
+def silhouette_by_label(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of the label clustering of ``x``."""
+    labels = np.asarray(labels)
+    sq = (x * x).sum(axis=1)
+    dist = np.sqrt(np.maximum(sq[:, None] + sq[None, :] - 2 * x @ x.T, 0.0))
+    n = len(x)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        return 0.0
+    sil = np.zeros(n)
+    for i in range(n):
+        own = labels == labels[i]
+        own[i] = False
+        a = dist[i, own].mean() if own.any() else 0.0
+        b = min(
+            dist[i, labels == c].mean() for c in classes if c != labels[i] and (labels == c).any()
+        )
+        sil[i] = (b - a) / max(a, b, 1e-12)
+    return float(sil.mean())

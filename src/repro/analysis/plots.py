@@ -1,0 +1,89 @@
+"""Terminal-renderable plots (no matplotlib in this environment).
+
+Learning curves render as ASCII line charts, label distributions and
+attribution ranks as unicode-shade heatmaps — enough to inspect every
+figure of the paper from a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_curves", "ascii_heatmap", "format_table"]
+
+_SHADES = " ░▒▓█"
+
+
+def ascii_curves(
+    series: dict[str, np.ndarray],
+    x: np.ndarray | None = None,
+    width: int = 70,
+    height: int = 16,
+    y_label: str = "acc",
+    x_label: str = "round",
+) -> str:
+    """Render one or more curves as an ASCII chart.
+
+    ``series`` maps legend names to y-arrays (may differ in length); each
+    series gets its own marker character.
+    """
+    if not series:
+        return "(no data)"
+    markers = "*o+x#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    max_len = max(len(v) for v in series.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    for si, (name, ys) in enumerate(series.items()):
+        ys = np.asarray(ys, dtype=float)
+        marker = markers[si % len(markers)]
+        for i, yv in enumerate(ys):
+            cx = int(round(i / max(1, max_len - 1) * (width - 1)))
+            cy = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - cy][cx] = marker
+
+    lines = [f"{y_label}: {y_min:.3f} .. {y_max:.3f}   ({x_label} →)"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(matrix: np.ndarray, row_label: str = "", col_label: str = "") -> str:
+    """Render a matrix as shaded cells (row-normalized intensity)."""
+    m = np.asarray(matrix, dtype=float)
+    lo, hi = float(m.min()), float(m.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    if col_label:
+        lines.append(f"     {col_label} →")
+    for i, row in enumerate(m):
+        cells = "".join(_SHADES[min(len(_SHADES) - 1, int((v - lo) / span * (len(_SHADES) - 1)))] for v in row)
+        lines.append(f"{i:3d} |{cells}|")
+    if row_label:
+        lines.append(f"(rows: {row_label})")
+    return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width text table (paper-table replica output)."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for c, cell in enumerate(row):
+            cols[c].append(f"{cell:.4f}" if isinstance(cell, float) else str(cell))
+    widths = [max(len(v) for v in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    n_rows = len(rows)
+    for r in range(n_rows):
+        lines.append(" | ".join(cols[c][r + 1].ljust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Exact t-SNE (van der Maaten & Hinton, JMLR 2008) in NumPy.
+
+Used for Figure 8: visualizing that FedClassAvg aligns feature-space
+representations of the same label across heterogeneous clients.  This is
+the exact O(N²) algorithm — perplexity-calibrated Gaussian affinities,
+early exaggeration, momentum gradient descent — which is the reference
+method at the ≤2,000-point scale the figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne", "pairwise_sq_dists", "perplexity_affinities"]
+
+
+def pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix (N, N), zero diagonal."""
+    sq = (x * x).sum(axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _row_affinity(dists_row: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 50):
+    """Binary-search the Gaussian bandwidth matching the target perplexity."""
+    target_entropy = np.log(perplexity)
+    beta_lo, beta_hi = 0.0, np.inf
+    beta = 1.0
+    p = None
+    for _ in range(max_iter):
+        expd = np.exp(-dists_row * beta)
+        total = expd.sum()
+        if total <= 0:
+            # beta so large everything underflowed: the limit distribution
+            # is a point mass on the nearest neighbour.
+            p = np.zeros_like(dists_row)
+            p[np.argmin(dists_row)] = 1.0
+            return p
+        p = expd / total
+        entropy = beta * (dists_row * p).sum() + np.log(total)
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            beta_lo = beta
+            beta = beta * 2 if beta_hi == np.inf else (beta + beta_hi) / 2
+        else:
+            beta_hi = beta
+            beta = beta / 2 if beta_lo == 0 else (beta + beta_lo) / 2
+    return p
+
+
+def perplexity_affinities(x: np.ndarray, perplexity: float = 30.0) -> np.ndarray:
+    """Symmetrized input affinities P with the given perplexity."""
+    n = len(x)
+    d = pairwise_sq_dists(x)
+    p = np.zeros((n, n))
+    effective = max(1.05, min(perplexity, (n - 1) / 3.0))
+    for i in range(n):
+        row = np.delete(d[i], i)
+        pr = _row_affinity(row, effective)
+        p[i, np.arange(n) != i] = pr
+    p = (p + p.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 500,
+    learning_rate: float = 200.0,
+    early_exaggeration: float = 12.0,
+    exaggeration_iters: int = 100,
+    seed: int = 0,
+    verbose: bool = False,
+) -> np.ndarray:
+    """Embed ``x`` (N, d) into ``n_components`` dimensions.
+
+    Returns the (N, n_components) embedding.  Deterministic given ``seed``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    p = perplexity_affinities(x, perplexity)
+
+    rng = np.random.default_rng(seed)
+    y = 1e-4 * rng.normal(size=(n, n_components))
+    update = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    p_run = p * early_exaggeration
+    for it in range(n_iter):
+        if it == exaggeration_iters:
+            p_run = p
+        # student-t affinities in embedding space
+        num = 1.0 / (1.0 + pairwise_sq_dists(y))
+        np.fill_diagonal(num, 0.0)
+        q = num / max(num.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        # gradient: 4 Σ_j (p_ij - q_ij) num_ij (y_i - y_j)
+        pq = (p_run - q) * num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+        momentum = 0.5 if it < 250 else 0.8
+        gains = np.where(np.sign(grad) != np.sign(update), gains + 0.2, gains * 0.8)
+        gains = np.maximum(gains, 0.01)
+        update = momentum * update - learning_rate * gains * grad
+        y = y + update
+        y = y - y.mean(axis=0)
+
+        if verbose and (it + 1) % 100 == 0:  # pragma: no cover - logging
+            kl = float((p_run * np.log(p_run / q)).sum())
+            print(f"t-SNE iter {it + 1}: KL={kl:.4f}")
+    return y

@@ -1,0 +1,78 @@
+"""Communication cost model and accounting ledger.
+
+Tracks per-(src, dst) byte counts plus simulated latency/bandwidth time,
+so experiments can report both the paper's Table 5 byte comparison and a
+round-trip time estimate under a configurable network profile.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "format_bytes"]
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte size (Table 5 style: '22 KB', '43.73 MB')."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024.0 or unit == "GB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class CostModel:
+    """Byte/time ledger with a latency+bandwidth transfer-time model.
+
+    ``latency_s`` and ``bandwidth_Bps`` model a WAN edge link (defaults:
+    20 ms, 10 MB/s); transfer time for an n-byte message is
+    ``latency + n / bandwidth``.
+    """
+
+    latency_s: float = 0.020
+    bandwidth_Bps: float = 10e6
+    total_bytes: int = 0
+    total_messages: int = 0
+    total_time_s: float = 0.0
+    per_link: dict = field(default_factory=lambda: defaultdict(int))
+    per_round: list = field(default_factory=list)
+    _round_bytes: int = 0
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        self.total_time_s += self.latency_s + nbytes / self.bandwidth_Bps
+        self.per_link[(src, dst)] += nbytes
+        self._round_bytes += nbytes
+
+    def end_round(self) -> int:
+        """Close the current communication round; return its byte count."""
+        b = self._round_bytes
+        self.per_round.append(b)
+        self._round_bytes = 0
+        return b
+
+    def uplink_bytes(self, server_rank: int = 0) -> int:
+        """Bytes sent from clients to the server."""
+        return sum(v for (s, d), v in self.per_link.items() if d == server_rank)
+
+    def downlink_bytes(self, server_rank: int = 0) -> int:
+        """Bytes sent from the server to clients."""
+        return sum(v for (s, d), v in self.per_link.items() if s == server_rank)
+
+    def per_client_round_bytes(self, num_clients: int) -> float:
+        """Average bytes per client per round (the Table 5 quantity)."""
+        rounds = max(1, len(self.per_round))
+        return self.total_bytes / (rounds * max(1, num_clients))
+
+    def summary(self) -> dict:
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "total_time_s": self.total_time_s,
+            "rounds": len(self.per_round),
+            "uplink_bytes": self.uplink_bytes(),
+            "downlink_bytes": self.downlink_bytes(),
+        }

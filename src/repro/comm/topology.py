@@ -1,0 +1,115 @@
+"""Network topologies for the communication simulation (networkx-backed).
+
+The paper's deployment is a star: every client talks to one server over
+MPI.  Real federations route through hierarchies (edge aggregators) or
+peer meshes; this module models a topology as a weighted graph and
+derives per-link transfer costs, so the cost model can price a message by
+its actual shortest path rather than a flat latency.
+
+Topologies:
+* ``star(n)`` — server (rank 0) ↔ each client (paper's layout);
+* ``hierarchical(n, branching)`` — server → aggregators → clients, the
+  cross-device FL deployment shape;
+* ``ring(n)`` — decentralized neighbor-passing layout (gossip baselines).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["star", "ring", "hierarchical", "NetworkModel"]
+
+
+def star(num_clients: int, latency_s: float = 0.02, bandwidth_Bps: float = 10e6) -> nx.Graph:
+    """Server rank 0 connected to client ranks 1..n."""
+    g = nx.Graph()
+    g.add_node(0, role="server")
+    for k in range(1, num_clients + 1):
+        g.add_node(k, role="client")
+        g.add_edge(0, k, latency_s=latency_s, bandwidth_Bps=bandwidth_Bps)
+    return g
+
+
+def ring(num_nodes: int, latency_s: float = 0.005, bandwidth_Bps: float = 50e6) -> nx.Graph:
+    """Peer ring (node 0 still tagged server for cost queries)."""
+    if num_nodes < 2:
+        raise ValueError("ring needs at least 2 nodes")
+    g = nx.cycle_graph(num_nodes)
+    nx.set_edge_attributes(g, latency_s, "latency_s")
+    nx.set_edge_attributes(g, bandwidth_Bps, "bandwidth_Bps")
+    nx.set_node_attributes(g, "client", "role")
+    g.nodes[0]["role"] = "server"
+    return g
+
+
+def hierarchical(
+    num_clients: int,
+    branching: int = 4,
+    backbone_latency_s: float = 0.005,
+    backbone_bandwidth_Bps: float = 100e6,
+    edge_latency_s: float = 0.03,
+    edge_bandwidth_Bps: float = 5e6,
+) -> nx.Graph:
+    """Server → ⌈n/branching⌉ aggregators → clients.
+
+    Backbone links (server↔aggregator) are fast; edge links
+    (aggregator↔client) model last-mile constraints.
+    """
+    g = nx.Graph()
+    g.add_node(0, role="server")
+    num_aggs = -(-num_clients // branching)
+    agg_ids = [f"agg{i}" for i in range(num_aggs)]
+    for a in agg_ids:
+        g.add_node(a, role="aggregator")
+        g.add_edge(0, a, latency_s=backbone_latency_s, bandwidth_Bps=backbone_bandwidth_Bps)
+    for k in range(1, num_clients + 1):
+        agg = agg_ids[(k - 1) // branching]
+        g.add_node(k, role="client")
+        g.add_edge(agg, k, latency_s=edge_latency_s, bandwidth_Bps=edge_bandwidth_Bps)
+    return g
+
+
+class NetworkModel:
+    """Price messages over a topology graph.
+
+    Transfer time of an n-byte message between two nodes is the sum of
+    per-hop ``latency + n/bandwidth`` along the lowest-latency path
+    (store-and-forward, the conservative model).
+    """
+
+    def __init__(self, graph: nx.Graph):
+        self.graph = graph
+        if 0 not in graph:
+            raise ValueError("topology must contain server node 0")
+        self._paths = dict(nx.shortest_path(graph, weight="latency_s"))
+
+    def path(self, src, dst) -> list:
+        try:
+            return self._paths[src][dst]
+        except KeyError:
+            raise ValueError(f"no route {src} → {dst}") from None
+
+    def transfer_time(self, src, dst, nbytes: int) -> float:
+        """Store-and-forward time along the chosen path."""
+        hops = self.path(src, dst)
+        total = 0.0
+        for a, b in zip(hops, hops[1:]):
+            e = self.graph.edges[a, b]
+            total += e["latency_s"] + nbytes / e["bandwidth_Bps"]
+        return total
+
+    def round_time(self, client_ranks: list[int], nbytes_down: int, nbytes_up: int) -> float:
+        """One synchronous round: broadcast down + slowest upload back.
+
+        Downlinks happen in parallel, as do uplinks; the round is gated by
+        the slowest client (synchronous FedAvg semantics).
+        """
+        down = max(self.transfer_time(0, k, nbytes_down) for k in client_ranks)
+        up = max(self.transfer_time(k, 0, nbytes_up) for k in client_ranks)
+        return down + up
+
+    def bottleneck_bandwidth(self, src, dst) -> float:
+        """Minimum link bandwidth along the path."""
+        hops = self.path(src, dst)
+        return min(self.graph.edges[a, b]["bandwidth_Bps"] for a, b in zip(hops, hops[1:]))

@@ -1,0 +1,5 @@
+"""The paper's primary contribution: federated classifier averaging."""
+
+from repro.core.fedclassavg import FedClassAvg
+
+__all__ = ["FedClassAvg"]

@@ -1,0 +1,34 @@
+"""Datasets, loaders, and augmentation for federated training."""
+
+from repro.data.dataset import ArrayDataset, ArrayView, Subset
+from repro.data.loader import DataLoader
+from repro.data.synthetic import DATASET_SPECS, SyntheticSpec, load_dataset, make_synthetic_dataset
+from repro.data.transforms import (
+    BrightnessJitter,
+    Compose,
+    Cutout,
+    GaussianNoise,
+    RandomCropPad,
+    RandomHorizontalFlip,
+    TwoCropTransform,
+    default_augmentation,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "ArrayView",
+    "Subset",
+    "DataLoader",
+    "SyntheticSpec",
+    "DATASET_SPECS",
+    "load_dataset",
+    "make_synthetic_dataset",
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCropPad",
+    "GaussianNoise",
+    "BrightnessJitter",
+    "Cutout",
+    "TwoCropTransform",
+    "default_augmentation",
+]

@@ -1,0 +1,96 @@
+"""Dataset containers: array-backed datasets and index subsets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "ArrayView", "Subset"]
+
+
+class ArrayView:
+    """Minimal loader-protocol wrapper over raw (images, labels) arrays.
+
+    Unlike :class:`ArrayDataset` it performs no validation or copying —
+    used on hot paths (per-round client loaders) where the arrays are
+    already trusted.
+    """
+
+    __slots__ = ("images", "labels")
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class ArrayDataset:
+    """In-memory dataset of images (N, C, H, W) and integer labels (N,)."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, num_classes: int, name: str = "array"):
+        images = np.asarray(images)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        if len(images) != len(labels):
+            raise ValueError("images and labels length mismatch")
+        if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+            raise ValueError("labels out of range")
+        self.images = images
+        self.labels = labels
+        self.num_classes = num_classes
+        self.name = name
+
+    @property
+    def in_channels(self) -> int:
+        return self.images.shape[1]
+
+    @property
+    def image_shape(self) -> tuple:
+        return self.images.shape[1:]
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, idx):
+        return self.images[idx], self.labels[idx]
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of labels over ``num_classes`` bins."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+class Subset:
+    """View of a dataset restricted to ``indices`` (no copy of the arrays)."""
+
+    def __init__(self, dataset, indices):
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= len(dataset)):
+            raise IndexError("subset indices out of range")
+
+    @property
+    def images(self) -> np.ndarray:
+        return self.dataset.images[self.indices]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.dataset.labels[self.indices]
+
+    @property
+    def num_classes(self) -> int:
+        return self.dataset.num_classes
+
+    @property
+    def in_channels(self) -> int:
+        return self.dataset.in_channels
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, idx):
+        return self.dataset[self.indices[idx]]
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.num_classes)

@@ -1,0 +1,52 @@
+"""Minibatch loader over array datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate a dataset in shuffled minibatches.
+
+    Each epoch reshuffles with the loader's generator; with
+    ``drop_last=False`` the final short batch is kept (matching the
+    reference implementation's behaviour on small client shards).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Materialize once: Subset.images re-gathers on each access, so
+        # caching here avoids an O(len(dataset)) copy per batch.
+        self._images = dataset.images
+        self._labels = dataset.labels
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        stop = n - n % self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self._images[idx], self._labels[idx]

@@ -1,0 +1,151 @@
+"""Synthetic class-structured image datasets.
+
+This environment has no network access, so CIFAR-10 / Fashion-MNIST /
+EMNIST cannot be downloaded; per DESIGN.md §2 they are replaced by
+deterministic generative datasets with matched geometry (channels, sizes,
+class counts).  Each class is defined by
+
+* a class prototype: a smooth random field (low-frequency Gaussian noise)
+  plus a sinusoidal grating whose orientation/frequency encode the class,
+* per-sample variation: spatial jitter (rolling shift), instance noise,
+  and brightness scaling — so within-class samples differ enough that
+  augmentation-based contrastive learning is meaningful,
+* (color datasets) a class-dependent channel tint.
+
+The generator is fully determined by ``(name, seed)`` so every client and
+every algorithm sees the identical dataset.  Difficulty is controlled by
+``noise`` — at the defaults, local-only training plateaus below what
+collaborative training reaches, preserving the paper's qualitative gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.data.dataset import ArrayDataset
+
+__all__ = ["SyntheticSpec", "DATASET_SPECS", "make_synthetic_dataset", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Geometry + generator parameters of one synthetic dataset."""
+
+    name: str
+    num_classes: int
+    channels: int
+    image_size: int
+    noise: float = 0.55
+    jitter: int = 2
+    smooth_sigma: float = 2.0
+
+
+# Stand-ins matched to the paper's three benchmarks (DESIGN.md §2).
+DATASET_SPECS: dict[str, SyntheticSpec] = {
+    "cifar10": SyntheticSpec("cifar10", num_classes=10, channels=3, image_size=32, noise=0.65),
+    "fashion_mnist": SyntheticSpec("fashion_mnist", num_classes=10, channels=1, image_size=28, noise=0.55),
+    "emnist": SyntheticSpec("emnist", num_classes=26, channels=1, image_size=28, noise=0.55),
+}
+
+# Reduced-geometry variants for fast tests/benchmarks; same class counts.
+DATASET_SPECS.update(
+    {
+        "cifar10-tiny": SyntheticSpec("cifar10-tiny", num_classes=10, channels=3, image_size=16, noise=0.6),
+        "fashion_mnist-tiny": SyntheticSpec(
+            "fashion_mnist-tiny", num_classes=10, channels=1, image_size=14, noise=0.5
+        ),
+        "emnist-tiny": SyntheticSpec("emnist-tiny", num_classes=26, channels=1, image_size=14, noise=0.5),
+    }
+)
+
+
+def _class_prototype(spec: SyntheticSpec, cls: int, rng: np.random.Generator) -> np.ndarray:
+    """Deterministic prototype image for one class, shape (C, H, W), in [0,1]."""
+    s = spec.image_size
+    yy, xx = np.mgrid[0:s, 0:s].astype(np.float64) / s
+
+    # Class-coded grating: orientation spread over 180°, frequency in 2..5.
+    angle = np.pi * cls / spec.num_classes
+    freq = 2.0 + 3.0 * ((cls * 7) % spec.num_classes) / spec.num_classes
+    grating = np.sin(2 * np.pi * freq * (np.cos(angle) * xx + np.sin(angle) * yy))
+
+    # Smooth random field specific to the class.
+    field = ndimage.gaussian_filter(rng.normal(size=(s, s)), sigma=spec.smooth_sigma)
+    field /= max(1e-8, np.abs(field).max())
+
+    base = 0.5 + 0.25 * grating + 0.25 * field
+    if spec.channels == 1:
+        proto = base[None]
+    else:
+        # Class tint: rotate weight across channels.
+        tints = 0.6 + 0.4 * np.stack(
+            [
+                np.cos(2 * np.pi * (cls / spec.num_classes + k / spec.channels))
+                for k in range(spec.channels)
+            ]
+        )
+        proto = base[None] * tints[:, None, None]
+    return np.clip(proto, 0.0, 1.0)
+
+
+def make_synthetic_dataset(
+    name: str,
+    n_samples: int,
+    seed: int = 0,
+    split: str = "train",
+) -> ArrayDataset:
+    """Generate ``n_samples`` images of dataset ``name``.
+
+    ``split`` only offsets the sample RNG stream, so train and test are
+    disjoint draws from the same class-conditional distribution.
+    """
+    if name not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASET_SPECS)}")
+    spec = DATASET_SPECS[name]
+
+    proto_rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(0xC1A55,)))
+    protos = np.stack([_class_prototype(spec, c, proto_rng) for c in range(spec.num_classes)])
+
+    split_key = {"train": 1, "test": 2}.get(split)
+    if split_key is None:
+        raise ValueError(f"split must be 'train' or 'test', got {split!r}")
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(split_key,)))
+
+    # Balanced labels, shuffled — the partitioners handle non-iid skew.
+    labels = np.tile(np.arange(spec.num_classes), n_samples // spec.num_classes + 1)[:n_samples]
+    rng.shuffle(labels)
+
+    c, s = spec.channels, spec.image_size
+    images = protos[labels].astype(np.float64)  # (N, C, H, W)
+
+    # Spatial jitter: per-sample circular shift.
+    if spec.jitter:
+        shifts = rng.integers(-spec.jitter, spec.jitter + 1, size=(n_samples, 2))
+        # Vectorized roll via index arithmetic.
+        rows = (np.arange(s)[None, :] - shifts[:, 0:1]) % s  # (N, S)
+        cols = (np.arange(s)[None, :] - shifts[:, 1:2]) % s
+        n_idx = np.arange(n_samples)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        images = images[n_idx, c_idx, rows[:, None, :, None], cols[:, None, None, :]]
+
+    # Instance noise + brightness.
+    images = images + spec.noise * rng.normal(size=images.shape) * 0.35
+    brightness = rng.uniform(0.85, 1.15, size=(n_samples, 1, 1, 1))
+    images = np.clip(images * brightness, 0.0, 1.0)
+
+    return ArrayDataset(images.astype(np.float32), labels, spec.num_classes, name=f"{name}-{split}")
+
+
+def load_dataset(
+    name: str,
+    n_train: int = 2000,
+    n_test: int = 500,
+    seed: int = 0,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Return (train, test) splits of a synthetic benchmark dataset."""
+    train = make_synthetic_dataset(name, n_train, seed=seed, split="train")
+    test = make_synthetic_dataset(name, n_test, seed=seed, split="test")
+    return train, test

@@ -1,0 +1,134 @@
+"""Batch image augmentations (vectorized over NCHW arrays).
+
+These provide the two perturbed views ``x'`` and ``x''`` of FedClassAvg's
+contrastive term.  Every transform maps a batch ``(N, C, H, W)`` →
+``(N, C, H, W)`` and takes an explicit ``rng`` so client augmentation
+streams stay independent and reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCropPad",
+    "GaussianNoise",
+    "BrightnessJitter",
+    "Cutout",
+    "TwoCropTransform",
+    "default_augmentation",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in self.transforms:
+            batch = t(batch, rng)
+        return batch
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(len(batch)) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class RandomCropPad:
+    """Zero-pad by ``padding`` then crop back at a random offset (per image)."""
+
+    def __init__(self, padding: int = 2):
+        self.padding = padding
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        p = self.padding
+        if p == 0:
+            return batch
+        n, c, h, w = batch.shape
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)))
+        offs = rng.integers(0, 2 * p + 1, size=(n, 2))
+        rows = offs[:, 0:1] + np.arange(h)[None, :]
+        cols = offs[:, 1:2] + np.arange(w)[None, :]
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        return padded[n_idx, c_idx, rows[:, None, :, None], cols[:, None, None, :]]
+
+
+class GaussianNoise:
+    """Add i.i.d. Gaussian pixel noise, clipped to [0, 1]."""
+
+    def __init__(self, sigma: float = 0.05):
+        self.sigma = sigma
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noisy = batch + self.sigma * rng.normal(size=batch.shape)
+        return np.clip(noisy, 0.0, 1.0).astype(batch.dtype)
+
+
+class BrightnessJitter:
+    """Multiply each image by a factor drawn from [1-delta, 1+delta]."""
+
+    def __init__(self, delta: float = 0.2):
+        self.delta = delta
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        f = rng.uniform(1 - self.delta, 1 + self.delta, size=(len(batch), 1, 1, 1))
+        return np.clip(batch * f, 0.0, 1.0).astype(batch.dtype)
+
+
+class Cutout:
+    """Zero out one random square patch per image."""
+
+    def __init__(self, size: int = 4):
+        self.size = size
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = batch.shape
+        s = min(self.size, h, w)
+        out = batch.copy()
+        tops = rng.integers(0, h - s + 1, size=n)
+        lefts = rng.integers(0, w - s + 1, size=n)
+        rows = tops[:, None] + np.arange(s)[None, :]
+        cols = lefts[:, None] + np.arange(s)[None, :]
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        out[n_idx, c_idx, rows[:, None, :, None], cols[:, None, None, :]] = 0.0
+        return out
+
+
+class TwoCropTransform:
+    """Produce the two independently augmented views for SupCon."""
+
+    def __init__(self, transform):
+        self.transform = transform
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        return self.transform(batch, rng), self.transform(batch, rng)
+
+
+def default_augmentation(image_size: int) -> Compose:
+    """Paper-style augmentation stack scaled to the image size."""
+    pad = max(1, image_size // 16)
+    cut = max(2, image_size // 8)
+    return Compose(
+        [
+            RandomCropPad(padding=pad),
+            RandomHorizontalFlip(0.5),
+            BrightnessJitter(0.2),
+            GaussianNoise(0.03),
+            Cutout(size=cut),
+        ]
+    )

@@ -1,0 +1,64 @@
+"""Per-table/figure experiment harnesses (see DESIGN.md §4 for the index)."""
+
+from repro.experiments.common import (
+    HETERO_ALGOS,
+    fedproto_spec,
+    make_public_images,
+    make_spec,
+    run_algorithm,
+)
+from repro.experiments.table1 import format_table1, run_hyperparameter_search
+from repro.experiments.table2 import Table2Result, format_table2, run_table2
+from repro.experiments.table3 import TABLE3_METHODS, Table3Result, format_table3, run_table3
+from repro.experiments.table4 import ABLATION_VARIANTS, Table4Result, format_table4, run_table4
+from repro.experiments.table5 import Table5Result, format_table5, run_table5
+from repro.experiments.figures_partition import (
+    PartitionFigure,
+    format_partition_figure,
+    run_partition_figure,
+)
+from repro.experiments.figures_curves import (
+    CurvesResult,
+    format_curves,
+    run_hetero_curves,
+    run_homo_curves,
+)
+from repro.experiments.figure8 import Figure8Result, format_figure8, run_figure8
+from repro.experiments.figure9 import Figure9Result, format_figure9, run_figure9
+
+__all__ = [
+    "make_spec",
+    "make_public_images",
+    "run_algorithm",
+    "HETERO_ALGOS",
+    "fedproto_spec",
+    "format_table1",
+    "run_hyperparameter_search",
+    "run_table2",
+    "format_table2",
+    "Table2Result",
+    "run_table3",
+    "format_table3",
+    "Table3Result",
+    "TABLE3_METHODS",
+    "run_table4",
+    "format_table4",
+    "Table4Result",
+    "ABLATION_VARIANTS",
+    "run_table5",
+    "format_table5",
+    "Table5Result",
+    "run_partition_figure",
+    "format_partition_figure",
+    "PartitionFigure",
+    "run_hetero_curves",
+    "run_homo_curves",
+    "format_curves",
+    "CurvesResult",
+    "run_figure8",
+    "format_figure8",
+    "Figure8Result",
+    "run_figure9",
+    "format_figure9",
+    "Figure9Result",
+]

@@ -1,0 +1,141 @@
+"""Shared experiment plumbing for the per-table/figure harnesses.
+
+Each paper experiment needs the same scaffolding: build a federation from
+a preset, construct the algorithm under test with dataset-appropriate
+hyperparameters, run it, and collect (history, cost-model) pairs.  The
+functions here are the single source of truth for that wiring so every
+table and figure compares algorithms under identical conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import FedAvg, FedProto, FedProx, KTpFL, LocalOnly
+from repro.config import ExperimentPreset
+from repro.core import FedClassAvg
+from repro.data import make_synthetic_dataset
+from repro.federated import FederationSpec, RunHistory, build_federation
+
+__all__ = [
+    "make_spec",
+    "make_public_images",
+    "run_algorithm",
+    "fedproto_spec",
+    "HETERO_ALGOS",
+    "base_dataset_name",
+]
+
+#: algorithm keys usable in the heterogeneous-model experiments
+HETERO_ALGOS = ("baseline", "fedproto", "ktpfl", "fedclassavg")
+
+
+def base_dataset_name(dataset: str) -> str:
+    """Strip the '-tiny' suffix to look up paper hyperparameters."""
+    return dataset.removesuffix("-tiny")
+
+
+def make_spec(
+    preset: ExperimentPreset,
+    partition: str = "dirichlet",
+    homogeneous_arch: str | None = None,
+    seed: int = 0,
+) -> FederationSpec:
+    """FederationSpec for a preset + partition scheme."""
+    return FederationSpec(
+        dataset=preset.dataset,
+        num_clients=preset.num_clients,
+        partition=partition,
+        scale=preset.scale,
+        n_train=preset.n_train,
+        n_test=preset.n_test,
+        test_per_client=preset.test_per_client,
+        batch_size=preset.batch_size,
+        lr=preset.lr,
+        homogeneous_arch=homogeneous_arch,
+        seed=seed,
+    )
+
+
+def fedproto_spec(spec: FederationSpec) -> FederationSpec:
+    """Apply FedProto's model-heterogeneity scheme (paper §4.2).
+
+    FedProto requires equal prototype dimensions, so its experiments use
+    *milder* heterogeneity: two-conv CNNs with different channel counts
+    for Fashion-MNIST/EMNIST, and ResNet-18 with different stage strides
+    for CIFAR — reproduced here via per-client model overrides.
+    """
+    from dataclasses import replace
+
+    if spec.dataset.startswith("cifar10"):
+        archs = ["resnet18"] * spec.num_clients
+        stride_choices = [(1, 2), (2, 2), (2, 1), (1, 1)]
+        overrides = {
+            k: {"stage_strides": stride_choices[k % len(stride_choices)]}
+            for k in range(spec.num_clients)
+        }
+    else:
+        archs = ["cnn2layer"] * spec.num_clients
+        channel_choices = [(8, 16), (12, 16), (8, 24), (16, 16)]
+        overrides = {
+            k: {"channels": channel_choices[k % len(channel_choices)]}
+            for k in range(spec.num_clients)
+        }
+    return replace(spec, architectures=archs, model_overrides=overrides)
+
+
+def make_public_images(preset: ExperimentPreset, seed: int = 1234) -> np.ndarray:
+    """KT-pFL's server-side public dataset (disjoint seed from clients)."""
+    ds = make_synthetic_dataset(preset.dataset, preset.n_public, seed=seed, split="train")
+    return ds.images
+
+
+def run_algorithm(
+    name: str,
+    preset: ExperimentPreset,
+    partition: str = "dirichlet",
+    rounds: int | None = None,
+    homogeneous_arch: str | None = None,
+    share_weights: bool = False,
+    seed: int = 0,
+    fedclassavg_kwargs: dict | None = None,
+) -> tuple[RunHistory, object]:
+    """Build a fresh federation and run one algorithm on it.
+
+    Returns ``(history, cost_model)``.  ``name`` is one of 'baseline',
+    'fedproto', 'ktpfl', 'fedclassavg', 'fedavg', 'fedprox'.
+    """
+    rounds = rounds if rounds is not None else preset.rounds
+    spec = make_spec(preset, partition, homogeneous_arch, seed)
+    if name == "fedproto" and homogeneous_arch is None:
+        # FedProto runs under its own (milder) model-heterogeneity scheme.
+        spec = fedproto_spec(spec)
+    clients, info = build_federation(spec)
+
+    if name == "baseline":
+        algo = LocalOnly(clients, sample_rate=preset.sample_rate, local_epochs=1, seed=seed)
+    elif name == "fedproto":
+        algo = FedProto(clients, lam=1.0, sample_rate=preset.sample_rate, local_epochs=1, seed=seed)
+    elif name == "ktpfl":
+        public = None if share_weights else make_public_images(preset)
+        algo = KTpFL(
+            clients,
+            public_images=public,
+            share_weights=share_weights,
+            local_epochs=preset.ktpfl_local_epochs,
+            sample_rate=preset.sample_rate,
+            seed=seed,
+        )
+    elif name == "fedavg":
+        algo = FedAvg(clients, sample_rate=preset.sample_rate, local_epochs=1, seed=seed)
+    elif name == "fedprox":
+        algo = FedProx(clients, mu=0.1, sample_rate=preset.sample_rate, local_epochs=1, seed=seed)
+    elif name == "fedclassavg":
+        kwargs = dict(rho=preset.rho, sample_rate=preset.sample_rate, local_epochs=1, seed=seed)
+        kwargs.update(fedclassavg_kwargs or {})
+        algo = FedClassAvg(clients, **kwargs)
+    else:
+        raise KeyError(f"unknown algorithm {name!r}")
+
+    history = algo.run(rounds)
+    return history, algo.comm.cost

@@ -1,0 +1,104 @@
+"""Figures 4–7 — learning curves.
+
+* Figures 4/5: heterogeneous models, Dir(0.5) / skewed partitions —
+  FedClassAvg ("Ours") vs KT-pFL vs local-only baseline, x-axis in
+  cumulative *local epochs* (KT-pFL spends 20 per round, the others 1, so
+  round count would be an unfair axis).
+* Figures 6/7: homogeneous models, Dir(0.5), small and large federations —
+  FedAvg / FedProx / KT-pFL(+w) / FedClassAvg(+w) plus FC-only variants.
+
+Shape to reproduce: the proposed curve ends above the baseline and, per
+epoch, dominates KT-pFL almost everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.analysis.plots import ascii_curves
+from repro.config import ExperimentPreset, tiny_preset
+from repro.experiments.common import run_algorithm
+
+__all__ = ["CurvesResult", "run_hetero_curves", "run_homo_curves", "format_curves"]
+
+
+@dataclass
+class CurvesResult:
+    title: str
+    curves: dict = field(default_factory=dict)  # name -> (epochs, accs)
+
+
+def run_hetero_curves(
+    preset: ExperimentPreset | None = None,
+    partition: str = "dirichlet",
+    rounds: int | None = None,
+    seed: int = 0,
+    methods: tuple[str, ...] = ("fedclassavg", "ktpfl", "baseline"),
+) -> CurvesResult:
+    """Figures 4 (dirichlet) / 5 (skewed)."""
+    preset = preset or tiny_preset()
+    label = {"fedclassavg": "Ours", "ktpfl": "KT-pFL", "baseline": "baseline"}
+    result = CurvesResult(title=f"heterogeneous, {partition}, {preset.dataset}")
+    for method in methods:
+        history, _ = run_algorithm(method, preset, partition=partition, rounds=rounds, seed=seed)
+        result.curves[label.get(method, method)] = (history.epoch_axis, history.mean_curve)
+    return result
+
+
+def run_homo_curves(
+    preset: ExperimentPreset | None = None,
+    arch: str = "resnet18",
+    num_clients: int | None = None,
+    sample_rate: float | None = None,
+    rounds: int | None = None,
+    seed: int = 0,
+    methods=(
+        ("FedAvg", "fedavg", True),
+        ("FedProx", "fedprox", True),
+        ("KT-pFL +w", "ktpfl", True),
+        ("Ours +w", "fedclassavg", True),
+        ("Ours", "fedclassavg", False),
+    ),
+) -> CurvesResult:
+    """Figures 6 (small federation) / 7 (large federation, low sampling)."""
+    preset = preset or tiny_preset()
+    if num_clients is not None or sample_rate is not None:
+        preset = replace(
+            preset,
+            num_clients=num_clients or preset.num_clients,
+            sample_rate=sample_rate if sample_rate is not None else preset.sample_rate,
+            n_train=max(preset.n_train, (num_clients or preset.num_clients) * 60),
+        )
+    result = CurvesResult(
+        title=f"homogeneous {arch}, {preset.num_clients} clients, rate {preset.sample_rate}"
+    )
+    for label, key, plus_weight in methods:
+        if key == "fedclassavg":
+            history, _ = run_algorithm(
+                key,
+                preset,
+                rounds=rounds,
+                homogeneous_arch=arch,
+                seed=seed,
+                fedclassavg_kwargs={"share_all_weights": plus_weight},
+            )
+        elif key == "ktpfl":
+            history, _ = run_algorithm(
+                key, preset, rounds=rounds, homogeneous_arch=arch, share_weights=plus_weight, seed=seed
+            )
+        else:
+            history, _ = run_algorithm(key, preset, rounds=rounds, homogeneous_arch=arch, seed=seed)
+        result.curves[label] = (history.epoch_axis, history.mean_curve)
+    return result
+
+
+def format_curves(result: CurvesResult, width: int = 70, height: int = 14) -> str:
+    """Render learning curves as an ASCII chart with final accuracies."""
+    series = {name: accs for name, (epochs, accs) in result.curves.items()}
+    chart = ascii_curves(series, width=width, height=height, x_label="local epochs")
+    finals = "  ".join(
+        f"{name}: {accs[-1]:.4f}" for name, (_, accs) in result.curves.items() if len(accs)
+    )
+    return f"Learning curves — {result.title}\n{chart}\nfinal: {finals}"

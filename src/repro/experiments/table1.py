@@ -1,0 +1,53 @@
+"""Table 1 — local-update hyperparameters and their selection process.
+
+Table 1 itself is a configuration table (reproduced verbatim in
+``repro.config.PAPER_HYPERPARAMS``).  The paper obtained it via Bayesian
+hyperparameter optimization; ``run_hyperparameter_search`` reproduces the
+selection *process* with the random-search tuner over the same axes
+(learning rate, ρ) scoring final mean accuracy of a short FedClassAvg
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.plots import format_table
+from repro.config import PAPER_HYPERPARAMS, ExperimentPreset, tiny_preset
+from repro.experiments.common import run_algorithm
+from repro.tuning import LogUniform, RandomSearchTuner, TrialResult, Uniform
+
+__all__ = ["format_table1", "run_hyperparameter_search"]
+
+
+def format_table1() -> str:
+    """Render Table 1 (paper hyperparameters) as text."""
+    headers = ["Dataset", "Learning rate", "Batch size", "rho", "# epochs"]
+    rows = [
+        [name, hp.learning_rate, hp.batch_size, hp.rho, hp.local_epochs]
+        for name, hp in PAPER_HYPERPARAMS.items()
+    ]
+    return format_table(headers, rows, title="Table 1: local client update hyperparameters (paper values)")
+
+
+def run_hyperparameter_search(
+    preset: ExperimentPreset | None = None,
+    n_trials: int = 4,
+    rounds: int = 2,
+    seed: int = 0,
+) -> TrialResult:
+    """Random-search lr and ρ, scoring short FedClassAvg runs."""
+    preset = preset or tiny_preset()
+
+    def objective(params: dict) -> float:
+        p = replace(preset, lr=params["lr"], rho=params["rho"])
+        history, _ = run_algorithm("fedclassavg", p, rounds=rounds, seed=seed)
+        return history.final_acc()[0]
+
+    tuner = RandomSearchTuner(
+        space={"lr": LogUniform(1e-4, 1e-2), "rho": Uniform(0.01, 0.6)},
+        objective=objective,
+        n_trials=n_trials,
+        seed=seed,
+    )
+    return tuner.run()

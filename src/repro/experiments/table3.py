@@ -1,0 +1,119 @@
+"""Table 3 — homogeneous-model federated learning.
+
+Every client runs the same architecture.  Two scenarios:
+
+* FC-only sharing: FedClassAvg and KT-pFL exchange only classifiers /
+  soft predictions.
+* "+weight": all weights are shared — FedAvg, FedProx, KT-pFL(+weight),
+  FedClassAvg(+weight, ``share_all_weights=True``).
+
+Measured for a small federation (paper: 20 clients, sampling 1.0) and a
+large one (paper: 100 clients, sampling 0.1).
+
+Paper's shape: FedClassAvg+weight is the best +weight method; plain
+FedClassAvg beats KT-pFL in the FC-only scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.plots import format_table
+from repro.config import ExperimentPreset, tiny_preset
+from repro.experiments.common import run_algorithm
+
+__all__ = ["Table3Result", "run_table3", "format_table3", "TABLE3_METHODS"]
+
+# (label, algorithm key, share_weights/+weight flag)
+TABLE3_METHODS = (
+    ("FedAvg", "fedavg", True),
+    ("FedProx", "fedprox", True),
+    ("KT-pFL", "ktpfl", False),
+    ("KT-pFL +weight", "ktpfl", True),
+    ("Proposed", "fedclassavg", False),
+    ("Proposed +weight", "fedclassavg", True),
+)
+
+
+@dataclass
+class Table3Result:
+    """cells[(label, num_clients)] = (mean_acc, std_acc)"""
+
+    dataset: str
+    arch: str
+    cells: dict = field(default_factory=dict)
+    histories: dict = field(default_factory=dict)
+
+
+def run_table3(
+    preset: ExperimentPreset | None = None,
+    arch: str = "resnet18",
+    client_settings: tuple[tuple[int, float], ...] = ((8, 1.0), (16, 0.25)),
+    methods=TABLE3_METHODS,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> Table3Result:
+    """Run the homogeneous grid.
+
+    ``client_settings`` holds (num_clients, sample_rate) pairs — the paper
+    uses (20, 1.0) and (100, 0.1); the tiny default scales both down.
+    ``arch`` defaults to resnet18, the paper's homogeneous backbone.
+    """
+    preset = preset or tiny_preset()
+    result = Table3Result(dataset=preset.dataset, arch=arch)
+    for num_clients, rate in client_settings:
+        p = replace(
+            preset,
+            num_clients=num_clients,
+            sample_rate=rate,
+            n_train=max(preset.n_train, num_clients * 60),
+        )
+        for label, key, plus_weight in methods:
+            if key == "fedclassavg":
+                history, _ = run_algorithm(
+                    key,
+                    p,
+                    partition="dirichlet",
+                    rounds=rounds,
+                    homogeneous_arch=arch,
+                    seed=seed,
+                    fedclassavg_kwargs={"share_all_weights": plus_weight},
+                )
+            elif key == "ktpfl":
+                history, _ = run_algorithm(
+                    key,
+                    p,
+                    partition="dirichlet",
+                    rounds=rounds,
+                    homogeneous_arch=arch,
+                    share_weights=plus_weight,
+                    seed=seed,
+                )
+            else:
+                history, _ = run_algorithm(
+                    key, p, partition="dirichlet", rounds=rounds, homogeneous_arch=arch, seed=seed
+                )
+            result.cells[(label, num_clients)] = history.final_acc()
+            result.histories[(label, num_clients)] = history
+    return result
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render the Table 3 grid as text."""
+    client_counts = sorted({k for _, k in result.cells})
+    headers = ["Method"] + [f"{n} clients" for n in client_counts]
+    rows = []
+    for label, _, _ in TABLE3_METHODS:
+        if not any((label, n) in result.cells for n in client_counts):
+            continue
+        row = [label]
+        for n in client_counts:
+            if (label, n) in result.cells:
+                mean, std = result.cells[(label, n)]
+                row.append(f"{mean:.4f} ± {std:.4f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(
+        headers, rows, title=f"Table 3: homogeneous models ({result.arch}, {result.dataset})"
+    )

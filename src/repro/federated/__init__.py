@@ -1,0 +1,44 @@
+"""Federated-learning machinery: clients, server loop, aggregation."""
+
+from repro.federated.aggregation import interpolate_state, weighted_average_state
+from repro.federated.base import FederatedAlgorithm
+from repro.federated.client import FederatedClient
+from repro.federated.executor import SerialExecutor, ThreadExecutor, make_executor
+from repro.federated.faults import FaultInjector
+from repro.federated.evaluation import (
+    confusion_matrix,
+    macro_f1,
+    per_class_accuracy,
+    predict,
+    scarce_class_gain,
+)
+from repro.federated.checkpoint import load_checkpoint, save_checkpoint
+from repro.federated.history import RoundMetrics, RunHistory
+from repro.federated.sampler import ClientSampler
+from repro.federated.setup import FederationSpec, build_federation
+from repro.federated.trainer import LocalUpdateConfig, local_update
+
+__all__ = [
+    "FederatedAlgorithm",
+    "FederatedClient",
+    "ClientSampler",
+    "RoundMetrics",
+    "RunHistory",
+    "weighted_average_state",
+    "interpolate_state",
+    "LocalUpdateConfig",
+    "local_update",
+    "FederationSpec",
+    "build_federation",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "FaultInjector",
+    "predict",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "macro_f1",
+    "scarce_class_gain",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,61 @@
+"""Server-side aggregation operators.
+
+``weighted_average_state`` is Eq. (3) of the paper — a data-size-weighted
+linear combination of state dicts.  It serves both the FedClassAvg
+classifier aggregation (states hold just the classifier) and full-model
+FedAvg (states hold everything).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["weighted_average_state", "interpolate_state"]
+
+
+def weighted_average_state(
+    states: list[dict[str, np.ndarray]],
+    weights: list[float] | None = None,
+) -> dict[str, np.ndarray]:
+    """Weighted average of aligned state dicts.
+
+    ``weights`` default to uniform and are normalized to sum to 1.  Integer
+    buffers (e.g. BatchNorm ``num_batches_tracked``) are averaged in float
+    and cast back, matching FedAvg reference implementations.
+    """
+    if not states:
+        raise ValueError("no states to aggregate")
+    keys = list(states[0].keys())
+    for s in states[1:]:
+        if list(s.keys()) != keys:
+            raise ValueError("state dicts are not aligned (different keys/order)")
+    if weights is None:
+        w = np.full(len(states), 1.0 / len(states))
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if len(w) != len(states):
+            raise ValueError("weights length mismatch")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        w = w / total
+
+    out: dict[str, np.ndarray] = {}
+    for key in keys:
+        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        for wi, s in zip(w, states):
+            acc += wi * s[key]
+        out[key] = acc.astype(states[0][key].dtype) if states[0][key].dtype.kind in "iu" else acc
+    return out
+
+
+def interpolate_state(
+    a: dict[str, np.ndarray],
+    b: dict[str, np.ndarray],
+    alpha: float,
+) -> dict[str, np.ndarray]:
+    """Convex combination ``(1-alpha)·a + alpha·b`` (KT-pFL's personalized
+    global-model update on homogeneous models)."""
+    if set(a) != set(b):
+        raise ValueError("state dicts have different keys")
+    return {k: (1 - alpha) * a[k] + alpha * b[k] for k in a}

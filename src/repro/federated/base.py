@@ -1,0 +1,101 @@
+"""Federated algorithm base: the round loop shared by every method.
+
+Subclasses implement ``round(t, sampled)`` — the per-round protocol
+(broadcast / local update / aggregate).  The base loop handles client
+sampling, evaluation of every client's personalized accuracy after each
+round, and communication-round bookkeeping on the shared cost model.
+"""
+
+from __future__ import annotations
+
+from repro.comm import CostModel, SimComm
+from repro.federated.client import FederatedClient
+from repro.federated.history import RoundMetrics, RunHistory
+from repro.federated.sampler import ClientSampler
+
+__all__ = ["FederatedAlgorithm"]
+
+
+class FederatedAlgorithm:
+    """Server-driven federated training loop.
+
+    Parameters
+    ----------
+    clients:
+        All clients in the federation (rank k+1 on the communicator).
+    sample_rate:
+        Fraction of clients participating each round.
+    local_epochs:
+        E in Algorithm 1 — local epochs per communication round.
+    comm:
+        Optional shared communicator; a fresh one (size = clients+1) is
+        created otherwise.  Rank 0 is the server.
+    """
+
+    name = "base"
+    #: local epochs a client runs per communication round (KT-pFL: 20)
+    default_local_epochs = 1
+
+    def __init__(
+        self,
+        clients: list[FederatedClient],
+        sample_rate: float = 1.0,
+        local_epochs: int | None = None,
+        comm: SimComm | None = None,
+        seed: int = 0,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        self.clients = clients
+        self.local_epochs = local_epochs if local_epochs is not None else self.default_local_epochs
+        self.comm = comm or SimComm(len(clients) + 1, CostModel())
+        self.sampler = ClientSampler(len(clients), sample_rate, seed=seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def server_rank(self) -> int:
+        return 0
+
+    def rank_of(self, client_id: int) -> int:
+        return client_id + 1
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Hook run once before the first round (e.g. global init)."""
+
+    def round(self, t: int, sampled: list[int]) -> float | None:
+        """One communication round; optionally returns mean train loss."""
+        raise NotImplementedError
+
+    def evaluate_all(self) -> list[float]:
+        """Personalized test accuracy of every client (paper's metric)."""
+        return [c.evaluate() for c in self.clients]
+
+    def run(self, rounds: int, eval_every: int = 1, verbose: bool = False) -> RunHistory:
+        """Execute ``rounds`` communication rounds and record history."""
+        history = RunHistory(self.name)
+        self.setup()
+        for t in range(rounds):
+            sampled = self.sampler.sample(t)
+            train_loss = self.round(t, sampled)
+            round_bytes = self.comm.cost.end_round()
+            if (t + 1) % eval_every == 0 or t == rounds - 1:
+                accs = self.evaluate_all()
+            else:
+                accs = history.rounds[-1].client_accs if history.rounds else []
+            history.append(
+                RoundMetrics(
+                    round_idx=t,
+                    client_accs=list(accs),
+                    comm_bytes=round_bytes,
+                    local_epochs=self.local_epochs,
+                    train_loss=train_loss,
+                )
+            )
+            if verbose:
+                m = history.rounds[-1]
+                print(
+                    f"[{self.name}] round {t + 1}/{rounds} "
+                    f"acc={m.mean_acc:.4f}±{m.std_acc:.4f} bytes={round_bytes}"
+                )
+        return history

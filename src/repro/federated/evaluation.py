@@ -1,0 +1,91 @@
+"""Evaluation metrics beyond top-1 accuracy.
+
+The paper reports average test accuracy; these helpers add the per-class
+view needed to verify *where* collaborative training helps (scarce-label
+classes — the mechanism §1 claims classifier averaging provides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.split import SplitModel
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["predict", "confusion_matrix", "per_class_accuracy", "macro_f1", "scarce_class_gain"]
+
+
+def predict(model: SplitModel, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Argmax predictions for a batch of images."""
+    model.eval()
+    preds = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            logits = model(Tensor(images[start : start + batch_size])).data
+            preds.append(logits.argmax(axis=1))
+    model.train()
+    return np.concatenate(preds) if preds else np.array([], dtype=np.int64)
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> np.ndarray:
+    """(num_classes, num_classes) matrix; rows = true, cols = predicted."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("prediction/label length mismatch")
+    m = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(m, (y_true, y_pred), 1)
+    return m
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``y_true``."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(support > 0, np.diag(cm) / support, np.nan)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> float:
+    """Macro-averaged F1 over classes present in ``y_true``."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    tp = np.diag(cm).astype(np.float64)
+    support = cm.sum(axis=1)
+    predicted = cm.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(support > 0, tp / support, 0.0)
+        f1 = np.where(precision + recall > 0, 2 * precision * recall / (precision + recall), 0.0)
+    present = support > 0
+    if not present.any():
+        return 0.0
+    return float(f1[present].mean())
+
+
+def scarce_class_gain(
+    y_true: np.ndarray,
+    preds_a: np.ndarray,
+    preds_b: np.ndarray,
+    train_counts: np.ndarray,
+    scarce_quantile: float = 0.3,
+) -> float:
+    """Accuracy gain of ``preds_b`` over ``preds_a`` on scarce classes.
+
+    "Scarce" = classes whose local training count falls in the lowest
+    ``scarce_quantile`` of ``train_counts`` (with at least one sample).
+    Positive values mean method B learned more about rare labels — the
+    paper's core claim for classifier averaging.
+    """
+    y_true = np.asarray(y_true)
+    counts = np.asarray(train_counts, dtype=np.float64)
+    held = counts > 0
+    if held.sum() < 2:
+        return 0.0
+    threshold = np.quantile(counts[held], scarce_quantile)
+    scarce = held & (counts <= threshold)
+    mask = np.isin(y_true, np.flatnonzero(scarce))
+    if not mask.any():
+        return 0.0
+    acc_a = float((preds_a[mask] == y_true[mask]).mean())
+    acc_b = float((preds_b[mask] == y_true[mask]).mean())
+    return acc_b - acc_a

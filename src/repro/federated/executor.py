@@ -1,0 +1,49 @@
+"""Client-update executors: serial or thread-pooled.
+
+The paper parallelizes clients across MPI ranks; here client updates are
+independent Python callables, so a thread pool gives parallelism across
+NumPy's GIL-releasing BLAS kernels.  Results always come back ordered by
+client id regardless of completion order, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["SerialExecutor", "ThreadExecutor", "make_executor"]
+
+
+class SerialExecutor:
+    """Run client updates one by one (deterministic baseline)."""
+
+    def map(self, fn, items: list) -> list:
+        return [fn(item) for item in items]
+
+    def shutdown(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class ThreadExecutor:
+    """Run client updates on a thread pool.
+
+    Only safe when the per-client work is independent (true for every
+    algorithm here: each client touches only its own model/optimizer).
+    """
+
+    def __init__(self, max_workers: int = 4):
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+
+    def map(self, fn, items: list) -> list:
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(kind: str = "serial", max_workers: int = 4):
+    """Factory: 'serial' or 'thread'."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(max_workers=max_workers)
+    raise KeyError(f"unknown executor kind {kind!r}")

@@ -1,0 +1,67 @@
+"""Run history: per-round metrics for learning curves and final tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundMetrics", "RunHistory"]
+
+
+@dataclass
+class RoundMetrics:
+    """Metrics of one communication round."""
+
+    round_idx: int
+    client_accs: list[float]
+    comm_bytes: int = 0
+    local_epochs: int = 1
+    train_loss: float | None = None
+
+    @property
+    def mean_acc(self) -> float:
+        return float(np.mean(self.client_accs)) if self.client_accs else 0.0
+
+    @property
+    def std_acc(self) -> float:
+        return float(np.std(self.client_accs)) if self.client_accs else 0.0
+
+
+@dataclass
+class RunHistory:
+    """Complete record of a federated run."""
+
+    algorithm: str
+    rounds: list[RoundMetrics] = field(default_factory=list)
+
+    def append(self, metrics: RoundMetrics) -> None:
+        self.rounds.append(metrics)
+
+    @property
+    def mean_curve(self) -> np.ndarray:
+        """Mean client accuracy per round (Figures 4–7 y-axis)."""
+        return np.array([r.mean_acc for r in self.rounds])
+
+    @property
+    def epoch_axis(self) -> np.ndarray:
+        """Cumulative local epochs per round (Figures 4–5 x-axis: the paper
+        plots against local epochs so KT-pFL's 20-epoch rounds compare
+        fairly with single-epoch methods)."""
+        return np.cumsum([r.local_epochs for r in self.rounds])
+
+    @property
+    def final(self) -> RoundMetrics:
+        if not self.rounds:
+            raise ValueError("empty history")
+        return self.rounds[-1]
+
+    def final_acc(self) -> tuple[float, float]:
+        """(mean, std) of client accuracies at the last round (Table 2/3)."""
+        return self.final.mean_acc, self.final.std_acc
+
+    def total_comm_bytes(self) -> int:
+        return sum(r.comm_bytes for r in self.rounds)
+
+    def best_acc(self) -> float:
+        return max((r.mean_acc for r in self.rounds), default=0.0)

@@ -1,0 +1,30 @@
+"""Per-round client sampling (paper: rate 1.0 for 20 clients, 0.1 for 100)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ClientSampler"]
+
+
+class ClientSampler:
+    """Sample a fixed-size client subset each round.
+
+    The number of participants is ``max(1, round(rate * num_clients))``
+    and "remains the same at every communication round" (paper §3.2).
+    """
+
+    def __init__(self, num_clients: int, rate: float = 1.0, seed: int = 0):
+        if not 0 < rate <= 1:
+            raise ValueError("sampling rate must be in (0, 1]")
+        self.num_clients = num_clients
+        self.rate = rate
+        self.n_sampled = max(1, int(round(rate * num_clients)))
+        self.rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(0x5A,)))
+
+    def sample(self, round_idx: int) -> list[int]:
+        """Return the sorted client ids participating in ``round_idx``."""
+        if self.n_sampled >= self.num_clients:
+            return list(range(self.num_clients))
+        chosen = self.rng.choice(self.num_clients, size=self.n_sampled, replace=False)
+        return sorted(int(c) for c in chosen)

@@ -1,0 +1,109 @@
+"""Experiment builder: dataset → partition → clients.
+
+``build_federation`` assembles the full experimental setup of the paper's
+§4.1 in one call: load a benchmark dataset, partition it non-iid, mirror
+each client's label distribution onto the test set, assign architectures
+(round-robin heterogeneous, or one architecture for the homogeneous
+experiments), and construct :class:`FederatedClient` objects with
+independent RNG streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.federated.client import FederatedClient
+from repro.models import build_model, heterogeneous_assignment
+from repro.partition import matching_test_indices, partition_dataset
+
+__all__ = ["FederationSpec", "build_federation"]
+
+
+@dataclass
+class FederationSpec:
+    """Declarative description of a federated experiment."""
+
+    dataset: str = "cifar10-tiny"
+    num_clients: int = 8
+    partition: str = "dirichlet"  # 'dirichlet' | 'skewed' | 'iid'
+    alpha: float = 0.5
+    classes_per_client: int = 2
+    architectures: list[str] | None = None  # None → paper round-robin
+    homogeneous_arch: str | None = None  # set → every client uses this arch
+    scale: str = "tiny"
+    n_train: int = 1600
+    n_test: int = 400
+    test_per_client: int = 50
+    batch_size: int = 32
+    lr: float = 1e-3
+    seed: int = 0
+    model_overrides: dict = field(default_factory=dict)
+
+    def partition_kwargs(self) -> dict:
+        if self.partition == "dirichlet":
+            return {"alpha": self.alpha}
+        if self.partition == "skewed":
+            return {"classes_per_client": self.classes_per_client}
+        return {}
+
+
+def build_federation(spec: FederationSpec) -> tuple[list[FederatedClient], dict]:
+    """Construct clients per ``spec``.
+
+    Returns ``(clients, info)`` where ``info`` carries the raw datasets,
+    partition indices, and architecture list for analysis code.
+    """
+    train, test = load_dataset(spec.dataset, n_train=spec.n_train, n_test=spec.n_test, seed=spec.seed)
+    parts = partition_dataset(
+        train, spec.partition, spec.num_clients, seed=spec.seed, **spec.partition_kwargs()
+    )
+
+    if spec.homogeneous_arch is not None:
+        archs = [spec.homogeneous_arch] * spec.num_clients
+    elif spec.architectures is not None:
+        archs = heterogeneous_assignment(spec.num_clients, tuple(spec.architectures))
+    else:
+        archs = heterogeneous_assignment(spec.num_clients)
+
+    clients: list[FederatedClient] = []
+    for k in range(spec.num_clients):
+        model_rng = np.random.default_rng(np.random.SeedSequence(entropy=spec.seed, spawn_key=(0xD0D, k)))
+        overrides = spec.model_overrides.get(archs[k], {}) if spec.model_overrides else {}
+        per_client_overrides = spec.model_overrides.get(k, {}) if spec.model_overrides else {}
+        merged = {**overrides, **per_client_overrides}
+        model = build_model(
+            archs[k],
+            in_channels=train.in_channels,
+            num_classes=train.num_classes,
+            scale=spec.scale,
+            rng=model_rng,
+            **merged,
+        )
+        test_idx = matching_test_indices(
+            train.labels, parts[k], test.labels, spec.test_per_client, seed=spec.seed + k
+        )
+        clients.append(
+            FederatedClient(
+                client_id=k,
+                model=model,
+                train_images=train.images[parts[k]],
+                train_labels=train.labels[parts[k]],
+                test_images=test.images[test_idx],
+                test_labels=test.labels[test_idx],
+                batch_size=spec.batch_size,
+                lr=spec.lr,
+                seed=spec.seed,
+            )
+        )
+
+    info = {
+        "train": train,
+        "test": test,
+        "parts": parts,
+        "architectures": archs,
+        "num_classes": train.num_classes,
+    }
+    return clients, info

@@ -1,0 +1,113 @@
+"""Local-update training loops shared by the algorithms.
+
+``local_update`` runs E epochs of the FedClassAvg composite objective
+(Eq. 4) with any subset of the three loss terms enabled — which is also
+exactly what the Table 4 ablation needs:
+
+* CE only                          → plain local supervised training
+* CE + proximal (full weights)     → FedProx local step
+* CE + CL + classifier proximal    → FedClassAvg local step
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.transforms import Compose, default_augmentation
+from repro.federated.client import FederatedClient
+from repro.losses import cross_entropy, ntxent_loss, proximal_l2, supcon_loss
+from repro.tensor import Tensor
+
+__all__ = ["local_update", "LocalUpdateConfig"]
+
+
+class LocalUpdateConfig:
+    """Switches for the composite local objective.
+
+    ``contrastive`` selects the representation-learning term: ``"supcon"``
+    (the paper's supervised contrastive loss) or ``"ntxent"`` (the
+    label-free SimCLR loss, exploring the paper's future-work suggestion).
+    """
+
+    def __init__(
+        self,
+        use_contrastive: bool = True,
+        use_proximal: bool = True,
+        rho: float = 0.1,
+        temperature: float = 0.07,
+        contrastive: str = "supcon",
+        proximal_on: str = "classifier",
+        proximal_squared: bool = False,
+        augmentation: Compose | None = None,
+    ):
+        if proximal_on not in ("classifier", "all"):
+            raise ValueError("proximal_on must be 'classifier' or 'all'")
+        if contrastive not in ("supcon", "ntxent"):
+            raise ValueError("contrastive must be 'supcon' or 'ntxent'")
+        self.use_contrastive = use_contrastive
+        self.use_proximal = use_proximal
+        self.rho = rho
+        self.temperature = temperature
+        self.contrastive = contrastive
+        self.proximal_on = proximal_on
+        self.proximal_squared = proximal_squared
+        self.augmentation = augmentation
+
+
+def local_update(
+    client: FederatedClient,
+    epochs: int,
+    config: LocalUpdateConfig,
+    reference_state: dict[str, np.ndarray] | None = None,
+) -> float:
+    """Run E local epochs on one client; returns the mean total loss.
+
+    ``reference_state`` holds the broadcast global weights the proximal
+    term pulls toward (classifier-only keys for FedClassAvg, full state
+    for FedProx).  When the contrastive term is on, each batch is pushed
+    through the extractor twice (views x', x'') and the classifier sees
+    the first view's features — matching Figure 1(B)'s data flow where
+    ŷ is predicted from x'.
+    """
+    model = client.model
+    model.train()
+    aug = config.augmentation
+    if aug is None and (config.use_contrastive):
+        size = client.train_images.shape[-1]
+        aug = default_augmentation(size)
+
+    losses: list[float] = []
+    for _ in range(epochs):
+        for xb, yb in client.train_loader():
+            client.optimizer.zero_grad()
+
+            if config.use_contrastive:
+                xa = aug(xb, client.aug_rng)
+                xb2 = aug(xb, client.aug_rng)
+                feat_a = model.features(Tensor(xa))
+                feat_b = model.features(Tensor(xb2))
+                logits = model.classifier(feat_a)
+                loss = cross_entropy(logits, yb)
+                if config.contrastive == "supcon":
+                    loss = loss + supcon_loss(feat_a, feat_b, yb, temperature=config.temperature)
+                else:
+                    loss = loss + ntxent_loss(feat_a, feat_b, temperature=config.temperature)
+            else:
+                logits = model(Tensor(xb))
+                loss = cross_entropy(logits, yb)
+
+            if config.use_proximal and reference_state is not None:
+                if config.proximal_on == "classifier":
+                    pairs = model.classifier_parameters()
+                    ref = {k: v for k, v in reference_state.items() if k in dict(pairs)}
+                    prox = proximal_l2(pairs, ref, squared=config.proximal_squared)
+                else:
+                    pairs = list(model.named_parameters())
+                    ref = {k: reference_state[k] for k, _ in pairs}
+                    prox = proximal_l2(pairs, ref, squared=config.proximal_squared)
+                loss = loss + config.rho * prox
+
+            loss.backward()
+            client.optimizer.step()
+            losses.append(loss.item())
+    return float(np.mean(losses)) if losses else 0.0

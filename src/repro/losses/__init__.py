@@ -1,0 +1,29 @@
+"""Loss functions for supervised, contrastive, and federated objectives."""
+
+from repro.losses.classification import (
+    cross_entropy,
+    kl_divergence,
+    nll_loss,
+    soft_cross_entropy,
+    softmax_probs,
+)
+from repro.losses.supcon import normalize_features, supcon_loss
+from repro.losses.ntxent import ntxent_loss
+from repro.losses.regularizers import l2_distance_state, proximal_l2
+from repro.losses.prototype import aggregate_prototypes, compute_prototypes, prototype_loss
+
+__all__ = [
+    "cross_entropy",
+    "nll_loss",
+    "kl_divergence",
+    "soft_cross_entropy",
+    "softmax_probs",
+    "supcon_loss",
+    "ntxent_loss",
+    "normalize_features",
+    "proximal_l2",
+    "l2_distance_state",
+    "prototype_loss",
+    "compute_prototypes",
+    "aggregate_prototypes",
+]

@@ -1,0 +1,46 @@
+"""Heterogeneous CNN zoo, each model split into extractor + classifier."""
+
+from repro.models.split import CLASSIFIER_PREFIX, SplitModel
+from repro.models.alexnet import AlexNetFeatures, alexnet
+from repro.models.resnet import BasicBlock, ResNetFeatures, resnet18
+from repro.models.shufflenet import (
+    DepthwiseConv2d,
+    ShuffleNetV2Features,
+    ShuffleUnit,
+    channel_shuffle,
+    shufflenetv2,
+)
+from repro.models.googlenet import GoogLeNetFeatures, InceptionModule, googlenet
+from repro.models.cnn import CNN2LayerFeatures, cnn2layer
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    PAPER_ARCHITECTURES,
+    SCALE_PRESETS,
+    build_model,
+    heterogeneous_assignment,
+)
+
+__all__ = [
+    "SplitModel",
+    "CLASSIFIER_PREFIX",
+    "alexnet",
+    "AlexNetFeatures",
+    "resnet18",
+    "ResNetFeatures",
+    "BasicBlock",
+    "shufflenetv2",
+    "ShuffleNetV2Features",
+    "ShuffleUnit",
+    "DepthwiseConv2d",
+    "channel_shuffle",
+    "googlenet",
+    "GoogLeNetFeatures",
+    "InceptionModule",
+    "cnn2layer",
+    "CNN2LayerFeatures",
+    "MODEL_REGISTRY",
+    "PAPER_ARCHITECTURES",
+    "SCALE_PRESETS",
+    "build_model",
+    "heterogeneous_assignment",
+]

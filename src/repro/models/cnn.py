@@ -1,0 +1,69 @@
+"""Two-layer CNN family used by the FedProto heterogeneity scheme.
+
+FedProto (Tan et al., AAAI 2022) models client heterogeneity with
+two-conv CNNs whose *output channel counts differ across clients* (the
+prototype dimension stays fixed).  ``cnn2layer`` exposes the channel
+counts so the Table 2 FedProto rows can reproduce that scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.split import SplitModel
+from repro.tensor import Tensor
+
+__all__ = ["CNN2LayerFeatures", "cnn2layer"]
+
+
+class CNN2LayerFeatures(nn.Module):
+    """conv-pool ×2 backbone + FC projection to the prototype dimension."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        feature_dim: int = 512,
+        channels: tuple[int, int] = (16, 32),
+        pool_size: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        c1, c2 = channels
+        self.convs = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2, 2),
+            nn.Conv2d(c1, c2, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2, 2),
+        )
+        # FedProto's reference CNN flattens the conv map; pooling to a small
+        # fixed grid keeps that spatial signal at any input size.
+        self.pool = nn.AdaptiveAvgPool2d(pool_size)
+        self.flatten = nn.Flatten()
+        self.proj = nn.Linear(c2 * pool_size * pool_size, feature_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.convs(x)
+        x = self.flatten(self.pool(x))
+        return self.proj(x)
+
+
+def cnn2layer(
+    in_channels: int = 1,
+    num_classes: int = 10,
+    feature_dim: int = 512,
+    channels: tuple[int, int] = (16, 32),
+    pool_size: int = 3,
+    rng: np.random.Generator | None = None,
+) -> SplitModel:
+    """Build a split two-layer CNN client model."""
+    fe = CNN2LayerFeatures(
+        in_channels=in_channels,
+        feature_dim=feature_dim,
+        channels=channels,
+        pool_size=pool_size,
+        rng=rng,
+    )
+    return SplitModel(fe, feature_dim, num_classes, arch="cnn2layer", rng=rng)

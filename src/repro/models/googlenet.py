@@ -1,0 +1,122 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015), width-scalable.
+
+Inception modules carry the canonical four branches (1×1, 1×1→3×3,
+1×1→5×5, pool→1×1) concatenated on the channel axis.  Branch widths are
+expressed as fractions of the module output so the whole network scales
+with one ``width`` knob; the auxiliary classifiers of the original paper
+are omitted (torchvision also disables them by default at inference, and
+the FedClassAvg split only uses the main trunk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.split import SplitModel
+from repro.tensor import Tensor, concat
+
+__all__ = ["InceptionModule", "GoogLeNetFeatures", "googlenet"]
+
+
+class _ConvBNReLU(nn.Sequential):
+    def __init__(self, in_ch: int, out_ch: int, kernel: int, padding: int = 0, rng=None):
+        super().__init__(
+            nn.Conv2d(in_ch, out_ch, kernel, padding=padding, bias=False, rng=rng),
+            nn.BatchNorm2d(out_ch),
+            nn.ReLU(),
+        )
+
+
+class InceptionModule(nn.Module):
+    """Four parallel branches concatenated channel-wise.
+
+    ``branch_channels`` is ``(b1, b3_reduce, b3, b5_reduce, b5, pool_proj)``
+    following the original Table 1 notation.
+    """
+
+    def __init__(self, in_ch: int, branch_channels: tuple[int, int, int, int, int, int], rng=None):
+        super().__init__()
+        b1, b3r, b3, b5r, b5, pp = branch_channels
+        self.branch1 = _ConvBNReLU(in_ch, b1, 1, rng=rng)
+        self.branch3 = nn.Sequential(
+            _ConvBNReLU(in_ch, b3r, 1, rng=rng),
+            _ConvBNReLU(b3r, b3, 3, padding=1, rng=rng),
+        )
+        self.branch5 = nn.Sequential(
+            _ConvBNReLU(in_ch, b5r, 1, rng=rng),
+            _ConvBNReLU(b5r, b5, 5, padding=2, rng=rng),
+        )
+        self.branch_pool = nn.Sequential(
+            nn.MaxPool2d(3, stride=1, padding=1),
+            _ConvBNReLU(in_ch, pp, 1, rng=rng),
+        )
+        self.out_channels = b1 + b3 + b5 + pp
+
+    def forward(self, x: Tensor) -> Tensor:
+        return concat(
+            [self.branch1(x), self.branch3(x), self.branch5(x), self.branch_pool(x)],
+            axis=1,
+        )
+
+
+def _scaled(total: int) -> tuple[int, int, int, int, int, int]:
+    """Split a module's output width into canonical branch fractions."""
+    b1 = max(1, total // 4)
+    b3 = max(1, total // 2)
+    b5 = max(1, total // 8)
+    pp = max(1, total - b1 - b3 - b5)
+    b3r = max(1, b3 // 2)
+    b5r = max(1, b5 // 2)
+    return b1, b3r, b3, b5r, b5, pp
+
+
+class GoogLeNetFeatures(nn.Module):
+    """Inception trunk + projection FC."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        feature_dim: int = 512,
+        width: int = 64,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        w = width
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, w, 3, stride=1, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(w),
+            nn.ReLU(),
+        )
+        self.inc3a = InceptionModule(w, _scaled(w * 2), rng=rng)
+        self.inc3b = InceptionModule(self.inc3a.out_channels, _scaled(w * 2), rng=rng)
+        self.pool3 = nn.MaxPool2d(2, 2)
+        self.inc4a = InceptionModule(self.inc3b.out_channels, _scaled(w * 4), rng=rng)
+        self.inc4b = InceptionModule(self.inc4a.out_channels, _scaled(w * 4), rng=rng)
+        self.pool4 = nn.MaxPool2d(2, 2)
+        self.inc5a = InceptionModule(self.inc4b.out_channels, _scaled(w * 4), rng=rng)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.proj = nn.Linear(self.inc5a.out_channels, feature_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.inc3b(self.inc3a(x))
+        x = self.pool3(x)
+        x = self.inc4b(self.inc4a(x))
+        x = self.pool4(x)
+        x = self.inc5a(x)
+        x = self.flatten(self.pool(x))
+        return self.proj(x)
+
+
+def googlenet(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    feature_dim: int = 512,
+    width: int = 64,
+    rng: np.random.Generator | None = None,
+) -> SplitModel:
+    """Build a split GoogLeNet client model."""
+    fe = GoogLeNetFeatures(in_channels=in_channels, feature_dim=feature_dim, width=width, rng=rng)
+    return SplitModel(fe, feature_dim, num_classes, arch="googlenet", rng=rng)

@@ -1,0 +1,101 @@
+"""Model registry and the paper's heterogeneous client assignment.
+
+The paper distributes four architectures equally across 20 clients
+(client k gets architecture ``k mod 4``: ResNet-18, ShuffleNetV2,
+GoogLeNet, AlexNet).  ``build_model`` constructs any registered model by
+name at a chosen scale; ``heterogeneous_assignment`` reproduces the
+round-robin assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.alexnet import alexnet
+from repro.models.cnn import cnn2layer
+from repro.models.googlenet import googlenet
+from repro.models.resnet import resnet18
+from repro.models.shufflenet import shufflenetv2
+from repro.models.split import SplitModel
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "PAPER_ARCHITECTURES",
+    "build_model",
+    "heterogeneous_assignment",
+    "SCALE_PRESETS",
+]
+
+# Paper order: clients 0,4,8,... are ResNet-18; 1,5,9,... ShuffleNetV2;
+# 2,6,10,... GoogLeNet; 3,7,11,... AlexNet (§5.3).
+PAPER_ARCHITECTURES = ("resnet18", "shufflenetv2", "googlenet", "alexnet")
+
+# Width knobs per scale preset (see DESIGN.md §6).  "paper" matches the
+# torchvision defaults the authors used; "tiny" keeps CPU NumPy training
+# in the seconds range for tests and benchmarks.
+SCALE_PRESETS: dict[str, dict] = {
+    "tiny": {
+        "feature_dim": 32,
+        "resnet18": {"base_width": 8, "blocks_per_stage": (1, 1), "stage_strides": (1, 2)},
+        "shufflenetv2": {"stage_channels": (8, 16, 32), "stage_repeats": (1, 1)},
+        "googlenet": {"width": 8},
+        "alexnet": {"width": 8, "dropout": 0.2},
+        "cnn2layer": {"channels": (8, 16)},
+    },
+    "small": {
+        "feature_dim": 128,
+        "resnet18": {"base_width": 16, "blocks_per_stage": (2, 2, 2), "stage_strides": (1, 2, 2)},
+        "shufflenetv2": {"stage_channels": (12, 24, 48, 96), "stage_repeats": (2, 4, 2)},
+        "googlenet": {"width": 16},
+        "alexnet": {"width": 16},
+        "cnn2layer": {"channels": (16, 32)},
+    },
+    "paper": {
+        "feature_dim": 512,
+        "resnet18": {"base_width": 64},
+        "shufflenetv2": {"stage_channels": (24, 116, 232, 464), "stage_repeats": (4, 8, 4)},
+        "googlenet": {"width": 64},
+        "alexnet": {"width": 64},
+        "cnn2layer": {"channels": (16, 32)},
+    },
+}
+
+MODEL_REGISTRY = {
+    "resnet18": resnet18,
+    "shufflenetv2": shufflenetv2,
+    "googlenet": googlenet,
+    "alexnet": alexnet,
+    "cnn2layer": cnn2layer,
+}
+
+
+def build_model(
+    name: str,
+    in_channels: int = 3,
+    num_classes: int = 10,
+    scale: str = "tiny",
+    feature_dim: int | None = None,
+    rng: np.random.Generator | None = None,
+    **overrides,
+) -> SplitModel:
+    """Construct a registered split model at a scale preset.
+
+    ``overrides`` are forwarded to the architecture constructor on top of
+    the preset (e.g. ``stage_strides`` for FedProto's ResNet variants).
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}")
+    if scale not in SCALE_PRESETS:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALE_PRESETS)}")
+    preset = SCALE_PRESETS[scale]
+    kwargs = dict(preset.get(name, {}))
+    kwargs.update(overrides)
+    fd = feature_dim if feature_dim is not None else preset["feature_dim"]
+    return MODEL_REGISTRY[name](
+        in_channels=in_channels, num_classes=num_classes, feature_dim=fd, rng=rng, **kwargs
+    )
+
+
+def heterogeneous_assignment(num_clients: int, architectures=PAPER_ARCHITECTURES) -> list[str]:
+    """Round-robin architecture assignment over clients (paper §4.2/§5.3)."""
+    return [architectures[k % len(architectures)] for k in range(num_clients)]

@@ -1,0 +1,127 @@
+"""ResNet-18 (He et al., CVPR 2016), CIFAR-style stem, width-scalable.
+
+Topology is faithful to torchvision's ResNet-18 — four stages of two
+BasicBlocks each, with stride-2 projection shortcuts at stage
+transitions — but the stem uses a 3×3 convolution (no 7×7/maxpool) as is
+standard for 32×32 inputs, and channel widths scale with ``base_width``
+so CPU-NumPy training stays tractable (paper scale: base_width=64).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.split import SplitModel
+from repro.tensor import Tensor, relu
+
+__all__ = ["BasicBlock", "ResNetFeatures", "resnet18", "make_norm"]
+
+
+def make_norm(kind: str, channels: int) -> nn.Module:
+    """Normalization factory: 'batch' (paper default) or 'group'.
+
+    GroupNorm carries no batch statistics, which sidesteps the
+    non-iid-BN-statistics problem FedBN addresses — exposed so the norm
+    choice can be ablated in federated experiments.
+    """
+    if kind == "batch":
+        return nn.BatchNorm2d(channels)
+    if kind == "group":
+        groups = 1 if channels < 8 else min(8, channels)
+        while channels % groups:
+            groups -= 1
+        return nn.GroupNorm(groups, channels)
+    raise KeyError(f"unknown norm kind {kind!r}")
+
+
+class BasicBlock(nn.Module):
+    """Two 3×3 convs with a residual connection."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int = 1, norm: str = "batch", rng=None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = make_norm(norm, out_ch)
+        self.conv2 = nn.Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = make_norm(norm, out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
+                make_norm(norm, out_ch),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return relu(out + self.shortcut(x))
+
+
+class ResNetFeatures(nn.Module):
+    """ResNet-18 backbone + projection FC = the FedClassAvg ``F_k``."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        feature_dim: int = 512,
+        base_width: int = 64,
+        blocks_per_stage: tuple[int, ...] = (2, 2, 2, 2),
+        stage_strides: tuple[int, ...] = (1, 2, 2, 2),
+        norm: str = "batch",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        w = base_width
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, w, 3, stride=1, padding=1, bias=False, rng=rng),
+            make_norm(norm, w),
+            nn.ReLU(),
+        )
+        stages = []
+        in_ch = w
+        for i, (n_blocks, stride) in enumerate(zip(blocks_per_stage, stage_strides)):
+            out_ch = w * (2**i)
+            for b in range(n_blocks):
+                stages.append(
+                    BasicBlock(in_ch, out_ch, stride if b == 0 else 1, norm=norm, rng=rng)
+                )
+                in_ch = out_ch
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.proj = nn.Linear(in_ch, feature_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.stages(x)
+        x = self.flatten(self.pool(x))
+        return self.proj(x)
+
+
+def resnet18(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    feature_dim: int = 512,
+    base_width: int = 64,
+    blocks_per_stage: tuple[int, ...] = (2, 2, 2, 2),
+    stage_strides: tuple[int, ...] = (1, 2, 2, 2),
+    norm: str = "batch",
+    rng: np.random.Generator | None = None,
+) -> SplitModel:
+    """Build a split ResNet-18 client model.
+
+    ``stage_strides`` is exposed because FedProto's CIFAR-10 heterogeneity
+    scheme varies ResNet-18 strides across clients; ``norm`` selects
+    BatchNorm (paper default) or GroupNorm (FL-friendly, no batch stats).
+    """
+    fe = ResNetFeatures(
+        in_channels=in_channels,
+        feature_dim=feature_dim,
+        base_width=base_width,
+        blocks_per_stage=blocks_per_stage,
+        stage_strides=stage_strides,
+        norm=norm,
+        rng=rng,
+    )
+    return SplitModel(fe, feature_dim, num_classes, arch="resnet18", rng=rng)

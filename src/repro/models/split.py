@@ -1,0 +1,78 @@
+"""Feature-extractor / classifier decomposition (``f_k = C_k ∘ F_k``).
+
+FedClassAvg's only structural requirement is that every client model end
+in a classifier of identical shape.  ``SplitModel`` enforces the paper's
+construction: an arbitrary backbone followed by one FC layer mapping to a
+common ``feature_dim`` (the feature extractor ``F_k``), then a single FC
+classifier ``C_k`` of shape ``(feature_dim → num_classes)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+__all__ = ["SplitModel", "CLASSIFIER_PREFIX"]
+
+CLASSIFIER_PREFIX = "classifier."
+
+
+class SplitModel(nn.Module):
+    """A client model decomposed into ``features`` and ``classifier``.
+
+    Parameters
+    ----------
+    feature_extractor:
+        Module mapping input images to (N, feature_dim) embeddings.
+    feature_dim:
+        Output dimensionality of the extractor (512 in the paper).
+    num_classes:
+        Classifier output width (10 for CIFAR-10/Fashion-MNIST, 26 for
+        EMNIST Letters).
+    arch:
+        Human-readable architecture tag (used in experiment reports).
+    """
+
+    def __init__(
+        self,
+        feature_extractor: nn.Module,
+        feature_dim: int,
+        num_classes: int,
+        arch: str = "custom",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.feature_extractor = feature_extractor
+        self.classifier = nn.Linear(feature_dim, num_classes, rng=rng)
+        self.feature_dim = feature_dim
+        self.num_classes = num_classes
+        self.arch = arch
+
+    def features(self, x: Tensor) -> Tensor:
+        """Apply only ``F_k`` — used by contrastive and prototype losses."""
+        return self.feature_extractor(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+    # ------------------------------------------------------------------
+    # classifier-only weight exchange (the FedClassAvg wire format)
+    # ------------------------------------------------------------------
+    def classifier_state(self) -> dict[str, np.ndarray]:
+        """State dict of ``C_k`` only — the payload FedClassAvg transmits."""
+        return {CLASSIFIER_PREFIX + k: v for k, v in self.classifier.state_dict().items()}
+
+    def load_classifier_state(self, state: dict[str, np.ndarray]) -> None:
+        """Replace ``C_k`` with the broadcast global classifier."""
+        stripped = {
+            k[len(CLASSIFIER_PREFIX):]: v
+            for k, v in state.items()
+            if k.startswith(CLASSIFIER_PREFIX)
+        }
+        self.classifier.load_state_dict(stripped)
+
+    def classifier_parameters(self):
+        """(name, Parameter) pairs of the classifier, classifier-state keyed."""
+        return [(CLASSIFIER_PREFIX + n, p) for n, p in self.classifier.named_parameters()]

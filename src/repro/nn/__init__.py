@@ -1,0 +1,36 @@
+"""Neural-network layer library built on :mod:`repro.tensor`."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.groupnorm import GroupNorm, LayerNorm
+from repro.nn.activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.pooling import AdaptiveAvgPool2d, AvgPool2d, MaxPool2d
+from repro.nn.dropout import Dropout
+from repro.nn.container import Flatten, Identity, ModuleList, Sequential
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "init",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "ModuleList",
+    "Sequential",
+]

@@ -1,0 +1,40 @@
+"""Activation-function modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, leaky_relu, relu, sigmoid, tanh
+
+__all__ = ["ReLU", "LeakyReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    """max(x, 0) activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return tanh(x)
+
+
+class Sigmoid(Module):
+    """Logistic-sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return sigmoid(x)

@@ -1,0 +1,52 @@
+"""Convolution layer wrapping the im2col kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, conv2d
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW input.
+
+    Only square kernels/strides are supported — all architectures in the
+    paper's model zoo use square geometry.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng=rng))
+        fan_in = in_channels * kernel_size * kernel_size
+        if bias:
+            self.bias = Parameter(init.uniform_fan_in((out_channels,), fan_in, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )

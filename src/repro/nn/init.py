@@ -1,0 +1,82 @@
+"""Weight initialization schemes (Kaiming / Xavier families).
+
+All initializers take an explicit ``rng`` (falling back to the global
+seeded generator) so model construction is reproducible per client.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform_fan_in",
+    "zeros",
+    "ones",
+]
+
+
+def _fan_in_out(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv2d: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        n = int(np.prod(shape))
+        fan_in = fan_out = max(1, n)
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """He-normal initialization for ReLU networks."""
+    rng = rng or get_rng()
+    fan_in, _ = _fan_in_out(tuple(shape))
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator | None = None, a: float = math.sqrt(5)) -> np.ndarray:
+    """He-uniform initialization (PyTorch's default for Linear/Conv)."""
+    rng = rng or get_rng()
+    fan_in, _ = _fan_in_out(tuple(shape))
+    gain = math.sqrt(2.0 / (1 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    rng = rng or get_rng()
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    rng = rng or get_rng()
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_fan_in(shape, fan_in: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform(-1/sqrt(fan_in), 1/sqrt(fan_in)) — used for biases."""
+    rng = rng or get_rng()
+    bound = 1.0 / math.sqrt(max(1, fan_in))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

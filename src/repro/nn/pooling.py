@@ -1,0 +1,45 @@
+"""Pooling-layer modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, adaptive_avg_pool2d, avg_pool2d, max_pool2d
+
+__all__ = ["MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Max pooling over NCHW input."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    """Average pooling over NCHW input."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(Module):
+    """Global average pooling (output size 1×1)."""
+
+    def __init__(self, output_size: int = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return adaptive_avg_pool2d(x, self.output_size)

@@ -1,0 +1,8 @@
+"""Optimizers and LR schedulers."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedulers import ConstantLR, CosineAnnealingLR, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "ConstantLR", "StepLR", "CosineAnnealingLR"]

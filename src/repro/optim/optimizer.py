@@ -1,0 +1,26 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Holds a parameter list and the current learning rate."""
+
+    def __init__(self, params, lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

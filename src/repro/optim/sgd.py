@@ -1,0 +1,45 @@
+"""SGD with momentum, Nesterov, and decoupled weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent.
+
+    Matches PyTorch semantics: L2 weight decay is added to the gradient,
+    momentum buffers accumulate ``v = mu*v + g`` and the step is
+    ``p -= lr * v`` (or the Nesterov look-ahead variant).
+    """
+
+    def __init__(self, params, lr: float, momentum: float = 0.0, weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity[i]
+                if v is None:
+                    v = np.array(g, copy=True)
+                else:
+                    v *= self.momentum
+                    v += g
+                self._velocity[i] = v
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * g

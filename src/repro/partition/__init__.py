@@ -1,0 +1,19 @@
+"""Non-iid data partitioning across federated clients."""
+
+from repro.partition.partitioners import (
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+    skewed_partition,
+)
+from repro.partition.stats import distribution_entropy, label_distribution, matching_test_indices
+
+__all__ = [
+    "dirichlet_partition",
+    "skewed_partition",
+    "iid_partition",
+    "partition_dataset",
+    "label_distribution",
+    "distribution_entropy",
+    "matching_test_indices",
+]

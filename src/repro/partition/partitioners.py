@@ -1,0 +1,187 @@
+"""Non-iid client partitioners (paper §4.1, Figures 2–3).
+
+Two heterogeneity schemes from the paper:
+
+* ``dirichlet_partition`` — class proportions per client drawn from
+  Dir(α); α = 0.5 in all experiments.  Client shard sizes are equalized
+  ("the data sizes of all clients were equally distributed").
+* ``skewed_partition`` — each client holds only two sampled classes.
+
+Plus ``iid_partition`` as a control.  All partitioners return a list of
+index arrays over the dataset (disjoint; union may drop a remainder of
+fewer than ``num_clients`` samples due to the equal-size constraint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dirichlet_partition", "skewed_partition", "iid_partition", "partition_dataset"]
+
+
+def _equalize(assignments: list[list[int]], per_client: int, leftover: list[int], rng) -> list[np.ndarray]:
+    """Trim/pad client index lists to exactly ``per_client`` entries each."""
+    pool = list(leftover)
+    out = []
+    for idxs in assignments:
+        idxs = list(idxs)
+        if len(idxs) > per_client:
+            rng.shuffle(idxs)
+            pool.extend(idxs[per_client:])
+            idxs = idxs[:per_client]
+        out.append(idxs)
+    rng.shuffle(pool)
+    for idxs in out:
+        while len(idxs) < per_client and pool:
+            idxs.append(pool.pop())
+    return [np.sort(np.asarray(i, dtype=np.int64)) for i in out]
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float = 0.5,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Dirichlet-label partition with equalized client sizes.
+
+    For each client a class-proportion vector ``p ~ Dir(α·1)`` is drawn;
+    samples of each class are dealt to clients proportionally to the
+    clients' appetite for that class, then shard sizes are equalized by
+    moving surplus samples to under-filled clients.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    rng = np.random.default_rng(seed)
+    num_classes = int(labels.max()) + 1
+    per_client = n // num_clients
+
+    # client × class appetite matrix
+    props = rng.dirichlet(alpha * np.ones(num_classes), size=num_clients)  # (K, C)
+
+    assignments: list[list[int]] = [[] for _ in range(num_clients)]
+    for c in range(num_classes):
+        idx_c = np.flatnonzero(labels == c)
+        rng.shuffle(idx_c)
+        weights = props[:, c]
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(num_clients)
+            total = num_clients
+        # Largest-remainder allocation of this class's samples to clients.
+        raw = weights / total * len(idx_c)
+        counts = np.floor(raw).astype(int)
+        remainder = len(idx_c) - counts.sum()
+        if remainder > 0:
+            order = np.argsort(-(raw - counts))
+            counts[order[:remainder]] += 1
+        start = 0
+        for k in range(num_clients):
+            assignments[k].extend(idx_c[start : start + counts[k]].tolist())
+            start += counts[k]
+
+    return _equalize(assignments, per_client, [], rng)
+
+
+def skewed_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    classes_per_client: int = 2,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Each client receives samples from only ``classes_per_client`` classes.
+
+    Class slots are dealt from a reshuffled deck so each class is held by
+    ⌈K·m/C⌉ or ⌊K·m/C⌋ clients.  Each client demands an equal share per
+    held class; over-subscribed classes are scaled down proportionally.
+    The ``classes_per_client`` property is strict; shard sizes are exactly
+    equal whenever ``K·m`` is a multiple of ``C`` with balanced class
+    counts (all of the paper's settings) and near-equal otherwise.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    rng = np.random.default_rng(seed)
+    num_classes = int(labels.max()) + 1
+    if classes_per_client > num_classes:
+        raise ValueError("classes_per_client exceeds number of classes")
+    per_client = n // num_clients
+
+    # Deal class slots from reshuffled decks; re-draw duplicates within a
+    # client from the not-yet-held classes.
+    slots = num_clients * classes_per_client
+    deck: list[int] = []
+    while len(deck) < slots:
+        classes = list(range(num_classes))
+        rng.shuffle(classes)
+        deck.extend(classes)
+    client_classes: list[list[int]] = []
+    for k in range(num_clients):
+        chosen: list[int] = []
+        for c in deck[k * classes_per_client : (k + 1) * classes_per_client]:
+            while c in chosen:
+                c = int(rng.integers(num_classes))
+            chosen.append(c)
+        client_classes.append(chosen)
+
+    # Per-(client, class) demand: equal split of the client's quota.
+    demand = np.zeros((num_clients, num_classes), dtype=int)
+    for k, cls_list in enumerate(client_classes):
+        base = per_client // classes_per_client
+        extra = per_client % classes_per_client
+        for j, c in enumerate(cls_list):
+            demand[k, c] = base + (1 if j < extra else 0)
+
+    assignments: list[list[int]] = [[] for _ in range(num_clients)]
+    for c in range(num_classes):
+        idx_c = np.flatnonzero(labels == c)
+        rng.shuffle(idx_c)
+        want = demand[:, c]
+        total = int(want.sum())
+        if total == 0:
+            continue
+        if total <= len(idx_c):
+            counts = want.copy()
+        else:
+            # Over-subscribed: largest-remainder scale-down to supply.
+            raw = want * (len(idx_c) / total)
+            counts = np.floor(raw).astype(int)
+            short = len(idx_c) - counts.sum()
+            order = np.argsort(-(raw - counts))
+            counts[order[:short]] += 1
+        start = 0
+        for k in range(num_clients):
+            assignments[k].extend(idx_c[start : start + counts[k]].tolist())
+            start += counts[k]
+
+    # Top up under-filled clients from unused samples of their own classes.
+    used = set()
+    for idxs in assignments:
+        used.update(idxs)
+    spare_by_class: dict[int, list[int]] = {}
+    for c in range(num_classes):
+        spare_by_class[c] = [i for i in np.flatnonzero(labels == c) if i not in used]
+        rng.shuffle(spare_by_class[c])
+    for k in range(num_clients):
+        for c in client_classes[k]:
+            while len(assignments[k]) < per_client and spare_by_class[c]:
+                assignments[k].append(spare_by_class[c].pop())
+
+    return [np.sort(np.asarray(i, dtype=np.int64)) for i in assignments]
+
+
+def iid_partition(labels: np.ndarray, num_clients: int, seed: int = 0) -> list[np.ndarray]:
+    """Uniform random equal-size split (control condition)."""
+    labels = np.asarray(labels)
+    n = len(labels)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    per_client = n // num_clients
+    return [np.sort(order[k * per_client : (k + 1) * per_client]) for k in range(num_clients)]
+
+
+def partition_dataset(dataset, scheme: str, num_clients: int, seed: int = 0, **kwargs) -> list[np.ndarray]:
+    """Dispatch by scheme name: 'dirichlet' | 'skewed' | 'iid'."""
+    fns = {"dirichlet": dirichlet_partition, "skewed": skewed_partition, "iid": iid_partition}
+    if scheme not in fns:
+        raise KeyError(f"unknown partition scheme {scheme!r}; known: {sorted(fns)}")
+    return fns[scheme](dataset.labels, num_clients, seed=seed, **kwargs)

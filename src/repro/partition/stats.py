@@ -1,0 +1,68 @@
+"""Partition statistics and test-set mirroring (Figures 2–3 support).
+
+``label_distribution`` builds the client × class count matrix the paper
+visualizes; ``matching_test_indices`` samples a per-client test subset
+"consistent with local data distributions" (paper §4.2) so personalized
+accuracy is measured on each client's own label mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["label_distribution", "distribution_entropy", "matching_test_indices"]
+
+
+def label_distribution(labels: np.ndarray, parts: list[np.ndarray], num_classes: int) -> np.ndarray:
+    """Return the (num_clients, num_classes) label-count matrix."""
+    labels = np.asarray(labels)
+    return np.stack([np.bincount(labels[p], minlength=num_classes) for p in parts])
+
+
+def distribution_entropy(dist: np.ndarray) -> np.ndarray:
+    """Per-client label entropy in nats (0 = single class, ln C = uniform)."""
+    p = dist / np.maximum(1, dist.sum(axis=1, keepdims=True))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(p > 0, -p * np.log(p), 0.0)
+    return terms.sum(axis=1)
+
+
+def matching_test_indices(
+    train_labels: np.ndarray,
+    part: np.ndarray,
+    test_labels: np.ndarray,
+    n_test: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sample test indices whose label mix mirrors one client's shard.
+
+    Classes the client has never seen get zero test samples; within held
+    classes, allocation follows the client's own label proportions
+    (largest-remainder rounding).
+    """
+    train_labels = np.asarray(train_labels)
+    test_labels = np.asarray(test_labels)
+    rng = np.random.default_rng(seed)
+    num_classes = int(max(train_labels.max(), test_labels.max())) + 1
+
+    counts = np.bincount(train_labels[part], minlength=num_classes).astype(np.float64)
+    if counts.sum() == 0:
+        raise ValueError("client shard is empty")
+    props = counts / counts.sum()
+    raw = props * n_test
+    alloc = np.floor(raw).astype(int)
+    remainder = n_test - alloc.sum()
+    if remainder > 0:
+        order = np.argsort(-(raw - alloc))
+        alloc[order[:remainder]] += 1
+
+    chosen: list[int] = []
+    for c in range(num_classes):
+        if alloc[c] == 0:
+            continue
+        pool = np.flatnonzero(test_labels == c)
+        if len(pool) == 0:
+            continue
+        take = min(alloc[c], len(pool))
+        chosen.extend(rng.choice(pool, size=take, replace=False).tolist())
+    return np.sort(np.asarray(chosen, dtype=np.int64))

@@ -1,0 +1,47 @@
+"""Gradient-mode switches for the autograd engine.
+
+``no_grad`` mirrors the familiar PyTorch context manager: inside it, newly
+created tensors never require grad and op outputs are detached from the
+tape.  This keeps evaluation loops allocation-light — no closures, no
+parent references, nothing for the GC to chase.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+__all__ = ["no_grad", "enable_grad", "is_grad_enabled"]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when tape recording is active on this thread."""
+    return getattr(_state, "enabled", True)
+
+
+def _set_grad_enabled(mode: bool) -> None:
+    _state.enabled = bool(mode)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable tape recording within the block."""
+    prev = is_grad_enabled()
+    _set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(prev)
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Force tape recording within the block (even inside ``no_grad``)."""
+    prev = is_grad_enabled()
+    _set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(prev)

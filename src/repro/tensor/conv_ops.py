@@ -1,0 +1,292 @@
+"""Convolution and pooling kernels (im2col-based, fully vectorized).
+
+The convolution lowers each input window into a column matrix once
+(``im2col``) and expresses both the forward pass and all three backward
+passes (input, weight, bias) as dense matrix products — the standard HPC
+formulation that keeps all FLOPs inside BLAS instead of Python loops.
+
+Index arrays for the gather/scatter are cached per (shape, kernel, stride)
+so repeated minibatches of the same geometry pay the indexing cost once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.tensor.shape_ops import pad2d
+from repro.tensor.tensor import Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "im2col",
+    "col2im",
+]
+
+
+@lru_cache(maxsize=256)
+def _col_indices(channels: int, height: int, width: int, kh: int, kw: int, stride: int):
+    """Return (k, i, j) gather indices mapping an image to its column form.
+
+    Shapes: each is ``(C*kh*kw, out_h*out_w)`` so
+    ``x[:, k, i, j]`` has shape ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+    i0 = np.tile(np.repeat(np.arange(kh), kw), channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Lower NCHW ``x`` into columns of shape ``(N, C*kh*kw, L)``."""
+    n, c, h, w = x.shape
+    k, i, j, out_h, out_w = _col_indices(c, h, w, kh, kw, stride)
+    return x[:, k, i, j], out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    k, i, j, _, _ = _col_indices(c, h, w, kh, kw, stride)
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    np.add.at(out, (slice(None), k, i, j), cols)
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation over an NCHW tensor.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)``; ``bias``
+    (if given) has shape ``(out_channels,)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if padding:
+        x = pad2d(x, padding)
+
+    n, c, h, w = x.data.shape
+    f, c_w, kh, kw = weight.data.shape
+    if c_w != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, weight expects {c_w}")
+
+    cols, out_h, out_w = im2col(x.data, kh, kw, stride)  # (N, CKK, L)
+    w_mat = weight.data.reshape(f, -1)  # (F, CKK)
+    out = np.einsum("fk,nkl->nfl", w_mat, cols, optimize=True)
+    out = out.reshape(n, f, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    x_shape = x.data.shape
+    w_shape = weight.data.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_mat = grad.reshape(n, f, out_h * out_w)  # (N, F, L)
+        gw = np.einsum("nfl,nkl->fk", grad_mat, cols, optimize=True).reshape(w_shape)
+        gcols = np.einsum("fk,nfl->nkl", w_mat, grad_mat, optimize=True)
+        gx = col2im(gcols, x_shape, kh, kw, stride)
+        if bias is None:
+            return gx, gw
+        gb = grad.sum(axis=(0, 2, 3))
+        return gx, gw, gb
+
+    return Tensor._make(out, parents, backward)
+
+
+def depthwise_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Depthwise 2-D convolution: one kernel per channel.
+
+    ``weight`` has shape ``(channels, 1, kh, kw)``.  Lowered through the
+    same im2col columns as :func:`conv2d` but contracted per channel, so
+    the cost is O(C·k²·L) instead of the O(C²·k²·L) a dense conv with a
+    block-diagonal kernel would pay.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if padding:
+        x = pad2d(x, padding)
+    n, c, h, w = x.data.shape
+    cw, one, kh, kw = weight.data.shape
+    if cw != c or one != 1:
+        raise ValueError(f"depthwise weight shape {weight.data.shape} mismatches {c} channels")
+
+    cols, out_h, out_w = im2col(x.data, kh, kw, stride)  # (N, C*kh*kw, L)
+    cols_g = cols.reshape(n, c, kh * kw, out_h * out_w)
+    w_mat = weight.data.reshape(c, kh * kw)
+    out = np.einsum("ck,nckl->ncl", w_mat, cols_g, optimize=True)
+    out = out.reshape(n, c, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c, 1, 1)
+
+    x_shape = x.data.shape
+    w_shape = weight.data.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_mat = grad.reshape(n, c, out_h * out_w)
+        gw = np.einsum("ncl,nckl->ck", grad_mat, cols_g, optimize=True).reshape(w_shape)
+        gcols = np.einsum("ck,ncl->nckl", w_mat, grad_mat, optimize=True)
+        gx = col2im(gcols.reshape(n, c * kh * kw, out_h * out_w), x_shape, kh, kw, stride)
+        if bias is None:
+            return gx, gw
+        return gx, gw, grad.sum(axis=(0, 2, 3))
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Max pooling over NCHW; gradient routes to the argmax of each window."""
+    x = as_tensor(x)
+    if stride is None:
+        stride = kernel_size
+    if padding:
+        # Pad with -inf so padded cells never win the max.
+        pads = [(0, 0), (0, 0), (padding, padding), (padding, padding)]
+        padded = np.pad(x.data, pads, constant_values=-np.inf)
+        inner = Tensor._make(padded, (x,), None)
+        h0, w0 = x.data.shape[2], x.data.shape[3]
+
+        def unpad_backward(grad):
+            return (grad[:, :, padding : padding + h0, padding : padding + w0],)
+
+        inner._backward = unpad_backward if inner.requires_grad else None
+        x = inner
+
+    n, c, h, w = x.data.shape
+    kh = kw = kernel_size
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, oh, ow, kh, kw)
+    flat = windows.reshape(n, c, out_h, out_w, kh * kw)
+    idx = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+
+    a, b = np.unravel_index(idx, (kh, kw))
+    hh = (np.arange(out_h) * stride).reshape(1, 1, out_h, 1) + a
+    ww = (np.arange(out_w) * stride).reshape(1, 1, 1, out_w) + b
+    n_idx = np.arange(n).reshape(n, 1, 1, 1)
+    c_idx = np.arange(c).reshape(1, c, 1, 1)
+    in_shape = x.data.shape
+
+    def backward(grad):
+        gx = np.zeros(in_shape, dtype=grad.dtype)
+        np.add.at(gx, (n_idx, c_idx, hh, ww), grad)
+        return (gx,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Average pooling over NCHW (count includes padding cells, as PyTorch)."""
+    x = as_tensor(x)
+    if stride is None:
+        stride = kernel_size
+    if padding:
+        x = pad2d(x, padding)
+    n, c, h, w = x.data.shape
+    kh = kw = kernel_size
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    out = windows.mean(axis=(-1, -2))
+
+    hh = (np.arange(out_h) * stride)[:, None] + np.arange(kh)[None, :]  # (oh, kh)
+    ww = (np.arange(out_w) * stride)[:, None] + np.arange(kw)[None, :]  # (ow, kw)
+    in_shape = x.data.shape
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad):
+        gx = np.zeros(in_shape, dtype=grad.dtype)
+        # grad: (N, C, oh, ow) -> contribution grad/khkw at each window cell
+        g = grad * scale
+        np.add.at(
+            gx,
+            (
+                np.arange(n).reshape(n, 1, 1, 1, 1, 1),
+                np.arange(c).reshape(1, c, 1, 1, 1, 1),
+                hh.reshape(1, 1, out_h, 1, kh, 1),
+                ww.reshape(1, 1, 1, out_w, 1, kw),
+            ),
+            g[..., None, None],
+        )
+        return (gx,)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling to an ``output_size × output_size`` grid.
+
+    Bins follow the PyTorch convention: bin i spans
+    ``[⌊i·H/s⌋, ⌈(i+1)·H/s⌉)``; bins may overlap when H is not a multiple
+    of s.  ``output_size=1`` is global average pooling.
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.data.shape
+    s = output_size
+    if s == 1:
+        out = x.data.mean(axis=(2, 3), keepdims=True)
+        scale = 1.0 / (h * w)
+
+        def backward(grad):
+            return (
+                np.broadcast_to(grad, (n, c, 1, 1))
+                * scale
+                * np.ones((n, c, h, w), dtype=grad.dtype),
+            )
+
+        return Tensor._make(out, (x,), backward)
+
+    # s may exceed the spatial dims — bins then overlap/repeat pixels,
+    # matching PyTorch's adaptive pooling semantics.
+    h_starts = (np.arange(s) * h) // s
+    h_ends = -(-(np.arange(1, s + 1) * h) // s)  # ceil division
+    w_starts = (np.arange(s) * w) // s
+    w_ends = -(-(np.arange(1, s + 1) * w) // s)
+
+    out = np.empty((n, c, s, s), dtype=x.data.dtype)
+    for i in range(s):
+        for j in range(s):
+            out[:, :, i, j] = x.data[
+                :, :, h_starts[i] : h_ends[i], w_starts[j] : w_ends[j]
+            ].mean(axis=(2, 3))
+    in_shape = x.data.shape
+
+    def backward(grad):
+        gx = np.zeros(in_shape, dtype=grad.dtype)
+        for i in range(s):
+            for j in range(s):
+                count = (h_ends[i] - h_starts[i]) * (w_ends[j] - w_starts[j])
+                gx[:, :, h_starts[i] : h_ends[i], w_starts[j] : w_ends[j]] += (
+                    grad[:, :, i : i + 1, j : j + 1] / count
+                )
+        return (gx,)
+
+    return Tensor._make(out, (x,), backward)

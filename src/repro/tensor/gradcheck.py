@@ -1,0 +1,65 @@
+"""Finite-difference gradient verification.
+
+Used by the test suite to certify every autograd op against central
+differences; run in float64 for headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["gradcheck", "numerical_grad"]
+
+
+def numerical_grad(fn, inputs: list[np.ndarray], idx: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. input ``idx``."""
+    x = inputs[idx]
+    if x.dtype != np.float64:
+        raise TypeError("numerical_grad requires float64 inputs (perturbed in place)")
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn(*inputs))
+        flat[i] = orig - eps
+        minus = float(fn(*inputs))
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(fn, arrays, eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
+    """Check autograd gradients of ``fn`` against finite differences.
+
+    ``fn`` maps Tensors to a scalar Tensor.  ``arrays`` is a list of
+    float64 NumPy arrays used as inputs; every input is treated as
+    requiring grad.
+
+    Raises ``AssertionError`` with a diagnostic on mismatch; returns True
+    on success (so it can be used directly in ``assert gradcheck(...)``).
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    if out.data.size != 1:
+        raise ValueError("gradcheck requires a scalar output")
+    out.backward()
+
+    def scalar_fn(*raw):
+        with_np = [Tensor(r) for r in raw]
+        return fn(*with_np).data
+
+    for i, t in enumerate(tensors):
+        num = numerical_grad(scalar_fn, [a.copy() for a in arrays], i, eps=eps)
+        ana = t.grad if t.grad is not None else np.zeros_like(arrays[i])
+        if not np.allclose(ana, num, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(ana - num))
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs err {worst:.3e}\n"
+                f"analytic:\n{ana}\nnumerical:\n{num}"
+            )
+    return True

@@ -1,0 +1,86 @@
+"""Hyperparameter search (the paper used Bayesian optimization; Table 1).
+
+A seeded random-search tuner over log-uniform/choice spaces reproduces
+the *selection process* at laptop scale.  Random search is the standard
+strong baseline for low-dimensional HPO and keeps the dependency set to
+NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["LogUniform", "Uniform", "Choice", "RandomSearchTuner", "TrialResult"]
+
+
+class LogUniform:
+    """Sample log-uniformly from [lo, hi]."""
+
+    def __init__(self, lo: float, hi: float):
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        self.lo, self.hi = lo, hi
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.uniform(np.log(self.lo), np.log(self.hi))))
+
+
+class Uniform:
+    """Sample uniformly from [lo, hi]."""
+
+    def __init__(self, lo: float, hi: float):
+        if hi <= lo:
+            raise ValueError("need lo < hi")
+        self.lo, self.hi = lo, hi
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.lo, self.hi))
+
+
+class Choice:
+    """Sample uniformly from a finite set."""
+
+    def __init__(self, options):
+        self.options = list(options)
+        if not self.options:
+            raise ValueError("empty choice set")
+
+    def sample(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(len(self.options)))]
+
+
+@dataclass
+class TrialResult:
+    params: dict
+    score: float
+
+
+@dataclass
+class RandomSearchTuner:
+    """Maximize ``objective(params) -> float`` over a sampled space.
+
+    ``space`` maps parameter names to samplers (LogUniform / Uniform /
+    Choice).  Deterministic given ``seed``.
+    """
+
+    space: dict
+    objective: Callable[[dict], float]
+    n_trials: int = 10
+    seed: int = 0
+    trials: list = field(default_factory=list)
+
+    def run(self) -> TrialResult:
+        rng = np.random.default_rng(self.seed)
+        best: TrialResult | None = None
+        for _ in range(self.n_trials):
+            params = {name: dist.sample(rng) for name, dist in self.space.items()}
+            score = float(self.objective(params))
+            result = TrialResult(params=params, score=score)
+            self.trials.append(result)
+            if best is None or score > best.score:
+                best = result
+        assert best is not None
+        return best

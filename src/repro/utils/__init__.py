@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG management, serialization, timing."""
+
+from repro.utils.rng import get_rng, seed_all, spawn_rng
+from repro.utils.serialization import state_dict_from_bytes, state_dict_nbytes, state_dict_to_bytes
+from repro.utils.timer import Timer
+
+__all__ = [
+    "get_rng",
+    "seed_all",
+    "spawn_rng",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
+    "state_dict_nbytes",
+    "Timer",
+]

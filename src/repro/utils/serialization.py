@@ -1,0 +1,65 @@
+"""State-dict serialization used for communication-cost accounting.
+
+The paper's Table 5 measures bytes of the saved PyTorch ``state_dict``;
+here we serialize a ``{name: ndarray}`` mapping into a simple
+length-prefixed binary format, giving an exact wire size for any payload
+that crosses the simulated network.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+__all__ = ["state_dict_to_bytes", "state_dict_from_bytes", "state_dict_nbytes"]
+
+_MAGIC = b"RPSD"
+
+
+def state_dict_to_bytes(state: dict[str, np.ndarray]) -> bytes:
+    """Serialize a name→array mapping to bytes (dtype/shape preserved)."""
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    buf.write(struct.pack("<I", len(state)))
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        shape = arr.shape  # captured first: ascontiguousarray promotes 0-d to 1-d
+        data = np.ascontiguousarray(arr)
+        name_b = name.encode()
+        dtype_b = arr.dtype.str.encode()
+        buf.write(struct.pack("<I", len(name_b)))
+        buf.write(name_b)
+        buf.write(struct.pack("<I", len(dtype_b)))
+        buf.write(dtype_b)
+        buf.write(struct.pack("<I", len(shape)))
+        buf.write(struct.pack(f"<{len(shape)}q", *shape))
+        buf.write(struct.pack("<Q", data.nbytes))
+        buf.write(data.tobytes())
+    return buf.getvalue()
+
+
+def state_dict_from_bytes(blob: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_bytes`."""
+    buf = io.BytesIO(blob)
+    if buf.read(4) != _MAGIC:
+        raise ValueError("not a serialized state dict")
+    (count,) = struct.unpack("<I", buf.read(4))
+    out: dict[str, np.ndarray] = {}
+    for _ in range(count):
+        (nlen,) = struct.unpack("<I", buf.read(4))
+        name = buf.read(nlen).decode()
+        (dlen,) = struct.unpack("<I", buf.read(4))
+        dtype = np.dtype(buf.read(dlen).decode())
+        (ndim,) = struct.unpack("<I", buf.read(4))
+        shape = struct.unpack(f"<{ndim}q", buf.read(8 * ndim)) if ndim else ()
+        (nbytes,) = struct.unpack("<Q", buf.read(8))
+        arr = np.frombuffer(buf.read(nbytes), dtype=dtype).reshape(shape).copy()
+        out[name] = arr
+    return out
+
+
+def state_dict_nbytes(state: dict[str, np.ndarray]) -> int:
+    """Exact wire size of a serialized state dict."""
+    return len(state_dict_to_bytes(state))

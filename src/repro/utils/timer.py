@@ -1,0 +1,28 @@
+"""Wall-clock timing helper for experiment harnesses."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds across uses."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None

@@ -1,0 +1,86 @@
+"""Asynchronous FedClassAvg."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AsyncFedClassAvg
+from repro.federated import build_federation
+
+
+class TestStalenessWeight:
+    def test_fresh_upload_full_alpha(self, micro_federation):
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, alpha0=0.6, staleness_exp=0.5, seed=0)
+        assert algo.staleness_weight(0) == 0.6
+
+    def test_decreases_with_staleness(self, micro_federation):
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, alpha0=0.6, staleness_exp=0.5, seed=0)
+        ws = [algo.staleness_weight(t) for t in range(5)]
+        assert all(a > b for a, b in zip(ws, ws[1:]))
+
+    def test_zero_exponent_constant(self, micro_federation):
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, alpha0=0.5, staleness_exp=0.0, seed=0)
+        assert algo.staleness_weight(9) == 0.5
+
+    def test_invalid_alpha(self, micro_federation):
+        clients, _ = micro_federation
+        with pytest.raises(ValueError):
+            AsyncFedClassAvg(clients, alpha0=0.0)
+
+
+class TestAsyncLoop:
+    def test_server_version_advances(self, micro_federation):
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, seed=0)
+        algo.setup()
+        algo.round(0, [])
+        assert algo.server_version == len(clients)
+
+    def test_runs_and_records(self, micro_federation):
+        clients, _ = micro_federation
+        h = AsyncFedClassAvg(clients, seed=0).run(2)
+        assert len(h.rounds) == 2
+        assert np.isfinite(h.rounds[-1].train_loss)
+
+    def test_merge_is_convex_combination(self, micro_federation):
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, alpha0=1.0, staleness_exp=0.0, seed=0)
+        algo.setup()
+        # with alpha=1 and no staleness discount, the global classifier
+        # equals the most recent upload after each merge
+        algo.round(0, [])
+        # find the client whose classifier matches global exactly
+        matches = []
+        for c in algo.clients:
+            s = c.model.classifier_state()
+            if all(np.allclose(s[k], algo.global_state[k]) for k in s):
+                matches.append(c.client_id)
+        assert matches, "with alpha=1 the global must equal some client's upload"
+
+    def test_deterministic(self, micro_spec):
+        def run():
+            clients, _ = build_federation(micro_spec)
+            return AsyncFedClassAvg(clients, seed=0).run(2).mean_curve.tolist()
+
+        assert run() == run()
+
+    def test_learning_progresses(self, micro_spec):
+        clients, _ = build_federation(micro_spec)
+        h = AsyncFedClassAvg(clients, seed=0).run(4)
+        assert h.mean_curve[-1] >= h.mean_curve[0] - 0.05
+
+    def test_comm_bytes_accounted(self, micro_federation):
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, seed=0)
+        algo.run(1)
+        assert algo.comm.cost.total_bytes > 0
+
+    def test_out_of_order_completions(self, micro_federation):
+        """Completion order differs from dispatch order (the async point)."""
+        clients, _ = micro_federation
+        algo = AsyncFedClassAvg(clients, seed=0)
+        algo.setup()
+        order = [k for _, k, _ in sorted(algo._events)]
+        assert order != sorted(order) or len(set(order)) == len(order)

@@ -1,0 +1,171 @@
+"""Baseline algorithms: protocol semantics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg, FedProto, FedProx, KTpFL, LocalOnly
+from repro.data import make_synthetic_dataset
+from repro.federated import FederationSpec, build_federation
+
+
+def _hetero(micro_spec):
+    clients, _ = build_federation(micro_spec)
+    return clients
+
+
+def _homo(micro_spec, arch="cnn2layer"):
+    spec = FederationSpec(**{**micro_spec.__dict__, "homogeneous_arch": arch})
+    clients, _ = build_federation(spec)
+    return clients
+
+
+class TestLocalOnly:
+    def test_no_communication(self, micro_spec):
+        algo = LocalOnly(_hetero(micro_spec), seed=0)
+        algo.run(2)
+        assert algo.comm.cost.total_bytes == 0
+
+    def test_models_diverge(self, micro_spec):
+        clients = _hetero(micro_spec)
+        LocalOnly(clients, seed=0).run(1)
+        w0 = clients[0].model.classifier.weight.data
+        w1 = clients[1].model.classifier.weight.data
+        assert not np.allclose(w0, w1)
+
+
+class TestFedAvg:
+    def test_requires_homogeneous(self, micro_spec):
+        with pytest.raises(ValueError):
+            FedAvg(_hetero(micro_spec))
+
+    def test_all_clients_hold_global_model_after_round(self, micro_spec):
+        clients = _homo(micro_spec)
+        FedAvg(clients, seed=0).run(1)
+        s0 = clients[0].model.state_dict()
+        for c in clients[1:]:
+            for k, v in c.model.state_dict().items():
+                assert np.allclose(v, s0[k])
+
+    def test_full_model_crosses_wire(self, micro_spec):
+        from repro.comm import payload_nbytes
+
+        clients = _homo(micro_spec)
+        algo = FedAvg(clients, seed=0)
+        algo.run(1)
+        one_model = payload_nbytes(clients[0].model.state_dict())
+        assert algo.comm.cost.total_bytes == 8 * one_model
+
+
+class TestFedProx:
+    def test_is_fedavg_with_proximal(self, micro_spec):
+        clients = _homo(micro_spec)
+        algo = FedProx(clients, mu=0.1, seed=0)
+        assert algo.config.use_proximal
+        assert algo.config.proximal_on == "all"
+        h = algo.run(1)
+        assert np.isfinite(h.rounds[-1].train_loss)
+
+    def test_stronger_mu_less_drift(self, micro_spec):
+        from repro.losses import l2_distance_state
+
+        drifts = {}
+        for mu in (0.0001, 50.0):
+            clients = _homo(micro_spec)
+            algo = FedProx(clients, mu=mu, seed=0)
+            algo.setup()
+            ref = {k: v.copy() for k, v in algo.global_state.items()}
+            algo.round(0, list(range(len(clients))))
+            drifts[mu] = l2_distance_state(algo.global_state, ref)
+        assert drifts[50.0] < drifts[0.0001]
+
+
+class TestFedProto:
+    def test_requires_common_feature_dim(self, micro_spec):
+        clients = _hetero(micro_spec)
+        # give one client a different feature dim
+        from repro.models import build_model
+
+        clients[0].model = build_model(
+            "cnn2layer", in_channels=1, num_classes=10, feature_dim=7, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            FedProto(clients)
+
+    def test_prototypes_cover_seen_classes(self, micro_spec):
+        clients = _hetero(micro_spec)
+        algo = FedProto(clients, seed=0)
+        algo.run(1)
+        seen = set()
+        for c in clients:
+            seen |= set(int(v) for v in c.train_labels)
+        assert set(algo.global_protos) == seen
+
+    def test_prototype_dimension(self, micro_spec):
+        clients = _hetero(micro_spec)
+        algo = FedProto(clients, seed=0)
+        algo.run(1)
+        for vec in algo.global_protos.values():
+            assert vec.shape == (clients[0].model.feature_dim,)
+
+    def test_no_weights_cross_wire(self, micro_spec):
+        clients = _hetero(micro_spec)
+        before = [c.model.classifier.weight.data.copy() for c in clients]
+        algo = FedProto(clients, lam=0.0, local_epochs=0, seed=0)
+        algo.run(1)
+        # classifiers evolve only locally; with 0 local epochs they are untouched
+        for c, b in zip(clients, before):
+            assert np.array_equal(c.model.classifier.weight.data, b)
+
+
+class TestKTpFL:
+    def _public(self, n=40):
+        return make_synthetic_dataset("fashion_mnist-tiny", n, seed=77).images
+
+    def test_requires_public_data_when_heterogeneous(self, micro_spec):
+        with pytest.raises(ValueError):
+            KTpFL(_hetero(micro_spec), public_images=None, share_weights=False)
+
+    def test_share_weights_requires_homogeneous(self, micro_spec):
+        with pytest.raises(ValueError):
+            KTpFL(_hetero(micro_spec), share_weights=True)
+
+    def test_default_20_local_epochs(self, micro_spec):
+        algo = KTpFL(_hetero(micro_spec), public_images=self._public())
+        assert algo.local_epochs == 20
+
+    def test_coefficient_rows_remain_normalized(self, micro_spec):
+        clients = _hetero(micro_spec)
+        algo = KTpFL(clients, public_images=self._public(), local_epochs=1, seed=0)
+        algo.run(2)
+        sums = algo.coeff.sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-6)
+        assert (algo.coeff >= 0).all()
+
+    def test_coefficients_move_from_uniform(self, micro_spec):
+        clients = _hetero(micro_spec)
+        k = len(clients)
+        algo = KTpFL(clients, public_images=self._public(), local_epochs=1, seed=0)
+        algo.run(1)
+        assert not np.allclose(algo.coeff, 1.0 / k)
+
+    def test_public_data_dominates_comm(self, micro_spec):
+        clients = _hetero(micro_spec)
+        algo = KTpFL(clients, public_images=self._public(200), local_epochs=1, seed=0)
+        algo.run(1)
+        from repro.comm import payload_nbytes
+
+        public_bytes = payload_nbytes(self._public(200)) * len(clients)
+        assert algo.comm.cost.total_bytes > public_bytes  # broadcast + soft preds
+
+    def test_share_weights_mode_syncs_models_partially(self, micro_spec):
+        clients = _homo(micro_spec)
+        algo = KTpFL(clients, share_weights=True, local_epochs=1, seed=0)
+        h = algo.run(2)
+        assert np.isfinite(h.rounds[-1].train_loss)
+        assert algo.coeff.shape == (len(clients), len(clients))
+
+    def test_history_epoch_axis_reflects_local_epochs(self, micro_spec):
+        clients = _hetero(micro_spec)
+        algo = KTpFL(clients, public_images=self._public(), local_epochs=5, seed=0)
+        h = algo.run(2)
+        assert np.array_equal(h.epoch_axis, [5, 10])

@@ -1,0 +1,57 @@
+"""Centered kernel alignment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cka import linear_cka, pairwise_cka
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestLinearCKA:
+    def test_self_similarity_is_one(self):
+        x = _rand((20, 8))
+        assert np.isclose(linear_cka(x, x), 1.0)
+
+    def test_orthogonal_transform_invariance(self):
+        x = _rand((30, 6))
+        q, _ = np.linalg.qr(_rand((6, 6), 1))
+        assert np.isclose(linear_cka(x, x @ q), 1.0, atol=1e-10)
+
+    def test_scale_invariance(self):
+        x = _rand((20, 5))
+        assert np.isclose(linear_cka(x, 7.3 * x), 1.0)
+
+    def test_symmetric(self):
+        x, y = _rand((25, 4)), _rand((25, 7), 1)
+        assert np.isclose(linear_cka(x, y), linear_cka(y, x))
+
+    def test_bounded(self):
+        for s in range(4):
+            v = linear_cka(_rand((15, 5), s), _rand((15, 9), s + 10))
+            assert 0.0 <= v <= 1.0 + 1e-12
+
+    def test_independent_features_low(self):
+        x, y = _rand((200, 10)), _rand((200, 10), 1)
+        assert linear_cka(x, y) < 0.3
+
+    def test_different_widths_allowed(self):
+        assert 0 <= linear_cka(_rand((10, 3)), _rand((10, 12), 1)) <= 1
+
+    def test_sample_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            linear_cka(_rand((10, 3)), _rand((12, 3)))
+
+    def test_zero_features_zero(self):
+        assert linear_cka(np.zeros((5, 3)), _rand((5, 3))) == 0.0
+
+
+class TestPairwiseCKA:
+    def test_matrix_shape_and_diag(self):
+        feats = _rand((3, 20, 6))
+        m = pairwise_cka(feats)
+        assert m.shape == (3, 3)
+        assert np.allclose(np.diag(m), 1.0)
+        assert np.allclose(m, m.T)

@@ -1,0 +1,85 @@
+"""Layer conductance and rank utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import layer_conductance, rank_correlation, rank_scores
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+def _model(seed=0):
+    return build_model(
+        "cnn2layer", in_channels=1, num_classes=5, scale="tiny", rng=np.random.default_rng(seed)
+    )
+
+
+class TestConductance:
+    def test_shape(self):
+        m = _model()
+        cond = layer_conductance(m, np.random.default_rng(0).random((1, 10, 10)), 2, steps=6)
+        assert cond.shape == (m.feature_dim,)
+
+    def test_completeness_axiom(self):
+        """Σ_j cond_j = logit(x) − logit(baseline) for the target class."""
+        m = _model()
+        img = np.random.default_rng(1).random((1, 10, 10))
+        cond = layer_conductance(m, img, 3, steps=12)
+        with no_grad():
+            m.eval()
+            lx = m(Tensor(img[None])).data[0, 3]
+            lb = m(Tensor(np.zeros_like(img)[None])).data[0, 3]
+        assert np.isclose(cond.sum(), lx - lb, atol=1e-8)
+
+    def test_custom_baseline(self):
+        m = _model()
+        img = np.random.default_rng(2).random((1, 10, 10))
+        base = 0.5 * np.ones_like(img)
+        cond = layer_conductance(m, img, 1, baseline=base, steps=10)
+        with no_grad():
+            m.eval()
+            lx = m(Tensor(img[None])).data[0, 1]
+            lb = m(Tensor(base[None])).data[0, 1]
+        assert np.isclose(cond.sum(), lx - lb, atol=1e-8)
+
+    def test_bad_image_shape_raises(self):
+        with pytest.raises(ValueError):
+            layer_conductance(_model(), np.zeros((10, 10)), 0)
+
+    def test_restores_train_mode(self):
+        m = _model()
+        m.train()
+        layer_conductance(m, np.zeros((1, 10, 10)), 0, steps=2)
+        assert m.training
+
+    def test_different_targets_different_conductance(self):
+        m = _model()
+        img = np.random.default_rng(3).random((1, 10, 10))
+        c0 = layer_conductance(m, img, 0, steps=6)
+        c1 = layer_conductance(m, img, 1, steps=6)
+        assert not np.allclose(c0, c1)
+
+
+class TestRanks:
+    def test_rank_scores_are_permutation(self):
+        r = rank_scores(np.array([0.3, -1.0, 2.0]))
+        assert sorted(r) == [0, 1, 2]
+        assert r[2] == 2  # largest value gets highest rank
+
+    def test_rank_correlation_self_is_one(self):
+        v = np.random.default_rng(0).normal(size=20)
+        assert np.isclose(rank_correlation(v, v), 1.0)
+
+    def test_rank_correlation_reverse_is_minus_one(self):
+        v = np.arange(10.0)
+        assert np.isclose(rank_correlation(v, -v), -1.0)
+
+    def test_rank_correlation_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            c = rank_correlation(rng.normal(size=15), rng.normal(size=15))
+            assert -1.0 <= c <= 1.0
+
+    def test_monotone_transform_invariance(self):
+        v = np.random.default_rng(1).normal(size=25)
+        assert np.isclose(rank_correlation(v, np.exp(v)), 1.0)

@@ -1,0 +1,60 @@
+"""Feature-space metrics."""
+
+import numpy as np
+
+from repro.analysis import cross_client_alignment, extract_features, silhouette_by_label
+from repro.models import build_model
+
+
+class TestExtractFeatures:
+    def test_shape(self):
+        models = [
+            build_model("cnn2layer", in_channels=1, num_classes=3, scale="tiny", rng=np.random.default_rng(s))
+            for s in range(2)
+        ]
+        images = np.random.default_rng(0).random((7, 1, 8, 8)).astype(np.float32)
+        feats = extract_features(models, images, batch_size=3)
+        assert feats.shape == (2, 7, models[0].feature_dim)
+
+    def test_models_give_different_features(self):
+        models = [
+            build_model("cnn2layer", in_channels=1, num_classes=3, scale="tiny", rng=np.random.default_rng(s))
+            for s in range(2)
+        ]
+        images = np.random.default_rng(0).random((4, 1, 8, 8)).astype(np.float32)
+        feats = extract_features(models, images)
+        assert not np.allclose(feats[0], feats[1])
+
+
+class TestAlignment:
+    def test_aligned_features_score_higher(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([0] * 10 + [1] * 10)
+        # aligned: both "clients" embed label 0 near +c, label 1 near -c
+        centers = np.where(labels[:, None] == 0, 5.0, -5.0) * np.ones((20, 4))
+        aligned = np.stack([centers + rng.normal(0, 0.5, (20, 4)) for _ in range(2)])
+        # misaligned: client 2 swaps the clusters
+        swapped = np.stack([centers, -centers]) + rng.normal(0, 0.5, (2, 20, 4))
+        assert cross_client_alignment(aligned, labels) > cross_client_alignment(swapped, labels)
+
+    def test_single_label_degenerate(self):
+        feats = np.random.default_rng(0).normal(size=(2, 5, 3))
+        assert cross_client_alignment(feats, np.zeros(5, dtype=int)) == 1.0
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.normal(0, 0.1, (10, 2)), rng.normal(10, 0.1, (10, 2))])
+        labels = np.array([0] * 10 + [1] * 10)
+        assert silhouette_by_label(x, labels) > 0.9
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, 40)
+        assert abs(silhouette_by_label(x, labels)) < 0.3
+
+    def test_single_class_zero(self):
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        assert silhouette_by_label(x, np.zeros(10, dtype=int)) == 0.0

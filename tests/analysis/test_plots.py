@@ -1,0 +1,56 @@
+"""Text-rendered plots."""
+
+import numpy as np
+
+from repro.analysis import ascii_curves, ascii_heatmap, format_table
+
+
+class TestAsciiCurves:
+    def test_contains_legend_and_markers(self):
+        out = ascii_curves({"ours": np.linspace(0, 1, 5), "base": np.linspace(0, 0.5, 5)})
+        assert "*=ours" in out and "o=base" in out
+
+    def test_empty(self):
+        assert ascii_curves({}) == "(no data)"
+
+    def test_flat_series_no_crash(self):
+        out = ascii_curves({"flat": np.full(5, 0.5)})
+        assert "flat" in out
+
+    def test_dimensions(self):
+        out = ascii_curves({"a": np.linspace(0, 1, 10)}, width=30, height=5)
+        lines = out.split("\n")
+        # 1 header + 5 grid rows + 1 axis + 1 legend
+        assert len(lines) == 8
+        assert all(len(l) <= 32 for l in lines[1:6])
+
+    def test_series_of_different_lengths(self):
+        out = ascii_curves({"a": np.linspace(0, 1, 10), "b": np.linspace(0, 1, 3)})
+        assert "a" in out and "b" in out
+
+
+class TestAsciiHeatmap:
+    def test_row_count(self):
+        m = np.random.default_rng(0).random((4, 6))
+        lines = ascii_heatmap(m).split("\n")
+        assert len(lines) == 4
+
+    def test_labels_included(self):
+        out = ascii_heatmap(np.zeros((2, 2)), row_label="client", col_label="class")
+        assert "client" in out and "class" in out
+
+    def test_constant_matrix_no_crash(self):
+        assert ascii_heatmap(np.ones((3, 3)))
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["Method", "Acc"], [["ours", 0.91], ["base", 0.5]], title="T2")
+        lines = out.split("\n")
+        assert lines[0] == "T2"
+        assert "Method" in lines[1]
+        assert "0.9100" in out
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b"], [[1, "x"], [2.5, "y"]])
+        assert "2.5000" in out and "x" in out

@@ -1,0 +1,77 @@
+"""Exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pairwise_sq_dists, perplexity_affinities, tsne
+
+
+def _blobs(n_per=20, d=8, sep=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 1, (n_per, d))
+    b = rng.normal(sep, 1, (n_per, d))
+    x = np.concatenate([a, b])
+    y = np.array([0] * n_per + [1] * n_per)
+    return x, y
+
+
+class TestPairwiseDists:
+    def test_matches_manual(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        d = pairwise_sq_dists(x)
+        manual = ((x[:, None] - x[None]) ** 2).sum(-1)
+        assert np.allclose(d, manual, atol=1e-10)
+
+    def test_zero_diagonal_nonnegative(self):
+        x = np.random.default_rng(1).normal(size=(6, 4))
+        d = pairwise_sq_dists(x)
+        assert np.allclose(np.diag(d), 0)
+        assert (d >= 0).all()
+
+
+class TestAffinities:
+    def test_symmetric_and_normalized(self):
+        x, _ = _blobs(10)
+        p = perplexity_affinities(x, perplexity=5)
+        assert np.allclose(p, p.T)
+        assert np.isclose(p.sum(), 1.0, atol=1e-6)
+        assert (p > 0).all()
+
+    def test_neighbors_get_higher_affinity(self):
+        x = np.array([[0.0], [0.1], [10.0]])
+        p = perplexity_affinities(x, perplexity=1.5)
+        assert p[0, 1] > p[0, 2]
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        x, _ = _blobs(10)
+        y = tsne(x, n_iter=60, perplexity=5, seed=0)
+        assert y.shape == (20, 2)
+
+    def test_deterministic(self):
+        x, _ = _blobs(8)
+        a = tsne(x, n_iter=50, perplexity=4, seed=3)
+        b = tsne(x, n_iter=50, perplexity=4, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_separates_blobs(self):
+        x, labels = _blobs(15, sep=8.0)
+        y = tsne(x, n_iter=300, perplexity=8, seed=0)
+        c0, c1 = y[labels == 0].mean(0), y[labels == 1].mean(0)
+        within = np.linalg.norm(y[labels == 0] - c0, axis=1).mean()
+        between = np.linalg.norm(c0 - c1)
+        assert between > 2 * within
+
+    def test_centered_output(self):
+        x, _ = _blobs(8)
+        y = tsne(x, n_iter=40, perplexity=4, seed=0)
+        assert np.allclose(y.mean(0), 0, atol=1e-8)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_three_components(self):
+        x, _ = _blobs(8)
+        assert tsne(x, n_components=3, n_iter=30, perplexity=4).shape == (16, 3)

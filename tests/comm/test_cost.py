@@ -1,0 +1,49 @@
+"""Cost model ledger and formatting."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CostModel, format_bytes
+
+
+class TestCostModel:
+    def test_transfer_time_model(self):
+        cost = CostModel(latency_s=0.01, bandwidth_Bps=1000)
+        cost.record(0, 1, 500)
+        assert np.isclose(cost.total_time_s, 0.01 + 0.5)
+
+    def test_round_tracking(self):
+        cost = CostModel()
+        cost.record(0, 1, 100)
+        cost.record(1, 0, 50)
+        assert cost.end_round() == 150
+        cost.record(0, 1, 30)
+        assert cost.end_round() == 30
+        assert cost.per_round == [150, 30]
+
+    def test_per_client_round_bytes(self):
+        cost = CostModel()
+        cost.record(0, 1, 100)
+        cost.end_round()
+        cost.record(0, 1, 100)
+        cost.end_round()
+        assert cost.per_client_round_bytes(num_clients=2) == 50.0
+
+    def test_summary_keys(self):
+        s = CostModel().summary()
+        assert {"total_bytes", "total_messages", "total_time_s", "rounds"} <= set(s)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512 B"),
+            (2048, "2.00 KB"),
+            (22 * 1024, "22.00 KB"),
+            (int(43.73 * 1024 * 1024), "43.73 MB"),
+            (3 * 1024**3, "3.00 GB"),
+        ],
+    )
+    def test_formatting(self, n, expected):
+        assert format_bytes(n) == expected

@@ -1,0 +1,119 @@
+"""Differential privacy and secure aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    GaussianMechanism,
+    SecureAggregationSimulator,
+    clip_state,
+    state_l2_norm,
+)
+
+
+def _state(v=1.0, shape=(4, 4)):
+    return {"w": np.full(shape, v), "b": np.zeros(3)}
+
+
+class TestClipping:
+    def test_norm_computation(self):
+        s = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert np.isclose(state_l2_norm(s), 5.0)
+
+    def test_clip_reduces_norm(self):
+        s = _state(10.0)
+        out = clip_state(s, 1.0)
+        assert np.isclose(state_l2_norm(out), 1.0)
+
+    def test_no_clip_when_inside_ball(self):
+        s = {"a": np.array([0.1])}
+        out = clip_state(s, 5.0)
+        assert np.allclose(out["a"], s["a"])
+
+    def test_direction_preserved(self):
+        s = {"a": np.array([3.0, 4.0])}
+        out = clip_state(s, 1.0)
+        assert np.allclose(out["a"] / np.linalg.norm(out["a"]), s["a"] / 5.0)
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        m = GaussianMechanism(clip=2.0, epsilon=1.0, delta=1e-5)
+        expected = 2.0 * np.sqrt(2 * np.log(1.25e5)) / 1.0
+        assert np.isclose(m.sigma, expected)
+
+    def test_noise_scale_decreases_with_epsilon(self):
+        loose = GaussianMechanism(clip=1.0, epsilon=10.0)
+        tight = GaussianMechanism(clip=1.0, epsilon=0.1)
+        assert tight.sigma > loose.sigma
+
+    def test_privatize_adds_noise_and_clips(self):
+        m = GaussianMechanism(clip=1.0, epsilon=1.0, seed=0)
+        s = _state(100.0)
+        out = m.privatize(s)
+        # clipped to norm 1 then noised: far from the original scale
+        assert state_l2_norm(out) < 100
+
+    def test_epsilon_accounting(self):
+        m = GaussianMechanism(clip=1.0, epsilon=0.5)
+        m.privatize(_state())
+        m.privatize(_state())
+        assert np.isclose(m.spent_epsilon, 1.0)
+
+    def test_noise_is_seeded(self):
+        a = GaussianMechanism(clip=1.0, epsilon=1.0, seed=7).privatize(_state())
+        b = GaussianMechanism(clip=1.0, epsilon=1.0, seed=7).privatize(_state())
+        assert np.array_equal(a["w"], b["w"])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(clip=0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(delta=2.0)
+
+
+class TestSecureAggregation:
+    def test_masks_cancel_in_sum(self):
+        sim = SecureAggregationSimulator(seed=0)
+        cohort = [0, 1, 2, 3]
+        states = [_state(float(i)) for i in cohort]
+        masked = [sim.mask(s, i, cohort) for i, s in zip(cohort, states)]
+        agg = sim.aggregate_masked(masked)
+        true_sum = np.sum([s["w"] for s in states], axis=0)
+        assert np.allclose(agg["w"], true_sum, atol=1e-9)
+
+    def test_individual_upload_is_obscured(self):
+        sim = SecureAggregationSimulator(seed=0, scale=10.0)
+        cohort = [0, 1]
+        masked = sim.mask(_state(1.0), 0, cohort)
+        assert not np.allclose(masked["w"], 1.0, atol=1.0)
+
+    def test_single_client_cohort_unmasked(self):
+        sim = SecureAggregationSimulator(seed=0)
+        masked = sim.mask(_state(2.0), 0, [0])
+        assert np.allclose(masked["w"], 2.0)
+
+    def test_empty_aggregate_raises(self):
+        with pytest.raises(ValueError):
+            SecureAggregationSimulator().aggregate_masked([])
+
+    def test_pair_masks_symmetric(self):
+        sim = SecureAggregationSimulator(seed=0)
+        t = _state()
+        m_ij = sim._pair_mask(1, 2, t)
+        m_ji = sim._pair_mask(2, 1, t)
+        assert np.array_equal(m_ij["w"], m_ji["w"])
+
+
+class TestDPIntegration:
+    def test_fedclassavg_with_dp_runs(self, micro_federation):
+        from repro.core import FedClassAvg
+
+        clients, _ = micro_federation
+        dp = GaussianMechanism(clip=5.0, epsilon=8.0, seed=0)
+        algo = FedClassAvg(clients, seed=0, privacy=dp)
+        h = algo.run(2)
+        assert len(h.rounds) == 2
+        assert dp.releases == 2 * len(clients)

@@ -1,0 +1,61 @@
+"""State-dict binary serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils import state_dict_from_bytes, state_dict_nbytes, state_dict_to_bytes
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        state = {
+            "w": np.random.default_rng(0).normal(size=(3, 4)),
+            "b": np.arange(4, dtype=np.int64),
+        }
+        back = state_dict_from_bytes(state_dict_to_bytes(state))
+        assert set(back) == {"w", "b"}
+        assert np.array_equal(back["w"], state["w"])
+        assert back["b"].dtype == np.int64
+
+    def test_preserves_dtypes(self):
+        state = {
+            "f32": np.zeros(2, dtype=np.float32),
+            "f64": np.zeros(2, dtype=np.float64),
+            "i32": np.zeros(2, dtype=np.int32),
+        }
+        back = state_dict_from_bytes(state_dict_to_bytes(state))
+        for k in state:
+            assert back[k].dtype == state[k].dtype
+
+    def test_scalar_array(self):
+        state = {"n": np.array(7, dtype=np.int64)}
+        back = state_dict_from_bytes(state_dict_to_bytes(state))
+        assert back["n"] == 7 and back["n"].shape == ()
+
+    def test_empty_dict(self):
+        assert state_dict_from_bytes(state_dict_to_bytes({})) == {}
+
+    def test_preserves_order(self):
+        state = {"z": np.zeros(1), "a": np.ones(1), "m": np.full(1, 2.0)}
+        back = state_dict_from_bytes(state_dict_to_bytes(state))
+        assert list(back) == ["z", "a", "m"]
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(12.0).reshape(3, 4).T  # transposed view
+        back = state_dict_from_bytes(state_dict_to_bytes({"a": arr}))
+        assert np.array_equal(back["a"], arr)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(ValueError):
+            state_dict_from_bytes(b"NOPE" + b"\x00" * 16)
+
+
+class TestSizing:
+    def test_nbytes_matches_blob(self):
+        state = {"w": np.zeros((10, 10), dtype=np.float32)}
+        assert state_dict_nbytes(state) == len(state_dict_to_bytes(state))
+
+    def test_size_scales_with_payload(self):
+        small = state_dict_nbytes({"w": np.zeros(10, dtype=np.float32)})
+        large = state_dict_nbytes({"w": np.zeros(1000, dtype=np.float32)})
+        assert large - small == (1000 - 10) * 4

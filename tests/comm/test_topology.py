@@ -1,0 +1,85 @@
+"""Network topologies and cost pricing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.comm import NetworkModel, hierarchical, ring, star
+
+
+class TestTopologies:
+    def test_star_structure(self):
+        g = star(5)
+        assert g.number_of_nodes() == 6
+        assert all(g.has_edge(0, k) for k in range(1, 6))
+        assert g.nodes[0]["role"] == "server"
+
+    def test_ring_structure(self):
+        g = ring(6)
+        assert g.number_of_edges() == 6
+        assert all(g.degree[n] == 2 for n in g)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring(1)
+
+    def test_hierarchical_structure(self):
+        g = hierarchical(8, branching=4)
+        aggs = [n for n, d in g.nodes(data=True) if d["role"] == "aggregator"]
+        assert len(aggs) == 2
+        clients = [n for n, d in g.nodes(data=True) if d["role"] == "client"]
+        assert len(clients) == 8
+        # clients never connect directly to the server
+        assert not any(g.has_edge(0, c) for c in clients)
+
+
+class TestNetworkModel:
+    def test_star_transfer_time(self):
+        nm = NetworkModel(star(3, latency_s=0.01, bandwidth_Bps=1e6))
+        t = nm.transfer_time(0, 1, 1_000_000)
+        assert np.isclose(t, 0.01 + 1.0)
+
+    def test_hierarchical_two_hops(self):
+        g = hierarchical(4, branching=4, backbone_latency_s=0.01, edge_latency_s=0.02)
+        nm = NetworkModel(g)
+        assert len(nm.path(0, 1)) == 3  # server → agg → client
+        t = nm.transfer_time(0, 1, 0)
+        assert np.isclose(t, 0.03)
+
+    def test_ring_shortest_path(self):
+        nm = NetworkModel(ring(6))
+        assert len(nm.path(0, 3)) == 4  # three hops either way
+        assert len(nm.path(0, 1)) == 2
+
+    def test_round_time_gated_by_slowest(self):
+        g = star(2)
+        g.edges[0, 2]["bandwidth_Bps"] = 1e3  # client 2 is slow
+        nm = NetworkModel(g)
+        rt = nm.round_time([1, 2], nbytes_down=1000, nbytes_up=1000)
+        slow = nm.transfer_time(0, 2, 1000) + nm.transfer_time(2, 0, 1000)
+        assert np.isclose(rt, slow)
+
+    def test_bottleneck_bandwidth(self):
+        g = hierarchical(2, branching=2, backbone_bandwidth_Bps=100e6, edge_bandwidth_Bps=5e6)
+        nm = NetworkModel(g)
+        assert nm.bottleneck_bandwidth(0, 1) == 5e6
+
+    def test_requires_server_node(self):
+        g = nx.path_graph(3)
+        g = nx.relabel_nodes(g, {0: "a", 1: "b", 2: "c"})
+        with pytest.raises(ValueError):
+            NetworkModel(g)
+
+    def test_unroutable_raises(self):
+        g = star(2)
+        g.add_node(99)
+        nm = NetworkModel(g)
+        with pytest.raises(ValueError):
+            nm.path(0, 99)
+
+    def test_hierarchy_slower_than_star_for_same_edge(self):
+        """Extra backbone hop adds latency for equal edge links."""
+        s = NetworkModel(star(4, latency_s=0.03, bandwidth_Bps=5e6))
+        h = NetworkModel(hierarchical(4, branching=2, edge_latency_s=0.03, edge_bandwidth_Bps=5e6))
+        n = 100_000
+        assert h.transfer_time(0, 1, n) > s.transfer_time(0, 1, n)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federated import FederationSpec, build_federation
+from repro.utils.rng import seed_all
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _reseed_global_rng():
+    """Isolate the process-global RNG (used by default init/dropout)."""
+    seed_all(0)
+    yield
+    seed_all(0)
+
+
+@pytest.fixture
+def micro_spec() -> FederationSpec:
+    """Smallest useful federation: 4 clients, 4 architectures."""
+    return FederationSpec(
+        dataset="fashion_mnist-tiny",
+        num_clients=4,
+        partition="dirichlet",
+        n_train=160,
+        n_test=120,
+        test_per_client=20,
+        batch_size=16,
+        lr=3e-3,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def micro_federation(micro_spec):
+    return build_federation(micro_spec)

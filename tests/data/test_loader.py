@@ -1,0 +1,108 @@
+"""DataLoader semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, Subset
+
+
+def _ds(n=20, classes=4):
+    rng = np.random.default_rng(0)
+    return ArrayDataset(
+        rng.random((n, 1, 4, 4)).astype(np.float32),
+        rng.integers(0, classes, n),
+        num_classes=classes,
+    )
+
+
+class TestBatching:
+    def test_covers_all_samples(self):
+        dl = DataLoader(_ds(20), batch_size=6, shuffle=False)
+        total = sum(len(y) for _, y in dl)
+        assert total == 20
+
+    def test_len_without_drop_last(self):
+        assert len(DataLoader(_ds(20), batch_size=6)) == 4
+
+    def test_len_with_drop_last(self):
+        assert len(DataLoader(_ds(20), batch_size=6, drop_last=True)) == 3
+
+    def test_drop_last_drops(self):
+        dl = DataLoader(_ds(20), batch_size=6, drop_last=True)
+        sizes = [len(y) for _, y in dl]
+        assert sizes == [6, 6, 6]
+
+    def test_batch_shapes(self):
+        for xb, yb in DataLoader(_ds(10), batch_size=4, shuffle=False):
+            assert xb.shape[1:] == (1, 4, 4)
+            assert xb.shape[0] == yb.shape[0]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(_ds(), batch_size=0)
+
+
+class TestShuffling:
+    def test_no_shuffle_preserves_order(self):
+        ds = _ds(10)
+        labels = np.concatenate([y for _, y in DataLoader(ds, batch_size=3, shuffle=False)])
+        assert np.array_equal(labels, ds.labels)
+
+    def test_shuffle_changes_order(self):
+        ds = _ds(50)
+        labels = np.concatenate(
+            [y for _, y in DataLoader(ds, batch_size=50, rng=np.random.default_rng(1))]
+        )
+        assert not np.array_equal(labels, ds.labels)
+        assert np.array_equal(np.sort(labels), np.sort(ds.labels))
+
+    def test_deterministic_given_rng(self):
+        def run(seed):
+            dl = DataLoader(_ds(30), batch_size=7, rng=np.random.default_rng(seed))
+            return np.concatenate([y for _, y in dl])
+
+        assert np.array_equal(run(5), run(5))
+        assert not np.array_equal(run(5), run(6))
+
+    def test_epochs_reshuffle(self):
+        dl = DataLoader(_ds(30), batch_size=30, rng=np.random.default_rng(0))
+        first = np.concatenate([y for _, y in dl])
+        second = np.concatenate([y for _, y in dl])
+        assert not np.array_equal(first, second)
+
+
+class TestWithSubset:
+    def test_loader_over_subset(self):
+        ds = _ds(20)
+        sub = Subset(ds, np.arange(5, 15))
+        dl = DataLoader(sub, batch_size=4, shuffle=False)
+        labels = np.concatenate([y for _, y in dl])
+        assert np.array_equal(labels, ds.labels[5:15])
+
+
+class TestDatasets:
+    def test_array_dataset_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 4)), np.zeros(3), 2)  # not NCHW
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(2), 2)  # length mismatch
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((2, 1, 2, 2)), np.array([0, 5]), 2)  # label range
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(IndexError):
+            Subset(_ds(5), [10])
+
+    def test_subset_class_counts(self):
+        ds = _ds(20)
+        sub = Subset(ds, np.flatnonzero(ds.labels == 1))
+        counts = sub.class_counts()
+        assert counts[1] == len(sub) and counts.sum() == len(sub)
+
+    def test_getitem(self):
+        ds = _ds(5)
+        x, y = ds[2]
+        assert x.shape == (1, 4, 4)
+        sub = Subset(ds, [2])
+        x2, y2 = sub[0]
+        assert np.array_equal(x, x2) and y == y2

@@ -1,0 +1,59 @@
+"""Property-based tests on serialization and structural ops (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.models import channel_shuffle
+from repro.tensor import Tensor
+from repro.utils import state_dict_from_bytes, state_dict_to_bytes
+
+any_dtype_arrays = arrays(
+    dtype=st.sampled_from([np.float32, np.float64, np.int32, np.int64]),
+    shape=array_shapes(min_dims=0, max_dims=3, min_side=0, max_side=5),
+    elements=st.integers(min_value=-100, max_value=100),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=20), any_dtype_arrays, max_size=4))
+def test_state_dict_roundtrip_any_arrays(state):
+    back = state_dict_from_bytes(state_dict_to_bytes(state))
+    assert list(back) == list(state)
+    for k in state:
+        assert back[k].dtype == state[k].dtype
+        assert back[k].shape == state[k].shape
+        assert np.array_equal(back[k], state[k])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    groups=st.sampled_from([1, 2, 4]),
+    mult=st.integers(1, 3),
+    hw=st.integers(1, 4),
+)
+def test_channel_shuffle_inverse(n, groups, mult, hw):
+    """shuffle(g) followed by shuffle(c//g) is the identity permutation."""
+    c = groups * mult
+    x = np.random.default_rng(0).normal(size=(n, c, hw, hw))
+    once = channel_shuffle(Tensor(x), groups)
+    back = channel_shuffle(once, c // groups)
+    assert np.allclose(back.data, x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 40),
+    batch=st.integers(1, 10),
+    seed=st.integers(0, 50),
+)
+def test_loader_is_a_permutation(n, batch, seed):
+    from repro.data import ArrayView, DataLoader
+
+    labels = np.arange(n)
+    images = np.zeros((n, 1, 2, 2), dtype=np.float32)
+    dl = DataLoader(ArrayView(images, labels), batch_size=batch, rng=np.random.default_rng(seed))
+    seen = np.concatenate([y for _, y in dl])
+    assert sorted(seen) == list(range(n))

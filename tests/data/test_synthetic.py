@@ -1,0 +1,102 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_SPECS, load_dataset, make_synthetic_dataset
+
+
+class TestGeometry:
+    @pytest.mark.parametrize(
+        "name,channels,size,classes",
+        [
+            ("cifar10", 3, 32, 10),
+            ("fashion_mnist", 1, 28, 10),
+            ("emnist", 1, 28, 26),
+            ("cifar10-tiny", 3, 16, 10),
+            ("fashion_mnist-tiny", 1, 14, 10),
+            ("emnist-tiny", 1, 14, 26),
+        ],
+    )
+    def test_matches_paper_geometry(self, name, channels, size, classes):
+        ds = make_synthetic_dataset(name, 52, seed=0)
+        assert ds.images.shape == (52, channels, size, size)
+        assert ds.num_classes == classes
+
+    def test_pixel_range(self):
+        ds = make_synthetic_dataset("cifar10-tiny", 100, seed=0)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_dtype_float32(self):
+        assert make_synthetic_dataset("emnist-tiny", 10, seed=0).images.dtype == np.float32
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_synthetic_dataset("imagenet", 10)
+
+    def test_unknown_split_raises(self):
+        with pytest.raises(ValueError):
+            make_synthetic_dataset("cifar10-tiny", 10, split="val")
+
+
+class TestDeterminismAndSplits:
+    def test_same_seed_identical(self):
+        a = make_synthetic_dataset("cifar10-tiny", 40, seed=5)
+        b = make_synthetic_dataset("cifar10-tiny", 40, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_differs(self):
+        a = make_synthetic_dataset("cifar10-tiny", 40, seed=1)
+        b = make_synthetic_dataset("cifar10-tiny", 40, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_train_test_differ(self):
+        tr = make_synthetic_dataset("cifar10-tiny", 40, seed=0, split="train")
+        te = make_synthetic_dataset("cifar10-tiny", 40, seed=0, split="test")
+        assert not np.array_equal(tr.images, te.images)
+
+    def test_load_dataset_returns_both_splits(self):
+        train, test = load_dataset("fashion_mnist-tiny", n_train=100, n_test=50, seed=0)
+        assert len(train) == 100 and len(test) == 50
+
+
+class TestClassStructure:
+    def test_labels_balanced(self):
+        ds = make_synthetic_dataset("cifar10-tiny", 200, seed=0)
+        counts = ds.class_counts()
+        assert counts.min() >= 18 and counts.max() <= 22
+
+    def test_within_class_variation(self):
+        """Same-class samples must not be identical (jitter + noise)."""
+        ds = make_synthetic_dataset("fashion_mnist-tiny", 100, seed=0)
+        idx = np.flatnonzero(ds.labels == 0)[:2]
+        assert not np.allclose(ds.images[idx[0]], ds.images[idx[1]])
+
+    def test_classes_are_separable_by_nearest_prototype(self):
+        """A nearest-class-mean classifier beats chance by a wide margin —
+        the datasets must be learnable for any training signal to exist."""
+        train = make_synthetic_dataset("cifar10-tiny", 400, seed=0, split="train")
+        test = make_synthetic_dataset("cifar10-tiny", 200, seed=0, split="test")
+        means = np.stack(
+            [train.images[train.labels == c].mean(axis=0).ravel() for c in range(10)]
+        )
+        xt = test.images.reshape(len(test), -1)
+        d = ((xt[:, None] - means[None]) ** 2).sum(-1)
+        acc = (d.argmin(1) == test.labels).mean()
+        assert acc > 0.5, f"nearest-prototype accuracy {acc} too low"
+
+    def test_classes_not_trivially_separable(self):
+        """Per-pixel noise must be strong enough that single samples differ
+        substantially from their class prototype (otherwise no value in
+        collaboration)."""
+        ds = make_synthetic_dataset("cifar10-tiny", 100, seed=0)
+        c0 = ds.images[ds.labels == 0]
+        proto = c0.mean(axis=0)
+        rel_dev = np.linalg.norm(c0 - proto) / max(1e-9, np.linalg.norm(proto))
+        assert rel_dev > 0.1
+
+    def test_spec_table_consistent(self):
+        for name, spec in DATASET_SPECS.items():
+            assert spec.name == name
+            assert spec.num_classes in (10, 26)

@@ -1,0 +1,129 @@
+"""Batch augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BrightnessJitter,
+    Compose,
+    Cutout,
+    GaussianNoise,
+    RandomCropPad,
+    RandomHorizontalFlip,
+    TwoCropTransform,
+    default_augmentation,
+)
+
+
+def _batch(n=6, c=3, s=8, seed=0):
+    return np.random.default_rng(seed).random((n, c, s, s)).astype(np.float32)
+
+
+ALL_TRANSFORMS = [
+    RandomHorizontalFlip(0.5),
+    RandomCropPad(2),
+    GaussianNoise(0.1),
+    BrightnessJitter(0.3),
+    Cutout(3),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: type(t).__name__)
+    def test_shape_preserved(self, t):
+        x = _batch()
+        assert t(x, np.random.default_rng(0)).shape == x.shape
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: type(t).__name__)
+    def test_bounds_preserved(self, t):
+        x = _batch()
+        out = t(x, np.random.default_rng(0))
+        assert out.min() >= -1e-6 and out.max() <= 1 + 1e-6
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: type(t).__name__)
+    def test_deterministic_given_rng(self, t):
+        x = _batch()
+        a = t(x, np.random.default_rng(3))
+        b = t(x, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: type(t).__name__)
+    def test_input_not_mutated(self, t):
+        x = _batch()
+        orig = x.copy()
+        t(x, np.random.default_rng(0))
+        assert np.array_equal(x, orig)
+
+
+class TestFlip:
+    def test_p1_flips_all(self):
+        x = _batch()
+        out = RandomHorizontalFlip(1.0)(x, np.random.default_rng(0))
+        assert np.allclose(out, x[:, :, :, ::-1])
+
+    def test_p0_identity(self):
+        x = _batch()
+        out = RandomHorizontalFlip(0.0)(x, np.random.default_rng(0))
+        assert np.array_equal(out, x)
+
+
+class TestCropPad:
+    def test_zero_padding_identity(self):
+        x = _batch()
+        assert np.array_equal(RandomCropPad(0)(x, np.random.default_rng(0)), x)
+
+    def test_content_shifted_not_destroyed(self):
+        x = _batch()
+        out = RandomCropPad(1)(x, np.random.default_rng(1))
+        # interior pixels survive somewhere; total mass roughly preserved
+        assert abs(out.sum() - x.sum()) / x.sum() < 0.5
+
+
+class TestCutout:
+    def test_zeroes_a_patch(self):
+        x = np.ones((2, 1, 8, 8), dtype=np.float32)
+        out = Cutout(3)(x, np.random.default_rng(0))
+        assert (out == 0).sum() == 2 * 1 * 9
+
+    def test_patch_clipped_to_image(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = Cutout(5)(x, np.random.default_rng(0))
+        assert (out == 0).all()
+
+
+class TestNoiseAndBrightness:
+    def test_noise_changes_pixels(self):
+        x = _batch()
+        out = GaussianNoise(0.1)(x, np.random.default_rng(0))
+        assert not np.array_equal(out, x)
+
+    def test_zero_sigma_identity(self):
+        x = _batch()
+        assert np.allclose(GaussianNoise(0.0)(x, np.random.default_rng(0)), x)
+
+    def test_brightness_scales_whole_image(self):
+        x = 0.5 * np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = BrightnessJitter(0.2)(x, np.random.default_rng(0))
+        assert np.allclose(out / out[0, 0, 0, 0], np.ones_like(out))
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        x = _batch()
+        pipeline = Compose([RandomHorizontalFlip(1.0), RandomHorizontalFlip(1.0)])
+        out = pipeline(x, np.random.default_rng(0))
+        assert np.allclose(out, x)  # double flip = identity
+
+
+class TestTwoCrop:
+    def test_views_differ(self):
+        x = _batch()
+        two = TwoCropTransform(default_augmentation(8))
+        a, b = two(x, np.random.default_rng(0))
+        assert a.shape == b.shape == x.shape
+        assert not np.array_equal(a, b)
+
+    def test_default_augmentation_scales(self):
+        aug = default_augmentation(32)
+        x = _batch(s=32)
+        assert aug(x, np.random.default_rng(0)).shape == x.shape

@@ -1,0 +1,96 @@
+"""Server-side aggregation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated import interpolate_state, weighted_average_state
+
+
+def _state(value, shape=(2, 2)):
+    return {"w": np.full(shape, float(value)), "b": np.full(3, float(value))}
+
+
+class TestWeightedAverage:
+    def test_uniform_default(self):
+        out = weighted_average_state([_state(0), _state(2)])
+        assert np.allclose(out["w"], 1.0)
+
+    def test_weights_normalized(self):
+        out = weighted_average_state([_state(0), _state(4)], weights=[1, 3])
+        assert np.allclose(out["w"], 3.0)
+
+    def test_weights_scale_invariant(self):
+        a = weighted_average_state([_state(1), _state(5)], weights=[2, 6])
+        b = weighted_average_state([_state(1), _state(5)], weights=[1, 3])
+        assert np.allclose(a["w"], b["w"])
+
+    def test_single_state_identity(self):
+        s = _state(3.3)
+        out = weighted_average_state([s])
+        assert np.allclose(out["w"], s["w"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average_state([])
+
+    def test_misaligned_keys_raise(self):
+        with pytest.raises(ValueError):
+            weighted_average_state([{"a": np.zeros(1)}, {"b": np.zeros(1)}])
+
+    def test_weight_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average_state([_state(0), _state(1)], weights=[1.0])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_average_state([_state(0), _state(1)], weights=[0, 0])
+
+    def test_integer_buffers_stay_integer(self):
+        states = [
+            {"n": np.array(2, dtype=np.int64)},
+            {"n": np.array(4, dtype=np.int64)},
+        ]
+        out = weighted_average_state(states)
+        assert out["n"].dtype == np.int64
+        assert out["n"] == 3
+
+    def test_output_independent_of_inputs(self):
+        s1, s2 = _state(1), _state(2)
+        out = weighted_average_state([s1, s2])
+        out["w"][...] = 99
+        assert np.allclose(s1["w"], 1)
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        a, b = _state(0), _state(10)
+        assert np.allclose(interpolate_state(a, b, 0.0)["w"], 0)
+        assert np.allclose(interpolate_state(a, b, 1.0)["w"], 10)
+
+    def test_midpoint(self):
+        out = interpolate_state(_state(0), _state(4), 0.5)
+        assert np.allclose(out["w"], 2)
+
+    def test_key_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            interpolate_state({"a": np.zeros(1)}, {"b": np.zeros(1)}, 0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    vals=st.lists(st.floats(min_value=-5, max_value=5, width=64), min_size=2, max_size=5),
+)
+def test_property_average_within_convex_hull(vals):
+    states = [_state(v) for v in vals]
+    out = weighted_average_state(states)
+    assert out["w"].min() >= min(vals) - 1e-9
+    assert out["w"].max() <= max(vals) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(v=st.floats(min_value=-5, max_value=5, width=64), n=st.integers(2, 6))
+def test_property_average_of_identical_is_identity(v, n):
+    out = weighted_average_state([_state(v) for _ in range(n)])
+    assert np.allclose(out["w"], v)

@@ -1,0 +1,91 @@
+"""FederatedAlgorithm base loop."""
+
+import numpy as np
+import pytest
+
+from repro.federated import FederatedAlgorithm, build_federation
+
+
+class _NoopAlgo(FederatedAlgorithm):
+    name = "noop"
+
+    def __init__(self, clients, **kw):
+        super().__init__(clients, **kw)
+        self.rounds_seen = []
+
+    def round(self, t, sampled):
+        self.rounds_seen.append((t, tuple(sampled)))
+        return 1.5
+
+
+class TestRunLoop:
+    def test_requires_clients(self):
+        with pytest.raises(ValueError):
+            _NoopAlgo([])
+
+    def test_round_indices_sequential(self, micro_federation):
+        clients, _ = micro_federation
+        algo = _NoopAlgo(clients)
+        algo.run(3)
+        assert [t for t, _ in algo.rounds_seen] == [0, 1, 2]
+
+    def test_full_sampling_includes_everyone(self, micro_federation):
+        clients, _ = micro_federation
+        algo = _NoopAlgo(clients, sample_rate=1.0)
+        algo.run(1)
+        assert algo.rounds_seen[0][1] == tuple(range(len(clients)))
+
+    def test_history_records_train_loss(self, micro_federation):
+        clients, _ = micro_federation
+        h = _NoopAlgo(clients).run(2)
+        assert all(r.train_loss == 1.5 for r in h.rounds)
+
+    def test_eval_every_skips_mid_evals(self, micro_federation):
+        clients, _ = micro_federation
+        calls = []
+        algo = _NoopAlgo(clients)
+        orig = algo.evaluate_all
+
+        def counting():
+            calls.append(1)
+            return orig()
+
+        algo.evaluate_all = counting
+        algo.run(4, eval_every=2)
+        assert len(calls) == 2  # rounds 2 and 4
+
+    def test_last_round_always_evaluated(self, micro_federation):
+        clients, _ = micro_federation
+        algo = _NoopAlgo(clients)
+        h = algo.run(3, eval_every=10)
+        assert len(h.rounds[-1].client_accs) == len(clients)
+
+    def test_verbose_prints(self, micro_federation, capsys):
+        clients, _ = micro_federation
+        _NoopAlgo(clients).run(1, verbose=True)
+        assert "[noop] round 1/1" in capsys.readouterr().out
+
+    def test_rank_mapping(self, micro_federation):
+        clients, _ = micro_federation
+        algo = _NoopAlgo(clients)
+        assert algo.server_rank() == 0
+        assert algo.rank_of(0) == 1
+        assert algo.comm.size == len(clients) + 1
+
+    def test_round_not_implemented_on_base(self, micro_federation):
+        clients, _ = micro_federation
+        with pytest.raises(NotImplementedError):
+            FederatedAlgorithm(clients).round(0, [0])
+
+    def test_comm_round_bytes_recorded(self, micro_federation):
+        clients, _ = micro_federation
+
+        class _Chatty(_NoopAlgo):
+            def round(self, t, sampled):
+                self.comm.send({"x": np.zeros(4)}, 1, 0)
+                return None
+
+        algo = _Chatty(clients)
+        h = algo.run(2)
+        assert all(r.comm_bytes > 0 for r in h.rounds)
+        assert len(algo.comm.cost.per_round) == 2

@@ -1,0 +1,117 @@
+"""Fault injection and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedClassAvg
+from repro.federated import (
+    FaultInjector,
+    build_federation,
+    confusion_matrix,
+    macro_f1,
+    per_class_accuracy,
+    predict,
+    scarce_class_gain,
+)
+
+
+class TestFaultInjector:
+    def test_zero_prob_keeps_everyone(self):
+        fi = FaultInjector(0.0)
+        assert fi.survivors([1, 2, 3]) == [1, 2, 3]
+        assert fi.total_dropped == 0
+
+    def test_drops_fraction(self):
+        fi = FaultInjector(0.5, seed=0)
+        survivors = [len(fi.survivors(list(range(100)))) for _ in range(5)]
+        assert all(30 < s < 70 for s in survivors)
+
+    def test_always_at_least_one_survivor(self):
+        fi = FaultInjector(0.99, seed=0)
+        for _ in range(20):
+            assert len(fi.survivors([4, 5, 6])) >= 1
+
+    def test_deterministic(self):
+        a = FaultInjector(0.5, seed=3)
+        b = FaultInjector(0.5, seed=3)
+        for _ in range(5):
+            assert a.survivors(list(range(10))) == b.survivors(list(range(10)))
+
+    def test_dropped_log(self):
+        fi = FaultInjector(0.5, seed=1)
+        sampled = list(range(20))
+        alive = fi.survivors(sampled)
+        assert sorted(alive + fi.dropped_log[-1]) == sampled
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            FaultInjector(1.0)
+        with pytest.raises(ValueError):
+            FaultInjector(-0.1)
+
+    def test_fedclassavg_survives_failures(self, micro_spec):
+        clients, _ = build_federation(micro_spec)
+        algo = FedClassAvg(clients, seed=0, fault_injector=FaultInjector(0.5, seed=0))
+        h = algo.run(3)
+        assert len(h.rounds) == 3
+        assert algo.fault_injector.total_dropped > 0
+
+    def test_failed_client_excluded_from_aggregate(self, micro_spec):
+        clients, _ = build_federation(micro_spec)
+
+        class _DropAllBut0(FaultInjector):
+            def survivors(self, sampled):
+                self.dropped_log.append(sampled[1:])
+                return sampled[:1]
+
+        algo = FedClassAvg(clients, local_epochs=0, seed=0, fault_injector=_DropAllBut0())
+        algo.setup()
+        algo.round(0, list(range(len(clients))))
+        # global state equals the sole survivor's classifier
+        expected = clients[0].model.classifier_state()
+        for k in expected:
+            assert np.allclose(algo.global_state[k], expected[k])
+
+
+class TestMetrics:
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], 3)
+        assert cm[0, 0] == 1 and cm[0, 1] == 1 and cm[1, 1] == 1 and cm[2, 2] == 1
+        assert cm.sum() == 4
+
+    def test_confusion_matrix_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0], 2)
+
+    def test_per_class_accuracy(self):
+        acc = per_class_accuracy([0, 0, 1], [0, 1, 1], 3)
+        assert acc[0] == 0.5 and acc[1] == 1.0 and np.isnan(acc[2])
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2, 0])
+        assert macro_f1(y, y, 3) == 1.0
+
+    def test_macro_f1_worst(self):
+        assert macro_f1([0, 0], [1, 1], 2) == 0.0
+
+    def test_macro_f1_ignores_absent_classes(self):
+        f1_small = macro_f1([0, 1], [0, 1], 2)
+        f1_padded = macro_f1([0, 1], [0, 1], 10)
+        assert f1_small == f1_padded == 1.0
+
+    def test_predict_shapes(self, micro_federation):
+        clients, info = micro_federation
+        preds = predict(clients[0].model, info["test"].images[:20])
+        assert preds.shape == (20,)
+        assert preds.dtype == np.int64
+
+    def test_scarce_class_gain(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        counts = np.array([100, 100, 2])  # class 2 is scarce
+        preds_a = np.array([0, 0, 1, 1, 0, 0])  # misses scarce class
+        preds_b = np.array([0, 0, 1, 1, 2, 2])  # nails it
+        gain = scarce_class_gain(y, preds_a, preds_b, counts)
+        assert gain == 1.0
+
+    def test_scarce_gain_degenerate(self):
+        assert scarce_class_gain([0], np.array([0]), np.array([0]), np.array([5])) == 0.0

@@ -1,0 +1,50 @@
+"""Run history containers."""
+
+import numpy as np
+import pytest
+
+from repro.federated import RoundMetrics, RunHistory
+
+
+def _hist(accs_per_round, epochs=1):
+    h = RunHistory("test")
+    for i, accs in enumerate(accs_per_round):
+        h.append(RoundMetrics(round_idx=i, client_accs=accs, comm_bytes=100, local_epochs=epochs))
+    return h
+
+
+class TestRoundMetrics:
+    def test_mean_std(self):
+        m = RoundMetrics(0, [0.5, 0.7])
+        assert np.isclose(m.mean_acc, 0.6)
+        assert np.isclose(m.std_acc, 0.1)
+
+    def test_empty_accs(self):
+        m = RoundMetrics(0, [])
+        assert m.mean_acc == 0.0 and m.std_acc == 0.0
+
+
+class TestRunHistory:
+    def test_mean_curve(self):
+        h = _hist([[0.1, 0.3], [0.4, 0.6]])
+        assert np.allclose(h.mean_curve, [0.2, 0.5])
+
+    def test_epoch_axis_accumulates(self):
+        h = _hist([[0.1], [0.2], [0.3]], epochs=20)
+        assert np.array_equal(h.epoch_axis, [20, 40, 60])
+
+    def test_final_acc(self):
+        h = _hist([[0.1, 0.1], [0.8, 0.6]])
+        mean, std = h.final_acc()
+        assert np.isclose(mean, 0.7) and np.isclose(std, 0.1)
+
+    def test_total_comm(self):
+        assert _hist([[0.1]] * 3).total_comm_bytes() == 300
+
+    def test_best_acc(self):
+        h = _hist([[0.5], [0.9], [0.7]])
+        assert h.best_acc() == 0.9
+
+    def test_empty_final_raises(self):
+        with pytest.raises(ValueError):
+            RunHistory("x").final

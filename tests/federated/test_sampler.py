@@ -1,0 +1,46 @@
+"""Client sampler."""
+
+import numpy as np
+import pytest
+
+from repro.federated import ClientSampler
+
+
+class TestSampler:
+    def test_full_participation(self):
+        s = ClientSampler(10, 1.0)
+        assert s.sample(0) == list(range(10))
+
+    def test_partial_count(self):
+        s = ClientSampler(100, 0.1, seed=0)
+        assert len(s.sample(0)) == 10
+
+    def test_constant_count_per_round(self):
+        s = ClientSampler(30, 0.33, seed=0)
+        counts = {len(s.sample(t)) for t in range(10)}
+        assert len(counts) == 1  # paper: "remains the same at every round"
+
+    def test_sorted_unique_ids(self):
+        s = ClientSampler(50, 0.2, seed=0)
+        ids = s.sample(0)
+        assert ids == sorted(set(ids))
+        assert all(0 <= i < 50 for i in ids)
+
+    def test_rounds_differ(self):
+        s = ClientSampler(50, 0.2, seed=0)
+        assert s.sample(0) != s.sample(1) or s.sample(2) != s.sample(3)
+
+    def test_deterministic_given_seed(self):
+        a = [ClientSampler(40, 0.25, seed=9).sample(t) for t in range(3)]
+        b = [ClientSampler(40, 0.25, seed=9).sample(t) for t in range(3)]
+        assert a == b
+
+    def test_at_least_one(self):
+        s = ClientSampler(10, 0.01)
+        assert len(s.sample(0)) == 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ClientSampler(10, 0.0)
+        with pytest.raises(ValueError):
+            ClientSampler(10, 1.5)

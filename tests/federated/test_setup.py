@@ -1,0 +1,110 @@
+"""Federation builder."""
+
+import numpy as np
+import pytest
+
+from repro.federated import FederationSpec, build_federation
+
+
+class TestBuildFederation:
+    def test_client_count(self, micro_spec):
+        clients, _ = build_federation(micro_spec)
+        assert len(clients) == micro_spec.num_clients
+
+    def test_round_robin_architectures(self, micro_spec):
+        clients, info = build_federation(micro_spec)
+        assert [c.model.arch for c in clients] == [
+            "resnet18",
+            "shufflenetv2",
+            "googlenet",
+            "alexnet",
+        ]
+        assert info["architectures"] == [c.model.arch for c in clients]
+
+    def test_homogeneous_arch(self, micro_spec):
+        spec = FederationSpec(**{**micro_spec.__dict__, "homogeneous_arch": "cnn2layer"})
+        clients, _ = build_federation(spec)
+        assert all(c.model.arch == "cnn2layer" for c in clients)
+
+    def test_custom_architecture_list(self, micro_spec):
+        spec = FederationSpec(**{**micro_spec.__dict__, "architectures": ["alexnet", "cnn2layer"]})
+        clients, _ = build_federation(spec)
+        assert [c.model.arch for c in clients] == ["alexnet", "cnn2layer"] * 2
+
+    def test_shards_disjoint(self, micro_spec):
+        _, info = build_federation(micro_spec)
+        cat = np.concatenate(info["parts"])
+        assert len(cat) == len(set(cat))
+
+    def test_test_sets_mirror_train_distribution(self, micro_spec):
+        clients, info = build_federation(micro_spec)
+        for c, part in zip(clients, info["parts"]):
+            train_classes = set(info["train"].labels[part])
+            test_classes = set(c.test_labels)
+            assert test_classes <= train_classes
+
+    def test_deterministic(self, micro_spec):
+        c1, _ = build_federation(micro_spec)
+        c2, _ = build_federation(micro_spec)
+        for a, b in zip(c1, c2):
+            assert np.array_equal(a.train_labels, b.train_labels)
+            for (n1, p1), (n2, p2) in zip(a.model.named_parameters(), b.model.named_parameters()):
+                assert np.array_equal(p1.data, p2.data)
+
+    def test_different_clients_different_init(self, micro_spec):
+        spec = FederationSpec(**{**micro_spec.__dict__, "homogeneous_arch": "cnn2layer"})
+        clients, _ = build_federation(spec)
+        w0 = clients[0].model.classifier.weight.data
+        w1 = clients[1].model.classifier.weight.data
+        assert not np.array_equal(w0, w1)
+
+    def test_skewed_partition_spec(self, micro_spec):
+        spec = FederationSpec(**{**micro_spec.__dict__, "partition": "skewed"})
+        clients, info = build_federation(spec)
+        for c in clients:
+            assert len(set(c.train_labels)) <= 2
+
+    def test_model_overrides_by_client_index(self, micro_spec):
+        spec = FederationSpec(
+            **{
+                **micro_spec.__dict__,
+                "homogeneous_arch": "cnn2layer",
+                "model_overrides": {1: {"channels": (4, 4)}},
+            }
+        )
+        clients, _ = build_federation(spec)
+        assert clients[0].model.num_parameters() != clients[1].model.num_parameters()
+
+    def test_partition_kwargs(self):
+        spec = FederationSpec(partition="dirichlet", alpha=0.3)
+        assert spec.partition_kwargs() == {"alpha": 0.3}
+        spec = FederationSpec(partition="skewed", classes_per_client=3)
+        assert spec.partition_kwargs() == {"classes_per_client": 3}
+        spec = FederationSpec(partition="iid")
+        assert spec.partition_kwargs() == {}
+
+
+class TestExecutors:
+    def test_serial_map(self):
+        from repro.federated import SerialExecutor
+
+        assert SerialExecutor().map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_thread_map_ordered(self):
+        from repro.federated import ThreadExecutor
+
+        ex = ThreadExecutor(max_workers=3)
+        try:
+            assert ex.map(lambda x: x + 1, list(range(10))) == list(range(1, 11))
+        finally:
+            ex.shutdown()
+
+    def test_factory(self):
+        from repro.federated import SerialExecutor, ThreadExecutor, make_executor
+
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        ex = make_executor("thread", max_workers=2)
+        assert isinstance(ex, ThreadExecutor)
+        ex.shutdown()
+        with pytest.raises(KeyError):
+            make_executor("mpi")

@@ -1,0 +1,94 @@
+"""Local update loop: loss terms toggle correctly."""
+
+import numpy as np
+import pytest
+
+from repro.federated import LocalUpdateConfig, local_update
+from repro.federated.client import FederatedClient
+from repro.models import build_model
+
+
+def _client(seed=0, n=24):
+    rng = np.random.default_rng(seed)
+    model = build_model("cnn2layer", in_channels=1, num_classes=3, scale="tiny", rng=rng)
+    images = rng.random((n, 1, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 3, n)
+    return FederatedClient(0, model, images, labels, images[:8], labels[:8], batch_size=8, lr=1e-3, seed=seed)
+
+
+class TestConfig:
+    def test_invalid_proximal_target(self):
+        with pytest.raises(ValueError):
+            LocalUpdateConfig(proximal_on="features")
+
+
+class TestLocalUpdate:
+    def test_returns_mean_loss(self):
+        c = _client()
+        loss = local_update(c, 1, LocalUpdateConfig(use_contrastive=False, use_proximal=False))
+        assert np.isfinite(loss) and loss > 0
+
+    def test_parameters_change(self):
+        c = _client()
+        before = {n: p.data.copy() for n, p in c.model.named_parameters()}
+        local_update(c, 1, LocalUpdateConfig(use_contrastive=False, use_proximal=False))
+        changed = any(
+            not np.allclose(p.data, before[n]) for n, p in c.model.named_parameters()
+        )
+        assert changed
+
+    def test_ce_only_loss_decreases_over_epochs(self):
+        c = _client()
+        cfg = LocalUpdateConfig(use_contrastive=False, use_proximal=False)
+        first = local_update(c, 1, cfg)
+        for _ in range(6):
+            last = local_update(c, 1, cfg)
+        assert last < first
+
+    def test_contrastive_increases_loss_value(self):
+        """Total loss with CL term is CE + positive CL."""
+        c1, c2 = _client(), _client()
+        l_plain = local_update(c1, 1, LocalUpdateConfig(use_contrastive=False, use_proximal=False))
+        l_cl = local_update(c2, 1, LocalUpdateConfig(use_contrastive=True, use_proximal=False))
+        assert l_cl > l_plain
+
+    def test_proximal_pulls_toward_reference(self):
+        c = _client()
+        ref = {k: np.zeros_like(v) for k, v in dict(c.model.classifier_parameters()).items()}
+        ref = {k: p.data.copy() * 0 for k, p in c.model.classifier_parameters()}
+        norm_before = float(np.linalg.norm(c.model.classifier.weight.data))
+        cfg = LocalUpdateConfig(use_contrastive=False, use_proximal=True, rho=100.0)
+        for _ in range(5):
+            local_update(c, 1, cfg, reference_state=ref)
+        norm_after = float(np.linalg.norm(c.model.classifier.weight.data))
+        assert norm_after < norm_before  # strong prox toward zero shrinks weights
+
+    def test_proximal_on_all_weights(self):
+        c = _client()
+        ref = c.model.state_dict()
+        cfg = LocalUpdateConfig(
+            use_contrastive=False, use_proximal=True, rho=0.5, proximal_on="all", proximal_squared=True
+        )
+        loss = local_update(c, 1, cfg, reference_state=ref)
+        assert np.isfinite(loss)
+
+    def test_no_reference_skips_proximal(self):
+        c = _client()
+        cfg = LocalUpdateConfig(use_contrastive=False, use_proximal=True, rho=1.0)
+        loss = local_update(c, 1, cfg, reference_state=None)
+        assert np.isfinite(loss)
+
+    def test_zero_epochs_no_change(self):
+        c = _client()
+        before = c.model.classifier.weight.data.copy()
+        loss = local_update(c, 0, LocalUpdateConfig(use_contrastive=False, use_proximal=False))
+        assert loss == 0.0
+        assert np.array_equal(c.model.classifier.weight.data, before)
+
+    def test_deterministic_given_seed(self):
+        losses = []
+        for _ in range(2):
+            c = _client(seed=4)
+            cfg = LocalUpdateConfig(use_contrastive=True, use_proximal=False)
+            losses.append(local_update(c, 1, cfg))
+        assert losses[0] == losses[1]

@@ -1,0 +1,95 @@
+"""Experiment wiring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_preset
+from repro.experiments.common import (
+    base_dataset_name,
+    fedproto_spec,
+    make_public_images,
+    make_spec,
+    run_algorithm,
+)
+from repro.federated import build_federation
+
+
+@pytest.fixture
+def micro():
+    return tiny_preset(
+        "fashion_mnist-tiny", num_clients=4, rounds=1, n_train=160, test_per_client=20,
+        ktpfl_local_epochs=1, n_public=30,
+    )
+
+
+class TestHelpers:
+    def test_base_dataset_name(self):
+        assert base_dataset_name("cifar10-tiny") == "cifar10"
+        assert base_dataset_name("emnist") == "emnist"
+
+    def test_make_spec_carries_preset(self, micro):
+        spec = make_spec(micro, partition="skewed", seed=3)
+        assert spec.dataset == micro.dataset
+        assert spec.partition == "skewed"
+        assert spec.seed == 3
+
+    def test_public_images_disjoint_from_clients(self, micro):
+        pub = make_public_images(micro)
+        spec = make_spec(micro)
+        clients, _ = build_federation(spec)
+        assert pub.shape[0] == micro.n_public
+        # different seed stream → different images
+        assert not np.array_equal(pub[: len(clients[0].train_images)], clients[0].train_images)
+
+    def test_unknown_algorithm_raises(self, micro):
+        with pytest.raises(KeyError):
+            run_algorithm("fedsgd", micro)
+
+
+class TestFedProtoScheme:
+    def test_cifar_uses_stride_variants(self, micro):
+        from dataclasses import replace
+
+        spec = fedproto_spec(make_spec(replace(micro, dataset="cifar10-tiny")))
+        assert all(a == "resnet18" for a in spec.architectures)
+        strides = {tuple(spec.model_overrides[k]["stage_strides"]) for k in range(4)}
+        assert len(strides) > 1
+
+    def test_mnist_uses_channel_variants(self, micro):
+        spec = fedproto_spec(make_spec(micro))
+        assert all(a == "cnn2layer" for a in spec.architectures)
+        channels = {tuple(spec.model_overrides[k]["channels"]) for k in range(4)}
+        assert len(channels) > 1
+
+    def test_feature_dims_stay_equal(self, micro):
+        spec = fedproto_spec(make_spec(micro))
+        clients, _ = build_federation(spec)
+        dims = {c.model.feature_dim for c in clients}
+        assert len(dims) == 1  # FedProto's prototype constraint holds
+
+
+class TestRunAlgorithmPaths:
+    @pytest.mark.parametrize("name", ["baseline", "fedclassavg", "fedproto"])
+    def test_heterogeneous_paths(self, micro, name):
+        h, cost = run_algorithm(name, micro, rounds=1)
+        assert len(h.rounds) == 1
+        assert cost.total_bytes >= 0
+
+    def test_ktpfl_path(self, micro):
+        h, cost = run_algorithm("ktpfl", micro, rounds=1)
+        assert cost.total_bytes > 0  # public broadcast happened
+
+    @pytest.mark.parametrize("name", ["fedavg", "fedprox"])
+    def test_homogeneous_paths(self, micro, name):
+        h, _ = run_algorithm(name, micro, rounds=1, homogeneous_arch="cnn2layer")
+        assert len(h.rounds) == 1
+
+    def test_fedclassavg_kwargs_forwarded(self, micro):
+        h, _ = run_algorithm(
+            "fedclassavg",
+            micro,
+            rounds=1,
+            homogeneous_arch="cnn2layer",
+            fedclassavg_kwargs={"share_all_weights": True},
+        )
+        assert len(h.rounds) == 1

@@ -1,0 +1,149 @@
+"""Experiment harnesses: each table/figure produces well-formed output."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_preset
+from repro.experiments import (
+    ABLATION_VARIANTS,
+    format_curves,
+    format_figure8,
+    format_figure9,
+    format_partition_figure,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_figure8,
+    run_figure9,
+    run_hetero_curves,
+    run_homo_curves,
+    run_hyperparameter_search,
+    run_partition_figure,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return tiny_preset(
+        "fashion_mnist-tiny",
+        num_clients=4,
+        rounds=2,
+        n_train=200,
+        n_test=120,
+        test_per_client=20,
+        ktpfl_local_epochs=1,
+        n_public=40,
+    )
+
+
+class TestTable1:
+    def test_format_contains_all_datasets(self):
+        out = format_table1()
+        for name in ("cifar10", "fashion_mnist", "emnist"):
+            assert name in out
+
+    def test_search_returns_best(self, micro):
+        best = run_hyperparameter_search(micro, n_trials=2, rounds=1)
+        assert 0 <= best.score <= 1
+        assert "lr" in best.params and "rho" in best.params
+
+
+class TestTable2:
+    def test_grid_complete(self, micro):
+        r = run_table2(micro, partitions=("dirichlet",), methods=("baseline", "fedclassavg"), rounds=1)
+        assert set(r.cells) == {("baseline", "dirichlet"), ("fedclassavg", "dirichlet")}
+        for mean, std in r.cells.values():
+            assert 0 <= mean <= 1 and std >= 0
+        out = format_table2([r])
+        assert "Proposed" in out and "Baseline" in out
+
+
+class TestTable3:
+    def test_runs_methods(self, micro):
+        methods = (("FedAvg", "fedavg", True), ("Proposed", "fedclassavg", False))
+        r = run_table3(micro, arch="cnn2layer", client_settings=((4, 1.0),), methods=methods, rounds=1)
+        assert ("FedAvg", 4) in r.cells and ("Proposed", 4) in r.cells
+        assert "cnn2layer" in format_table3(r)
+
+
+class TestTable4:
+    def test_all_variants(self, micro):
+        r = run_table4(micro, rounds=1)
+        assert set(r.accs) == set(ABLATION_VARIANTS)
+        out = format_table4([r])
+        assert "+PR,CL" in out
+
+
+class TestTable5:
+    def test_orders_of_magnitude(self):
+        r = run_table5(scale="paper")
+        assert r.proposed_bytes * 100 < r.ktpfl_bytes
+        assert r.ktpfl_bytes < r.model_sharing_bytes
+        assert "Proposed" in format_table5(r)
+
+    def test_paper_scale_byte_match(self):
+        """Measured payloads land within 10% of the paper's Table 5."""
+        r = run_table5(scale="paper")
+        assert abs(r.model_sharing_bytes - 43.73 * 1024**2) / (43.73 * 1024**2) < 0.1
+        assert abs(r.ktpfl_bytes - 8.9 * 1024**2) / (8.9 * 1024**2) < 0.1
+        assert abs(r.proposed_bytes - 22 * 1024) / (22 * 1024) < 0.15
+
+
+class TestPartitionFigures:
+    def test_dirichlet_distribution(self):
+        fig = run_partition_figure("cifar10-tiny", "dirichlet", num_clients=6, n_train=600)
+        assert fig.distribution.shape == (6, 10)
+        assert fig.distribution.sum() <= 600
+        assert "label distribution" in format_partition_figure(fig)
+
+    def test_skewed_two_classes(self):
+        fig = run_partition_figure(
+            "emnist-tiny", "skewed", num_clients=6, n_train=520, classes_per_client=2
+        )
+        assert ((fig.distribution > 0).sum(axis=1) <= 2).all()
+
+    def test_skewed_entropy_lower_than_dirichlet(self):
+        d = run_partition_figure("cifar10-tiny", "dirichlet", num_clients=6, n_train=600)
+        s = run_partition_figure("cifar10-tiny", "skewed", num_clients=6, n_train=600)
+        assert s.entropies.mean() < d.entropies.mean()
+
+
+class TestCurves:
+    def test_hetero_curves(self, micro):
+        r = run_hetero_curves(micro, rounds=1, methods=("fedclassavg", "baseline"))
+        assert "Ours" in r.curves and "baseline" in r.curves
+        epochs, accs = r.curves["Ours"]
+        assert len(epochs) == len(accs) == 1
+        assert "final" in format_curves(r)
+
+    def test_homo_curves(self, micro):
+        methods = (("FedAvg", "fedavg", True), ("Ours", "fedclassavg", False))
+        r = run_homo_curves(micro, arch="cnn2layer", rounds=1, methods=methods)
+        assert set(r.curves) == {"FedAvg", "Ours"}
+
+
+class TestFigure8:
+    def test_result_structure(self, micro):
+        r = run_figure8(micro, rounds=1, n_points=24, n_models=2, tsne_iters=40)
+        assert r.embedding_baseline.shape == (2 * 24, 2)
+        assert r.alignment_baseline > 0 and r.alignment_proposed > 0
+        assert "alignment" in format_figure8(r)
+
+
+class TestFigure9:
+    def test_result_structure(self, micro):
+        r = run_figure9(micro, rounds=1, n_eval_images=12)
+        k = micro.num_clients
+        assert r.ranks_proposed.shape[0] == k
+        assert -1 <= r.mean_corr_proposed <= 1
+        assert "Spearman" in format_figure9(r)
+        # each row is a permutation of 0..D-1
+        d = r.ranks_proposed.shape[1]
+        for row in r.ranks_proposed:
+            assert sorted(row) == list(range(d))

@@ -1,0 +1,92 @@
+"""Experiment result formatters (pure functions, no training)."""
+
+import numpy as np
+
+from repro.experiments.figures_curves import CurvesResult, format_curves
+from repro.experiments.figures_partition import PartitionFigure, format_partition_figure
+from repro.experiments.table2 import Table2Result, format_table2
+from repro.experiments.table3 import Table3Result, format_table3
+from repro.experiments.table4 import Table4Result, format_table4
+from repro.experiments.table5 import Table5Result, format_table5
+
+
+class TestTable2Format:
+    def _result(self, dataset="ds1"):
+        r = Table2Result(dataset=dataset)
+        for m in ("baseline", "fedproto", "ktpfl", "fedclassavg"):
+            for p in ("dirichlet", "skewed"):
+                r.cells[(m, p)] = (0.5, 0.01)
+        return r
+
+    def test_multiple_datasets_side_by_side(self):
+        out = format_table2([self._result("A"), self._result("B")])
+        assert "A Dir(0.5)" in out and "B Skewed" in out
+        assert out.count("0.5000 ± 0.0100") == 16
+
+    def test_missing_cells_dashed(self):
+        r = Table2Result(dataset="X")
+        r.cells[("baseline", "dirichlet")] = (0.4, 0.0)
+        out = format_table2([r])
+        assert "-" in out
+
+    def test_skewed_only_results_still_render_rows(self):
+        # regression: methods with only skewed cells must appear
+        r = Table2Result(dataset="X")
+        r.cells[("baseline", "skewed")] = (0.6, 0.1)
+        r.cells[("fedclassavg", "skewed")] = (0.7, 0.1)
+        out = format_table2([r])
+        assert "Baseline" in out and "Proposed" in out
+        assert "0.7000" in out
+
+
+class TestTable3Format:
+    def test_rows_follow_method_order(self):
+        r = Table3Result(dataset="d", arch="resnet18")
+        r.cells[("FedAvg", 4)] = (0.3, 0.1)
+        r.cells[("Proposed", 4)] = (0.5, 0.1)
+        out = format_table3(r)
+        assert out.index("FedAvg") < out.index("Proposed")
+        assert "4 clients" in out
+
+
+class TestTable4Format:
+    def test_columns(self):
+        r = Table4Result(dataset="d", accs={"CA": 0.1, "+PR": 0.2, "+CL": 0.3, "+PR,CL": 0.4})
+        out = format_table4([r])
+        for col in ("CA", "+PR", "+CL", "+PR,CL"):
+            assert col in out
+        assert "0.4000" in out
+
+
+class TestTable5Format:
+    def test_human_readable_bytes(self):
+        r = Table5Result(
+            scale="paper",
+            model_sharing_bytes=45 * 1024**2,
+            ktpfl_bytes=9 * 1024**2,
+            proposed_bytes=22 * 1024,
+        )
+        out = format_table5(r)
+        assert "45.00 MB" in out and "22.00 KB" in out
+
+
+class TestCurvesFormat:
+    def test_all_series_in_output(self):
+        r = CurvesResult(title="t")
+        r.curves["Ours"] = (np.array([1, 2]), np.array([0.1, 0.5]))
+        r.curves["baseline"] = (np.array([1, 2]), np.array([0.1, 0.2]))
+        out = format_curves(r)
+        assert "Ours" in out and "baseline" in out
+        assert "final" in out and "0.5000" in out
+
+
+class TestPartitionFormat:
+    def test_entropy_line(self):
+        fig = PartitionFigure(
+            dataset="d",
+            scheme="dirichlet",
+            distribution=np.array([[5, 5], [9, 1]]),
+            entropies=np.array([0.69, 0.3]),
+        )
+        out = format_partition_figure(fig)
+        assert "entropy" in out and "dirichlet" in out

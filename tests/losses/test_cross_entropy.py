@@ -1,0 +1,105 @@
+"""Cross-entropy / NLL / distillation losses."""
+
+import numpy as np
+import pytest
+
+from repro.losses import cross_entropy, kl_divergence, nll_loss, soft_cross_entropy
+from repro.losses.classification import softmax_probs
+from repro.tensor import Tensor, gradcheck, log_softmax
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = _rand((4, 3))
+        y = np.array([0, 2, 1, 1])
+        lp = logits - np.log(np.exp(logits).sum(1, keepdims=True))
+        expected = -lp[np.arange(4), y].mean()
+        assert np.isclose(cross_entropy(Tensor(logits), y).item(), expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert cross_entropy(Tensor(logits), np.array([1, 2])).item() < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((5, 10))
+        assert np.isclose(cross_entropy(Tensor(logits), np.zeros(5, dtype=int)).item(), np.log(10))
+
+    def test_grad(self):
+        y = np.array([1, 0, 2])
+        assert gradcheck(lambda l: cross_entropy(l, y), [_rand((3, 4))])
+
+    def test_grad_is_softmax_minus_onehot(self):
+        logits = Tensor(_rand((2, 3)), requires_grad=True)
+        y = np.array([0, 2])
+        cross_entropy(logits, y).backward()
+        p = np.exp(logits.data) / np.exp(logits.data).sum(1, keepdims=True)
+        onehot = np.eye(3)[y]
+        assert np.allclose(logits.grad, (p - onehot) / 2)
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(_rand((3, 4))), np.array([0, 1]))
+
+    def test_stable_with_large_logits(self):
+        logits = _rand((3, 4)) * 1000
+        out = cross_entropy(Tensor(logits), np.array([0, 1, 2]))
+        assert np.isfinite(out.item())
+
+
+class TestNLL:
+    def test_consistent_with_cross_entropy(self):
+        logits = _rand((3, 5))
+        y = np.array([0, 1, 4])
+        ce = cross_entropy(Tensor(logits), y).item()
+        nll = nll_loss(log_softmax(Tensor(logits), axis=-1), y).item()
+        assert np.isclose(ce, nll)
+
+
+class TestKL:
+    def test_zero_when_matched(self):
+        logits = _rand((3, 4))
+        teacher = softmax_probs(Tensor(logits), 1.0)
+        assert kl_divergence(Tensor(logits), teacher, 1.0).item() < 1e-10
+
+    def test_nonnegative(self):
+        for seed in range(3):
+            s = _rand((4, 5), seed)
+            t = softmax_probs(Tensor(_rand((4, 5), seed + 10)), 1.0)
+            assert kl_divergence(Tensor(s), t).item() >= -1e-10
+
+    def test_grad(self):
+        t = softmax_probs(Tensor(_rand((3, 4), 5)), 2.0)
+        assert gradcheck(lambda l: kl_divergence(l, t, temperature=2.0), [_rand((3, 4))])
+
+    def test_soft_ce_differs_by_entropy_constant(self):
+        s = _rand((3, 4))
+        t = softmax_probs(Tensor(_rand((3, 4), 1)), 1.0)
+        kl = kl_divergence(Tensor(s), t).item()
+        sce = soft_cross_entropy(Tensor(s), t).item()
+        entropy = -(t * np.log(t)).sum(axis=1).mean()
+        assert np.isclose(sce - kl, entropy, atol=1e-8)
+
+    def test_temperature_scaling_applied(self):
+        s = _rand((2, 3))
+        t = softmax_probs(Tensor(_rand((2, 3), 1)), 4.0)
+        a = soft_cross_entropy(Tensor(s), t, temperature=1.0).item()
+        b = soft_cross_entropy(Tensor(s), t, temperature=4.0).item()
+        assert a != b
+
+
+class TestSoftmaxProbs:
+    def test_rows_sum_to_one(self):
+        p = softmax_probs(Tensor(_rand((4, 6))), 3.0)
+        assert np.allclose(p.sum(1), 1.0)
+
+    def test_high_temperature_flattens(self):
+        logits = Tensor(np.array([[10.0, 0.0]]))
+        sharp = softmax_probs(logits, 1.0)
+        flat = softmax_probs(logits, 100.0)
+        assert flat[0, 0] < sharp[0, 0]

@@ -1,0 +1,83 @@
+"""NT-Xent (SimCLR) contrastive loss."""
+
+import numpy as np
+import pytest
+
+from repro.losses import ntxent_loss, supcon_loss
+from repro.tensor import Tensor, gradcheck
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestNTXent:
+    def test_positive(self):
+        loss = ntxent_loss(Tensor(_rand((4, 6))), Tensor(_rand((4, 6), 1)))
+        assert loss.item() > 0
+
+    def test_lower_when_views_aligned(self):
+        a = _rand((4, 6))
+        aligned = ntxent_loss(Tensor(a), Tensor(a + 0.01 * _rand((4, 6), 1))).item()
+        random = ntxent_loss(Tensor(a), Tensor(_rand((4, 6), 2))).item()
+        assert aligned < random
+
+    def test_labels_ignored_vs_supcon(self):
+        """With all-distinct labels SupCon degenerates to NT-Xent (each
+        anchor's only positive is its own second view)."""
+        a, b = _rand((4, 5)), _rand((4, 5), 1)
+        labels = np.arange(4)
+        s = supcon_loss(Tensor(a), Tensor(b), labels, temperature=0.5).item()
+        n = ntxent_loss(Tensor(a), Tensor(b), temperature=0.5).item()
+        assert np.isclose(s, n, atol=1e-10)
+
+    def test_gradcheck(self):
+        assert gradcheck(
+            lambda a, b: ntxent_loss(a, b, temperature=0.5),
+            [_rand((3, 4)), _rand((3, 4), 1)],
+            atol=1e-4,
+        )
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ntxent_loss(Tensor(_rand((3, 4))), Tensor(_rand((2, 4))))
+
+    def test_single_sample_raises(self):
+        with pytest.raises(ValueError):
+            ntxent_loss(Tensor(_rand((1, 4))), Tensor(_rand((1, 4))))
+
+    def test_scale_invariance(self):
+        a, b = _rand((3, 4)), _rand((3, 4), 1)
+        l1 = ntxent_loss(Tensor(a), Tensor(b)).item()
+        l2 = ntxent_loss(Tensor(7 * a), Tensor(7 * b)).item()
+        assert np.isclose(l1, l2, atol=1e-10)
+
+
+class TestTrainerIntegration:
+    def test_ntxent_local_update(self):
+        from repro.federated import LocalUpdateConfig, local_update
+        from repro.federated.client import FederatedClient
+        from repro.models import build_model
+
+        rng = np.random.default_rng(0)
+        model = build_model("cnn2layer", in_channels=1, num_classes=3, scale="tiny", rng=rng)
+        images = rng.random((16, 1, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, 16)
+        client = FederatedClient(0, model, images, labels, images[:4], labels[:4], batch_size=8)
+        cfg = LocalUpdateConfig(use_contrastive=True, contrastive="ntxent", use_proximal=False)
+        loss = local_update(client, 1, cfg)
+        assert np.isfinite(loss) and loss > 0
+
+    def test_invalid_contrastive_name(self):
+        from repro.federated import LocalUpdateConfig
+
+        with pytest.raises(ValueError):
+            LocalUpdateConfig(contrastive="moco")
+
+    def test_fedclassavg_accepts_ntxent(self, micro_federation):
+        from repro.core import FedClassAvg
+
+        clients, _ = micro_federation
+        algo = FedClassAvg(clients, contrastive="ntxent", seed=0)
+        h = algo.run(1)
+        assert np.isfinite(h.rounds[-1].train_loss)

@@ -1,0 +1,71 @@
+"""FedProto prototype computation, aggregation, and loss."""
+
+import numpy as np
+
+from repro.losses import aggregate_prototypes, compute_prototypes, prototype_loss
+from repro.tensor import Tensor, gradcheck
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestComputePrototypes:
+    def test_per_class_means(self):
+        feats = np.array([[1.0, 0], [3, 0], [0, 2]])
+        labels = np.array([0, 0, 1])
+        protos = compute_prototypes(feats, labels, 3)
+        assert np.allclose(protos[0], [2, 0])
+        assert np.allclose(protos[1], [0, 2])
+
+    def test_absent_class_omitted(self):
+        protos = compute_prototypes(_rand((4, 3)), np.zeros(4, dtype=int), 5)
+        assert set(protos) == {0}
+
+
+class TestAggregatePrototypes:
+    def test_uniform_average(self):
+        c1 = {0: np.array([1.0, 0])}
+        c2 = {0: np.array([3.0, 0])}
+        out = aggregate_prototypes([c1, c2])
+        assert np.allclose(out[0], [2, 0])
+
+    def test_weighted(self):
+        c1 = {0: np.array([0.0])}
+        c2 = {0: np.array([10.0])}
+        out = aggregate_prototypes([c1, c2], weights=[3.0, 1.0])
+        assert np.allclose(out[0], [2.5])
+
+    def test_disjoint_classes_union(self):
+        out = aggregate_prototypes([{0: np.array([1.0])}, {1: np.array([2.0])}])
+        assert set(out) == {0, 1}
+
+
+class TestPrototypeLoss:
+    def test_zero_at_prototypes(self):
+        protos = {0: np.array([1.0, 2.0]), 1: np.array([3.0, 4.0])}
+        feats = np.array([[1.0, 2.0], [3.0, 4.0]])
+        loss = prototype_loss(Tensor(feats), np.array([0, 1]), protos)
+        assert loss.item() < 1e-12
+
+    def test_missing_class_contributes_zero(self):
+        protos = {0: np.array([0.0, 0.0])}
+        feats = np.array([[0.0, 0.0], [100.0, 100.0]])
+        loss = prototype_loss(Tensor(feats), np.array([0, 7]), protos)
+        assert loss.item() < 1e-12
+
+    def test_empty_prototypes_zero(self):
+        loss = prototype_loss(Tensor(_rand((3, 4))), np.array([0, 1, 2]), {})
+        assert loss.item() == 0.0
+
+    def test_grad(self):
+        protos = {0: _rand(4, 1), 1: _rand(4, 2)}
+        labels = np.array([0, 1, 0])
+        assert gradcheck(lambda f: prototype_loss(f, labels, protos), [_rand((3, 4))])
+
+    def test_gradient_moves_feature_toward_prototype(self):
+        protos = {0: np.array([5.0, 5.0])}
+        feats = Tensor(np.array([[0.0, 0.0]]), requires_grad=True)
+        prototype_loss(feats, np.array([0]), protos).backward()
+        stepped = feats.data - 1.0 * feats.grad
+        assert np.linalg.norm(stepped - protos[0]) < np.linalg.norm(feats.data - protos[0])

@@ -1,0 +1,65 @@
+"""Proximal regularizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.losses import l2_distance_state, proximal_l2
+from repro.tensor import Tensor
+
+
+class TestProximalL2:
+    def test_zero_at_reference(self):
+        lin = nn.Linear(3, 2)
+        ref = {n: p.data.copy() for n, p in lin.named_parameters()}
+        loss = proximal_l2(list(lin.named_parameters()), ref)
+        assert loss.item() < 1e-5  # sqrt(eps) floor
+
+    def test_squared_matches_manual(self):
+        lin = nn.Linear(3, 2)
+        ref = {n: p.data + 0.5 for n, p in lin.named_parameters()}
+        loss = proximal_l2(list(lin.named_parameters()), ref, squared=True)
+        expected = sum(((p.data - ref[n]) ** 2).sum() for n, p in lin.named_parameters())
+        assert np.isclose(loss.item(), expected)
+
+    def test_norm_is_sqrt_of_squared(self):
+        lin = nn.Linear(3, 2)
+        ref = {n: p.data + 0.3 for n, p in lin.named_parameters()}
+        sq = proximal_l2(list(lin.named_parameters()), ref, squared=True).item()
+        l2 = proximal_l2(list(lin.named_parameters()), ref, squared=False).item()
+        assert np.isclose(l2, np.sqrt(sq), atol=1e-5)
+
+    def test_gradient_points_toward_reference(self):
+        lin = nn.Linear(2, 2)
+        ref = {n: p.data + 1.0 for n, p in lin.named_parameters()}
+        proximal_l2(list(lin.named_parameters()), ref, squared=True).backward()
+        # d/dw ||w - r||² = 2(w - r) = -2 < 0: stepping down the gradient
+        # moves w toward r
+        assert np.all(lin.weight.grad < 0)
+
+    def test_list_reference(self):
+        lin = nn.Linear(2, 2)
+        refs = [p.data.copy() for p in lin.parameters()]
+        loss = proximal_l2(lin.parameters(), refs, squared=True)
+        assert loss.item() < 1e-10
+
+    def test_count_mismatch_raises(self):
+        lin = nn.Linear(2, 2)
+        with pytest.raises(ValueError):
+            proximal_l2(lin.parameters(), [np.zeros((2, 2))])
+
+    def test_dict_requires_named_pairs(self):
+        lin = nn.Linear(2, 2)
+        with pytest.raises(TypeError):
+            proximal_l2(lin.parameters(), {"weight": np.zeros((2, 2))})
+
+
+class TestL2DistanceState:
+    def test_zero_for_identical(self):
+        s = {"a": np.ones((2, 2))}
+        assert l2_distance_state(s, {"a": np.ones((2, 2))}) == 0.0
+
+    def test_matches_norm(self):
+        a = {"x": np.array([3.0]), "y": np.array([4.0])}
+        b = {"x": np.array([0.0]), "y": np.array([0.0])}
+        assert np.isclose(l2_distance_state(a, b), 5.0)

@@ -1,0 +1,104 @@
+"""Supervised contrastive loss: reference properties and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.losses import normalize_features, supcon_loss
+from repro.tensor import Tensor, gradcheck
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestNormalize:
+    def test_unit_rows(self):
+        z = normalize_features(Tensor(_rand((5, 8)))).data
+        assert np.allclose(np.linalg.norm(z, axis=1), 1.0)
+
+    def test_zero_row_safe(self):
+        z = normalize_features(Tensor(np.zeros((2, 4)))).data
+        assert np.isfinite(z).all()
+
+
+class TestSupConValues:
+    def test_positive(self):
+        labels = np.array([0, 1, 0, 1])
+        loss = supcon_loss(Tensor(_rand((4, 8))), Tensor(_rand((4, 8), 1)), labels)
+        assert loss.item() > 0
+
+    def test_lower_when_classes_separated(self):
+        """Well-separated class clusters ⇒ smaller loss than random features."""
+        labels = np.array([0, 0, 1, 1])
+        sep_a = np.array([[10.0, 0], [10, 0.1], [-10, 0], [-10, 0.1]])
+        sep_b = sep_a + 0.01
+        rand_a, rand_b = _rand((4, 2)), _rand((4, 2), 1)
+        l_sep = supcon_loss(Tensor(sep_a), Tensor(sep_b), labels).item()
+        l_rand = supcon_loss(Tensor(rand_a), Tensor(rand_b), labels).item()
+        assert l_sep < l_rand
+
+    def test_permutation_equivariance(self):
+        """Permuting samples (with their labels) leaves the loss unchanged."""
+        labels = np.array([0, 1, 2, 0])
+        a, b = _rand((4, 6)), _rand((4, 6), 1)
+        base = supcon_loss(Tensor(a), Tensor(b), labels).item()
+        perm = np.array([2, 0, 3, 1])
+        permuted = supcon_loss(Tensor(a[perm]), Tensor(b[perm]), labels[perm]).item()
+        assert np.isclose(base, permuted, atol=1e-10)
+
+    def test_scale_invariance_of_features(self):
+        """L2 normalization makes the loss invariant to feature scaling."""
+        labels = np.array([0, 1, 0])
+        a, b = _rand((3, 4)), _rand((3, 4), 1)
+        l1 = supcon_loss(Tensor(a), Tensor(b), labels).item()
+        l2 = supcon_loss(Tensor(5 * a), Tensor(5 * b), labels).item()
+        assert np.isclose(l1, l2, atol=1e-10)
+
+    def test_temperature_changes_loss(self):
+        labels = np.array([0, 1])
+        a, b = _rand((2, 4)), _rand((2, 4), 1)
+        l1 = supcon_loss(Tensor(a), Tensor(b), labels, temperature=0.07).item()
+        l2 = supcon_loss(Tensor(a), Tensor(b), labels, temperature=1.0).item()
+        assert l1 != l2
+
+    def test_all_same_label(self):
+        labels = np.zeros(3, dtype=int)
+        loss = supcon_loss(Tensor(_rand((3, 4))), Tensor(_rand((3, 4), 1)), labels)
+        assert np.isfinite(loss.item())
+
+    def test_all_distinct_labels_still_finite(self):
+        # each anchor's only positive is its second view
+        labels = np.arange(4)
+        loss = supcon_loss(Tensor(_rand((4, 5))), Tensor(_rand((4, 5), 1)), labels)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            supcon_loss(Tensor(_rand((3, 4))), Tensor(_rand((2, 4))), np.array([0, 1, 2]))
+
+
+class TestSupConGrad:
+    def test_gradcheck(self):
+        labels = np.array([0, 1, 0])
+        assert gradcheck(
+            lambda a, b: supcon_loss(a, b, labels, temperature=0.5),
+            [_rand((3, 5)), _rand((3, 5), 1)],
+            atol=1e-4,
+        )
+
+    def test_gradient_pulls_positives_together(self):
+        """One step of gradient descent must increase positive-pair cosine."""
+        labels = np.array([0, 0])
+        a = Tensor(_rand((2, 4)), requires_grad=True)
+        b = Tensor(_rand((2, 4), 1), requires_grad=True)
+
+        def cos_pos(x, y):
+            xa = x / np.linalg.norm(x, axis=1, keepdims=True)
+            ya = y / np.linalg.norm(y, axis=1, keepdims=True)
+            return (xa * ya).sum(1).mean()
+
+        before = cos_pos(a.data, b.data)
+        supcon_loss(a, b, labels, temperature=0.5).backward()
+        a2 = a.data - 0.5 * a.grad
+        b2 = b.data - 0.5 * b.grad
+        assert cos_pos(a2, b2) > before

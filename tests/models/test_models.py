@@ -1,0 +1,169 @@
+"""Model zoo: shapes, split structure, classifier exchange, registry."""
+
+import numpy as np
+import pytest
+
+from repro.losses import cross_entropy
+from repro.models import (
+    MODEL_REGISTRY,
+    PAPER_ARCHITECTURES,
+    SplitModel,
+    build_model,
+    channel_shuffle,
+    heterogeneous_assignment,
+)
+from repro.tensor import Tensor
+
+ALL_MODELS = sorted(MODEL_REGISTRY)
+
+
+def _model(name, **kw):
+    defaults = dict(in_channels=3, num_classes=10, scale="tiny", rng=np.random.default_rng(0))
+    defaults.update(kw)
+    return build_model(name, **defaults)
+
+
+def _x(n=2, c=3, s=16, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=(n, c, s, s)))
+
+
+class TestAllArchitectures:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_logits_shape(self, name):
+        m = _model(name)
+        assert m(_x()).shape == (2, 10)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_feature_shape(self, name):
+        m = _model(name)
+        assert m.features(_x()).shape == (2, 32)  # tiny feature_dim
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_backward_reaches_all_parameters(self, name):
+        m = _model(name)
+        m.train()
+        loss = cross_entropy(m(_x()), np.array([0, 1]))
+        loss.backward()
+        missing = [n for n, p in m.named_parameters() if p.grad is None]
+        assert not missing, f"no grad for {missing}"
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_grayscale_input(self, name):
+        m = _model(name, in_channels=1)
+        assert m(_x(c=1)).shape == (2, 10)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_custom_num_classes(self, name):
+        m = _model(name, num_classes=26)
+        assert m(_x()).shape == (2, 26)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_state_dict_roundtrip(self, name):
+        m1 = _model(name)
+        m2 = _model(name, rng=np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        m1.eval(), m2.eval()
+        x = _x()
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_deterministic_construction(self, name):
+        m1 = _model(name, rng=np.random.default_rng(3))
+        m2 = _model(name, rng=np.random.default_rng(3))
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2 and np.array_equal(p1.data, p2.data)
+
+
+class TestClassifierExchange:
+    def test_classifier_states_are_shape_compatible_across_archs(self):
+        """The crux of FedClassAvg: any client's classifier fits any other."""
+        models = [_model(n) for n in PAPER_ARCHITECTURES]
+        state = models[0].classifier_state()
+        for m in models[1:]:
+            m.load_classifier_state(state)
+            assert np.allclose(m.classifier.weight.data, models[0].classifier.weight.data)
+
+    def test_classifier_state_keys_prefixed(self):
+        m = _model("alexnet")
+        assert set(m.classifier_state()) == {"classifier.weight", "classifier.bias"}
+
+    def test_load_classifier_keeps_extractor(self):
+        m = _model("resnet18")
+        fe_before = {n: p.data.copy() for n, p in m.feature_extractor.named_parameters()}
+        other = _model("alexnet", rng=np.random.default_rng(5))
+        m.load_classifier_state(other.classifier_state())
+        for n, p in m.feature_extractor.named_parameters():
+            assert np.array_equal(p.data, fe_before[n])
+
+    def test_classifier_parameters_pairs(self):
+        m = _model("cnn2layer")
+        pairs = m.classifier_parameters()
+        assert [n for n, _ in pairs] == ["classifier.weight", "classifier.bias"]
+
+
+class TestChannelShuffle:
+    def test_shape_preserved(self):
+        x = Tensor(np.arange(2 * 4 * 3 * 3, dtype=np.float64).reshape(2, 4, 3, 3))
+        assert channel_shuffle(x, 2).shape == (2, 4, 3, 3)
+
+    def test_interleaves_groups(self):
+        # channels [0,1,2,3] with 2 groups -> [0,2,1,3]
+        x = Tensor(np.arange(4, dtype=np.float64).reshape(1, 4, 1, 1))
+        out = channel_shuffle(x, 2).data[0, :, 0, 0]
+        assert np.array_equal(out, [0, 2, 1, 3])
+
+    def test_is_permutation(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 8, 2, 2)))
+        out = channel_shuffle(x, 4).data
+        assert np.allclose(np.sort(out.ravel()), np.sort(x.data.ravel()))
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            channel_shuffle(Tensor(np.zeros((1, 5, 2, 2))), 2)
+
+
+class TestRegistry:
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("vgg")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet18", scale="huge")
+
+    def test_feature_dim_override(self):
+        m = build_model("cnn2layer", feature_dim=17, rng=np.random.default_rng(0))
+        assert m.features(_x(c=3)).shape == (2, 17)
+
+    def test_constructor_overrides_forwarded(self):
+        m = build_model(
+            "resnet18",
+            scale="tiny",
+            stage_strides=(2, 2),
+            rng=np.random.default_rng(0),
+        )
+        assert m(_x()).shape == (2, 10)
+
+    def test_round_robin_assignment(self):
+        archs = heterogeneous_assignment(10)
+        assert archs[0] == "resnet18" and archs[1] == "shufflenetv2"
+        assert archs[4] == "resnet18"  # wraps at 4
+
+    def test_assignment_custom_list(self):
+        archs = heterogeneous_assignment(4, ("alexnet",))
+        assert archs == ["alexnet"] * 4
+
+
+class TestSplitModel:
+    def test_forward_equals_classifier_of_features(self):
+        m = _model("cnn2layer")
+        m.eval()
+        x = _x()
+        assert np.allclose(m(x).data, m.classifier(m.features(x)).data)
+
+    def test_arch_tag(self):
+        assert _model("googlenet").arch == "googlenet"
+
+    def test_heterogeneous_models_have_different_param_counts(self):
+        counts = {n: _model(n).num_parameters() for n in PAPER_ARCHITECTURES}
+        assert len(set(counts.values())) == len(counts)

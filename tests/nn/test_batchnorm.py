@@ -1,0 +1,88 @@
+"""BatchNorm: normalization semantics, running statistics, modes."""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+def _x(shape, seed=0, loc=0.0, scale=1.0):
+    return np.random.default_rng(seed).normal(loc, scale, size=shape)
+
+
+class TestBatchNorm2d:
+    def test_train_output_normalized(self):
+        bn = nn.BatchNorm2d(3)
+        x = _x((8, 3, 4, 4), loc=5.0, scale=2.0)
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_affine_applied(self):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data[...] = 3.0
+        bn.bias.data[...] = 1.0
+        out = bn(Tensor(_x((8, 2, 3, 3)))).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 1.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 3.0, atol=5e-2)
+
+    def test_running_stats_updated_in_train(self):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = _x((16, 2, 4, 4), loc=4.0)
+        bn(Tensor(x))
+        assert np.allclose(bn.running_mean, 0.5 * x.mean(axis=(0, 2, 3)), atol=1e-6)
+        assert bn.num_batches_tracked == 1
+
+    def test_running_stats_not_updated_in_eval(self):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(_x((4, 2, 3, 3), loc=10.0)))
+        assert np.allclose(bn.running_mean, before)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(1, momentum=1.0)
+        x = _x((32, 1, 4, 4), loc=2.0)
+        bn(Tensor(x))  # running stats ← batch stats
+        bn.eval()
+        out = bn(Tensor(x)).data
+        assert abs(out.mean()) < 0.05
+
+    def test_eval_single_sample_works(self):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        out = bn(Tensor(_x((1, 2, 3, 3))))
+        assert np.isfinite(out.data).all()
+
+    def test_grad_flows(self):
+        bn = nn.BatchNorm2d(2)
+
+        def fn(x):
+            return (bn(x) ** 2).sum()
+
+        assert gradcheck(fn, [_x((4, 2, 3, 3))], atol=1e-4)
+
+    def test_no_affine(self):
+        bn = nn.BatchNorm2d(2, affine=False)
+        assert list(bn.named_parameters()) == []
+        out = bn(Tensor(_x((4, 2, 3, 3))))
+        assert out.shape == (4, 2, 3, 3)
+
+    def test_unbiased_running_var(self):
+        bn = nn.BatchNorm2d(1, momentum=1.0)
+        x = _x((8, 1, 2, 2), scale=3.0)
+        bn(Tensor(x))
+        n = 8 * 2 * 2
+        expected = x.var() * n / (n - 1)
+        assert np.allclose(bn.running_var, expected, rtol=1e-6)
+
+
+class TestBatchNorm1d:
+    def test_normalizes_features(self):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(_x((32, 4), loc=3.0))).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_grad(self):
+        bn = nn.BatchNorm1d(3)
+        assert gradcheck(lambda x: (bn(x) ** 2).sum(), [_x((6, 3))], atol=1e-4)

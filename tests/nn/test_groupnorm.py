@@ -1,0 +1,81 @@
+"""GroupNorm and LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+
+
+def _x(shape, seed=0, loc=0.0):
+    return np.random.default_rng(seed).normal(loc, 1.0, size=shape)
+
+
+class TestGroupNorm:
+    def test_normalizes_per_group(self):
+        gn = nn.GroupNorm(2, 4, affine=False)
+        out = gn(Tensor(_x((3, 4, 5, 5), loc=7.0))).data
+        # each (sample, group) block has ~zero mean / unit variance
+        grouped = out.reshape(3, 2, 2 * 25)
+        assert np.allclose(grouped.mean(axis=2), 0.0, atol=1e-6)
+        assert np.allclose(grouped.std(axis=2), 1.0, atol=1e-3)
+
+    def test_no_cross_sample_dependence(self):
+        """Per-sample normalization: one sample's output is independent of
+        the rest of the batch (unlike BatchNorm)."""
+        gn = nn.GroupNorm(2, 4)
+        x = _x((4, 4, 3, 3))
+        full = gn(Tensor(x)).data[0]
+        solo = gn(Tensor(x[:1])).data[0]
+        assert np.allclose(full, solo, atol=1e-10)
+
+    def test_affine(self):
+        gn = nn.GroupNorm(1, 2)
+        gn.weight.data[...] = 2.0
+        gn.bias.data[...] = 5.0
+        out = gn(Tensor(_x((2, 2, 4, 4)))).data
+        assert abs(out.mean() - 5.0) < 0.1
+
+    def test_indivisible_channels_raise(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_wrong_channels_raise(self):
+        gn = nn.GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(_x((1, 6, 2, 2))))
+
+    def test_grad(self):
+        gn = nn.GroupNorm(2, 4)
+        assert gradcheck(lambda x: (gn(x) ** 2).sum(), [_x((2, 4, 3, 3))], atol=1e-4)
+
+    def test_no_running_state(self):
+        gn = nn.GroupNorm(2, 4)
+        assert list(gn.named_buffers()) == []
+
+    def test_eval_equals_train(self):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(_x((2, 4, 3, 3)))
+        a = gn(x).data
+        gn.eval()
+        b = gn(x).data
+        assert np.allclose(a, b)
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        ln = nn.LayerNorm(8, affine=False)
+        out = ln(Tensor(_x((5, 8), loc=3.0))).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+
+    def test_wrong_dim_raises(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(8)(Tensor(_x((2, 4))))
+
+    def test_grad(self):
+        ln = nn.LayerNorm(6)
+        assert gradcheck(lambda x: (ln(x) ** 2).sum(), [_x((4, 6))], atol=1e-4)
+
+    def test_affine_params_registered(self):
+        ln = nn.LayerNorm(6)
+        assert set(dict(ln.named_parameters())) == {"weight", "bias"}

@@ -1,0 +1,61 @@
+"""Initializer statistics and determinism."""
+
+import math
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        fan_in, fan_out = init._fan_in_out((8, 4))
+        assert (fan_in, fan_out) == (4, 8)
+
+    def test_conv_shape(self):
+        fan_in, fan_out = init._fan_in_out((16, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 16 * 25
+
+
+class TestStatistics:
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((2000, 100), rng=np.random.default_rng(0))
+        expected = math.sqrt(2.0 / 100)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform((100, 50), rng=np.random.default_rng(0))
+        gain = math.sqrt(2.0 / (1 + 5))
+        bound = gain * math.sqrt(3.0 / 50)
+        assert np.abs(w).max() <= bound + 1e-12
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((60, 40), rng=np.random.default_rng(0))
+        bound = math.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        w = init.xavier_normal((1000, 200), rng=np.random.default_rng(0))
+        expected = math.sqrt(2.0 / 1200)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_uniform_fan_in_bound(self):
+        b = init.uniform_fan_in((1000,), 25, rng=np.random.default_rng(0))
+        assert np.abs(b).max() <= 0.2
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((2,)) == 1)
+
+
+class TestDeterminism:
+    def test_same_rng_same_weights(self):
+        a = init.kaiming_normal((5, 5), rng=np.random.default_rng(42))
+        b = init.kaiming_normal((5, 5), rng=np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_different_rng_different_weights(self):
+        a = init.kaiming_normal((5, 5), rng=np.random.default_rng(1))
+        b = init.kaiming_normal((5, 5), rng=np.random.default_rng(2))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,113 @@
+"""Layer forward semantics: Linear, Conv2d, pooling, activations, dropout."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def _x(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape))
+
+
+class TestLinear:
+    def test_output_shape(self):
+        assert nn.Linear(5, 3)(_x((7, 5))).shape == (7, 3)
+
+    def test_matches_manual(self):
+        lin = nn.Linear(4, 2)
+        x = _x((3, 4))
+        ref = x.data @ lin.weight.data.T + lin.bias.data
+        assert np.allclose(lin(x).data, ref)
+
+    def test_no_bias(self):
+        lin = nn.Linear(4, 2, bias=False)
+        x = _x((3, 4))
+        assert np.allclose(lin(x).data, x.data @ lin.weight.data.T)
+
+    def test_grad_flows_to_params(self):
+        lin = nn.Linear(3, 2)
+        lin(_x((2, 3))).sum().backward()
+        assert lin.weight.grad is not None and lin.bias.grad is not None
+
+    def test_deterministic_given_rng(self):
+        a = nn.Linear(3, 2, rng=np.random.default_rng(7))
+        b = nn.Linear(3, 2, rng=np.random.default_rng(7))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert conv(_x((2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+    def test_param_shapes(self):
+        conv = nn.Conv2d(3, 8, 5)
+        assert conv.weight.shape == (8, 3, 5, 5)
+        assert conv.bias.shape == (8,)
+
+    def test_no_bias(self):
+        assert nn.Conv2d(1, 1, 3, bias=False).bias is None
+
+
+class TestPoolingModules:
+    def test_max_pool_shape(self):
+        assert nn.MaxPool2d(2)(_x((1, 2, 8, 8))).shape == (1, 2, 4, 4)
+
+    def test_max_pool_stride_default_equals_kernel(self):
+        assert nn.MaxPool2d(3).stride == 3
+
+    def test_avg_pool_shape(self):
+        assert nn.AvgPool2d(2, 2)(_x((1, 2, 6, 6))).shape == (1, 2, 3, 3)
+
+    def test_adaptive_shape(self):
+        assert nn.AdaptiveAvgPool2d(1)(_x((2, 5, 7, 3))).shape == (2, 5, 1, 1)
+
+
+class TestActivations:
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0, 2])
+
+    def test_leaky_relu_module(self):
+        out = nn.LeakyReLU(0.5)(Tensor(np.array([-2.0, 2.0])))
+        assert np.allclose(out.data, [-1, 2])
+
+    def test_tanh_sigmoid_modules(self):
+        x = Tensor(np.array([0.0]))
+        assert np.allclose(nn.Tanh()(x).data, [0.0])
+        assert np.allclose(nn.Sigmoid()(x).data, [0.5])
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        d = nn.Dropout(0.9)
+        d.eval()
+        x = _x((4, 4))
+        assert np.allclose(d(x).data, x.data)
+
+    def test_train_zeroes_and_scales(self):
+        d = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = d(x).data
+        zeros = (out == 0).mean()
+        assert 0.4 < zeros < 0.6
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted scaling 1/(1-p)
+
+    def test_p_zero_is_identity(self):
+        d = nn.Dropout(0.0)
+        x = _x((3, 3))
+        assert d(x) is x
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_expected_value_preserved(self):
+        d = nn.Dropout(0.3, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 200)))
+        assert abs(d(x).data.mean() - 1.0) < 0.02

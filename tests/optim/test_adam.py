@@ -1,0 +1,80 @@
+"""Adam semantics against a NumPy reference implementation."""
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim import Adam
+
+
+def _reference_adam(p0, grads, lr, betas=(0.9, 0.999), eps=1e-8, wd=0.0):
+    b1, b2 = betas
+    p = p0.copy()
+    m = np.zeros_like(p)
+    v = np.zeros_like(p)
+    for t, g in enumerate(grads, start=1):
+        g = g + wd * p
+        m = b1 * m + (1 - b1) * g
+        v = b2 * v + (1 - b2) * g * g
+        m_hat = m / (1 - b1**t)
+        v_hat = v / (1 - b2**t)
+        p = p - lr * m_hat / (np.sqrt(v_hat) + eps)
+    return p
+
+
+class TestAgainstReference:
+    def test_multiple_steps(self):
+        rng = np.random.default_rng(0)
+        p0 = rng.normal(size=5)
+        grads = [rng.normal(size=5) for _ in range(7)]
+        p = Parameter(p0.copy())
+        opt = Adam([p], lr=0.01)
+        for g in grads:
+            p.grad = g.copy()
+            opt.step()
+        assert np.allclose(p.data, _reference_adam(p0, grads, 0.01), atol=1e-12)
+
+    def test_weight_decay(self):
+        rng = np.random.default_rng(1)
+        p0 = rng.normal(size=4)
+        grads = [rng.normal(size=4) for _ in range(3)]
+        p = Parameter(p0.copy())
+        opt = Adam([p], lr=0.05, weight_decay=0.1)
+        for g in grads:
+            p.grad = g.copy()
+            opt.step()
+        assert np.allclose(p.data, _reference_adam(p0, grads, 0.05, wd=0.1), atol=1e-12)
+
+    def test_bias_correction_first_step(self):
+        # first step with constant grad should move ≈ lr in grad direction
+        p = Parameter(np.array([0.0]))
+        p.grad = np.array([0.3])
+        Adam([p], lr=0.01).step()
+        assert np.allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        Adam([p], lr=0.01).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_state_per_parameter(self):
+        p1 = Parameter(np.array([0.0]))
+        p2 = Parameter(np.array([0.0]))
+        opt = Adam([p1, p2], lr=0.01)
+        p1.grad = np.array([1.0])
+        p2.grad = None
+        opt.step()
+        p1.grad = None
+        p2.grad = np.array([1.0])
+        opt.step()
+        # p2's first real step gets fresh first-step bias correction at t=2
+        assert p1.data[0] != 0.0 and p2.data[0] != 0.0
+
+
+class TestConvergence:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            p.grad = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-3

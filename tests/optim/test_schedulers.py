@@ -1,0 +1,60 @@
+"""LR schedulers."""
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim import Adam, ConstantLR, CosineAnnealingLR, SGD, StepLR
+
+
+def _opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestConstant:
+    def test_never_changes(self):
+        opt = _opt(0.5)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.5
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = _opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01, 0.001])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = _opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        assert np.isclose(sched.get_lr(), 1.0)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_midpoint_half(self):
+        opt = _opt(2.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert np.isclose(opt.lr, 1.0)
+
+    def test_clamps_beyond_t_max(self):
+        opt = _opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=4, eta_min=0.2)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.2)
+
+    def test_works_with_adam(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=0.1)
+        sched = CosineAnnealingLR(opt, t_max=2)
+        sched.step()
+        assert 0 < opt.lr < 0.1

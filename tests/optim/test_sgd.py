@@ -1,0 +1,81 @@
+"""SGD semantics against closed-form updates."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def _param(v):
+    p = Parameter(np.array(v, dtype=np.float64))
+    return p
+
+
+class TestVanilla:
+    def test_single_step(self):
+        p = _param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95, 2.05])
+
+    def test_skips_none_grad(self):
+        p = _param([1.0])
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad = np.ones(1)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.0)
+
+
+class TestMomentum:
+    def test_two_steps_match_closed_form(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        assert np.allclose(p.data, [-2.9])
+
+    def test_nesterov(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9, nesterov=True)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, step = g + mu*v = 1.9
+        assert np.allclose(p.data, [-1.9])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.1, nesterov=True)
+
+
+class TestWeightDecay:
+    def test_decay_added_to_grad(self):
+        p = _param([2.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        # effective grad = 0 + 0.5*2 = 1 -> p = 2 - 0.1
+        assert np.allclose(p.data, [1.9])
+
+
+class TestConvergence:
+    def test_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-4

@@ -1,0 +1,158 @@
+"""Non-iid partitioners: invariants and paper properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_distribution,
+    partition_dataset,
+    skewed_partition,
+)
+
+
+def _labels(n=400, classes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.tile(np.arange(classes), n // classes + 1)[:n]
+    rng.shuffle(labels)
+    return labels
+
+
+class TestDirichlet:
+    def test_disjoint(self):
+        parts = dirichlet_partition(_labels(), 8, seed=0)
+        all_idx = np.concatenate(parts)
+        assert len(all_idx) == len(set(all_idx))
+
+    def test_equal_sizes(self):
+        parts = dirichlet_partition(_labels(400), 8, seed=0)
+        assert all(len(p) == 50 for p in parts)
+
+    def test_deterministic(self):
+        a = dirichlet_partition(_labels(), 8, seed=3)
+        b = dirichlet_partition(_labels(), 8, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_seed_changes_partition(self):
+        a = dirichlet_partition(_labels(), 8, seed=1)
+        b = dirichlet_partition(_labels(), 8, seed=2)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_small_alpha_more_skewed(self):
+        """Entropy of client label distributions decreases with alpha."""
+        from repro.partition import distribution_entropy
+
+        labels = _labels(2000)
+        e = {}
+        for alpha in (0.1, 100.0):
+            parts = dirichlet_partition(labels, 10, alpha=alpha, seed=0)
+            dist = label_distribution(labels, parts, 10)
+            e[alpha] = distribution_entropy(dist).mean()
+        assert e[0.1] < e[100.0]
+
+    def test_indices_in_range(self):
+        parts = dirichlet_partition(_labels(100), 4, seed=0)
+        for p in parts:
+            assert p.min() >= 0 and p.max() < 100
+
+
+class TestSkewed:
+    def test_classes_per_client_respected(self):
+        labels = _labels(400)
+        parts = skewed_partition(labels, 8, classes_per_client=2, seed=0)
+        dist = label_distribution(labels, parts, 10)
+        assert ((dist > 0).sum(axis=1) <= 2).all()
+
+    def test_three_classes_per_client(self):
+        labels = _labels(600)
+        parts = skewed_partition(labels, 6, classes_per_client=3, seed=0)
+        dist = label_distribution(labels, parts, 10)
+        assert ((dist > 0).sum(axis=1) <= 3).all()
+
+    def test_disjoint(self):
+        parts = skewed_partition(_labels(), 8, seed=0)
+        all_idx = np.concatenate(parts)
+        assert len(all_idx) == len(set(all_idx))
+
+    def test_paper_setting_exact_equal_sizes(self):
+        """20 clients × 2 classes over 10 balanced classes divides exactly."""
+        labels = _labels(2000)
+        parts = skewed_partition(labels, 20, classes_per_client=2, seed=0)
+        assert all(len(p) == 100 for p in parts)
+
+    def test_near_equal_sizes_otherwise(self):
+        labels = _labels(400)
+        parts = skewed_partition(labels, 8, seed=0)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 0.5 * (400 // 8)
+
+    def test_too_many_classes_raises(self):
+        with pytest.raises(ValueError):
+            skewed_partition(_labels(classes=3), 4, classes_per_client=5)
+
+    def test_deterministic(self):
+        a = skewed_partition(_labels(), 8, seed=7)
+        b = skewed_partition(_labels(), 8, seed=7)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestIID:
+    def test_equal_disjoint(self):
+        parts = iid_partition(_labels(100), 4, seed=0)
+        assert all(len(p) == 25 for p in parts)
+        assert len(set(np.concatenate(parts))) == 100
+
+    def test_roughly_uniform_labels(self):
+        labels = _labels(1000)
+        parts = iid_partition(labels, 4, seed=0)
+        dist = label_distribution(labels, parts, 10)
+        assert dist.min() > 10  # each class present everywhere
+
+
+class TestDispatch:
+    def test_partition_dataset_dispatch(self):
+        from repro.data import make_synthetic_dataset
+
+        ds = make_synthetic_dataset("cifar10-tiny", 100, seed=0)
+        for scheme in ("dirichlet", "skewed", "iid"):
+            parts = partition_dataset(ds, scheme, 4, seed=0)
+            assert len(parts) == 4
+
+    def test_unknown_scheme_raises(self):
+        from repro.data import make_synthetic_dataset
+
+        ds = make_synthetic_dataset("cifar10-tiny", 40, seed=0)
+        with pytest.raises(KeyError):
+            partition_dataset(ds, "zipf", 4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_clients=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_dirichlet_always_disjoint_equal(num_clients, seed):
+    labels = _labels(300)
+    parts = dirichlet_partition(labels, num_clients, seed=seed)
+    sizes = {len(p) for p in parts}
+    assert len(sizes) == 1
+    cat = np.concatenate(parts)
+    assert len(cat) == len(set(cat))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_clients=st.integers(min_value=2, max_value=12),
+    m=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_skewed_class_constraint(num_clients, m, seed):
+    labels = _labels(480, classes=8)
+    parts = skewed_partition(labels, num_clients, classes_per_client=m, seed=seed)
+    dist = label_distribution(labels, parts, 8)
+    assert ((dist > 0).sum(axis=1) <= m).all()
+    cat = np.concatenate(parts)
+    assert len(cat) == len(set(cat))

@@ -1,0 +1,83 @@
+"""Partition statistics and test-set mirroring."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    dirichlet_partition,
+    distribution_entropy,
+    label_distribution,
+    matching_test_indices,
+)
+
+
+class TestLabelDistribution:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 2, 2, 2])
+        parts = [np.array([0, 1, 2]), np.array([3, 4, 5])]
+        dist = label_distribution(labels, parts, 3)
+        assert np.array_equal(dist, [[2, 1, 0], [0, 0, 3]])
+
+    def test_row_sums_are_shard_sizes(self):
+        labels = np.random.default_rng(0).integers(0, 5, 100)
+        parts = dirichlet_partition(labels, 4, seed=0)
+        dist = label_distribution(labels, parts, 5)
+        assert np.array_equal(dist.sum(1), [len(p) for p in parts])
+
+
+class TestEntropy:
+    def test_single_class_zero(self):
+        assert distribution_entropy(np.array([[10, 0, 0]]))[0] == 0.0
+
+    def test_uniform_is_log_c(self):
+        e = distribution_entropy(np.array([[5, 5, 5, 5]]))[0]
+        assert np.isclose(e, np.log(4))
+
+    def test_empty_client_zero(self):
+        assert distribution_entropy(np.array([[0, 0]]))[0] == 0.0
+
+
+class TestMatchingTestIndices:
+    def _setup(self):
+        rng = np.random.default_rng(0)
+        train_labels = np.tile(np.arange(4), 50)
+        test_labels = np.tile(np.arange(4), 25)
+        return train_labels, test_labels
+
+    def test_mirrors_proportions(self):
+        train_labels, test_labels = self._setup()
+        # client with only classes 0 and 1
+        part = np.flatnonzero((train_labels == 0) | (train_labels == 1))[:40]
+        idx = matching_test_indices(train_labels, part, test_labels, 20, seed=0)
+        picked = test_labels[idx]
+        assert set(picked) <= {0, 1}
+        assert abs((picked == 0).sum() - (picked == 1).sum()) <= 2
+
+    def test_unseen_classes_excluded(self):
+        train_labels, test_labels = self._setup()
+        part = np.flatnonzero(train_labels == 2)[:30]
+        idx = matching_test_indices(train_labels, part, test_labels, 10, seed=0)
+        assert (test_labels[idx] == 2).all()
+
+    def test_size_close_to_requested(self):
+        train_labels, test_labels = self._setup()
+        part = np.arange(60)
+        idx = matching_test_indices(train_labels, part, test_labels, 20, seed=0)
+        assert 15 <= len(idx) <= 20
+
+    def test_deterministic(self):
+        train_labels, test_labels = self._setup()
+        part = np.arange(40)
+        a = matching_test_indices(train_labels, part, test_labels, 10, seed=5)
+        b = matching_test_indices(train_labels, part, test_labels, 10, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_empty_shard_raises(self):
+        train_labels, test_labels = self._setup()
+        with pytest.raises(ValueError):
+            matching_test_indices(train_labels, np.array([], dtype=int), test_labels, 10)
+
+    def test_no_duplicate_indices(self):
+        train_labels, test_labels = self._setup()
+        idx = matching_test_indices(train_labels, np.arange(100), test_labels, 50, seed=0)
+        assert len(idx) == len(set(idx))

@@ -1,0 +1,157 @@
+"""Arithmetic ops: forward values, gradients, broadcasting."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+def _rand(shape, seed=0, offset=0.0):
+    return np.random.default_rng(seed).normal(size=shape) + offset
+
+
+class TestForwardValues:
+    def test_add(self):
+        assert np.allclose((Tensor([1.0, 2]) + Tensor([3.0, 4])).data, [4, 6])
+
+    def test_radd_scalar(self):
+        assert np.allclose((1.0 + Tensor([1.0])).data, [2.0])
+
+    def test_sub(self):
+        assert np.allclose((Tensor([5.0]) - 2.0).data, [3.0])
+
+    def test_rsub(self):
+        assert np.allclose((10.0 - Tensor([4.0])).data, [6.0])
+
+    def test_mul(self):
+        assert np.allclose((Tensor([2.0]) * Tensor([3.0])).data, [6.0])
+
+    def test_div(self):
+        assert np.allclose((Tensor([6.0]) / 2.0).data, [3.0])
+
+    def test_rdiv(self):
+        assert np.allclose((6.0 / Tensor([2.0])).data, [3.0])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        assert np.allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a, b = _rand((3, 4)), _rand((4, 5), seed=1)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_vec_vec(self):
+        a, b = _rand(4), _rand(4, seed=1)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_mat_vec(self):
+        a, b = _rand((3, 4)), _rand(4, seed=1)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_vec_mat(self):
+        a, b = _rand(3), _rand((3, 4), seed=1)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_batched(self):
+        a, b = _rand((2, 3, 4)), _rand((2, 4, 5), seed=1)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestGradients:
+    def test_add_grad(self):
+        assert gradcheck(lambda a, b: (a + b).sum(), [_rand((2, 3)), _rand((2, 3), 1)])
+
+    def test_sub_grad(self):
+        assert gradcheck(lambda a, b: (a - b).sum(), [_rand((2, 3)), _rand((2, 3), 1)])
+
+    def test_mul_grad(self):
+        assert gradcheck(lambda a, b: (a * b).sum(), [_rand((2, 3)), _rand((2, 3), 1)])
+
+    def test_div_grad(self):
+        assert gradcheck(lambda a, b: (a / b).sum(), [_rand((2, 3)), _rand((2, 3), 1, offset=3)])
+
+    def test_pow_grad(self):
+        assert gradcheck(lambda a: (a**3).sum(), [_rand((2, 3), offset=2)])
+
+    def test_neg_grad(self):
+        assert gradcheck(lambda a: (-a).sum(), [_rand((3,))])
+
+    def test_matmul_grad_2d(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand((2, 3)), _rand((3, 4), 1)])
+
+    def test_matmul_grad_vec(self):
+        assert gradcheck(lambda a, b: (a @ b).reshape(1).sum(), [_rand(3), _rand(3, 1)])
+
+    def test_matmul_grad_mat_vec(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand((2, 3)), _rand(3, 1)])
+
+    def test_matmul_grad_vec_mat(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand(3), _rand((3, 4), 1)])
+
+    def test_matmul_grad_batched(self):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [_rand((2, 2, 3)), _rand((2, 3, 2), 1)])
+
+
+class TestBroadcastGradients:
+    def test_add_broadcast_row(self):
+        assert gradcheck(lambda a, b: (a + b).sum(), [_rand((3, 4)), _rand((4,), 1)])
+
+    def test_add_broadcast_col(self):
+        assert gradcheck(lambda a, b: (a + b).sum(), [_rand((3, 4)), _rand((3, 1), 1)])
+
+    def test_mul_broadcast_scalar_tensor(self):
+        assert gradcheck(lambda a, b: (a * b).sum(), [_rand((3, 4)), _rand((), 1)])
+
+    def test_div_broadcast(self):
+        assert gradcheck(lambda a, b: (a / b).sum(), [_rand((2, 3, 4)), _rand((4,), 1, offset=3)])
+
+    def test_chain_broadcast(self):
+        assert gradcheck(
+            lambda a, b, c: ((a + b) * c).sum(),
+            [_rand((2, 3)), _rand((3,), 1), _rand((2, 1), 2)],
+        )
+
+
+class TestGraphStructure:
+    def test_diamond_graph(self):
+        # z = x*y + x*y reuses the same intermediate twice
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3
+        c = b + b
+        c.sum().backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_shared_input_multiple_ops(self):
+        a = Tensor([2.0], requires_grad=True)
+        ((a * a) + (a * 3)).sum().backward()
+        assert np.allclose(a.grad, [2 * 2 + 3])
+
+    def test_deep_chain_no_recursion_error(self):
+        # iterative topo sort must handle graphs deeper than the recursion limit
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x * 1.0
+        x.sum().backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_backward_frees_intermediate_state(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        c = b * 3
+        c.sum().backward()
+        assert b._backward is None
+        assert b._prev == ()
+        assert b.grad is None  # intermediates are freed
+
+    def test_constant_branch_gets_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        k = Tensor([5.0])  # constant
+        (a * k).sum().backward()
+        assert k.grad is None

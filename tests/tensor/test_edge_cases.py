@@ -1,0 +1,138 @@
+"""Edge cases across the autograd engine and layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, concat, conv2d, gradcheck, max_pool2d, softmax
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestDtypePropagation:
+    def test_float32_stays_float32(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        b = Tensor(np.ones(3, dtype=np.float32))
+        assert (a + b).dtype == np.float32
+        assert (a * b).dtype == np.float32
+
+    def test_grad_dtype_matches_data(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad.dtype == np.float32
+
+
+class TestDegenerateShapes:
+    def test_empty_tensor_ops(self):
+        a = Tensor(np.zeros((0, 3)))
+        assert (a + 1).shape == (0, 3)
+        assert a.sum().item() == 0.0
+
+    def test_single_element(self):
+        a = Tensor([[2.0]], requires_grad=True)
+        (a @ Tensor([[3.0]])).sum().backward()
+        assert np.allclose(a.grad, [[3.0]])
+
+    def test_scalar_broadcast_everywhere(self):
+        s = Tensor(2.0, requires_grad=True)
+        m = Tensor(_rand((3, 4)))
+        (s * m).sum().backward()
+        assert np.isclose(s.grad, m.data.sum())
+
+    def test_batch_size_one_conv(self):
+        out = conv2d(Tensor(_rand((1, 1, 4, 4))), Tensor(_rand((2, 1, 3, 3), 1)))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_minimum_pool_input(self):
+        out = max_pool2d(Tensor(_rand((1, 1, 2, 2))), 2, 2)
+        assert out.shape == (1, 1, 1, 1)
+
+
+class TestNumericalExtremes:
+    def test_softmax_with_neg_inf_like_values(self):
+        x = Tensor(np.array([[-1e308, 0.0, 1e2]]))
+        out = softmax(x, axis=1).data
+        assert np.isfinite(out).all()
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_backward_through_large_values(self):
+        a = Tensor(np.array([700.0]), requires_grad=True)
+        # exp(700) overflows float64 — tanh saturates first in this graph
+        out = a.tanh().sum()
+        out.backward()
+        assert np.isfinite(a.grad).all()
+
+    def test_division_near_zero_reference(self):
+        assert gradcheck(lambda a: (a / 1e-3).sum(), [_rand((3,))])
+
+
+class TestGraphReuse:
+    def test_same_tensor_in_both_matmul_slots(self):
+        a = Tensor(_rand((3, 3)), requires_grad=True)
+        (a @ a).sum().backward()
+        num = np.zeros((3, 3))
+        eps = 1e-6
+        base = a.data.copy()
+        for i in range(3):
+            for j in range(3):
+                p = base.copy()
+                p[i, j] += eps
+                m = base.copy()
+                m[i, j] -= eps
+                num[i, j] = ((p @ p).sum() - (m @ m).sum()) / (2 * eps)
+        assert np.allclose(a.grad, num, atol=1e-4)
+
+    def test_concat_of_same_tensor(self):
+        a = Tensor(_rand((2, 2)), requires_grad=True)
+        concat([a, a], axis=0).sum().backward()
+        assert np.allclose(a.grad, 2 * np.ones((2, 2)))
+
+    def test_multiple_outputs_from_shared_subgraph(self):
+        a = Tensor([3.0], requires_grad=True)
+        h = a * 2
+        (h * h).sum().backward()
+        assert np.allclose(a.grad, [2 * 4 * 3])  # d/da (2a)² = 8a
+
+
+class TestModuleEdgeCases:
+    def test_sequential_empty(self):
+        m = nn.Sequential()
+        x = Tensor(_rand((2, 2)))
+        assert m(x) is x
+
+    def test_nested_sequential_state_dict(self):
+        m = nn.Sequential(nn.Sequential(nn.Linear(2, 2)), nn.Linear(2, 2))
+        sd = m.state_dict()
+        assert "0.0.weight" in sd and "1.weight" in sd
+        m.load_state_dict(sd)
+
+    def test_linear_1d_batchless_input(self):
+        lin = nn.Linear(4, 2)
+        out = lin(Tensor(_rand(4)))
+        assert out.shape == (2,)
+
+    def test_conv_rejects_wrong_rank(self):
+        conv = nn.Conv2d(1, 1, 3)
+        with pytest.raises((ValueError, IndexError)):
+            conv(Tensor(_rand((4, 4))))
+
+    def test_bn_num_features_one(self):
+        bn = nn.BatchNorm2d(1)
+        out = bn(Tensor(_rand((4, 1, 3, 3))))
+        assert out.shape == (4, 1, 3, 3)
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_runs(self, micro_spec):
+        from dataclasses import replace
+
+        from repro.core import FedClassAvg
+        from repro.federated import build_federation
+
+        curves = []
+        for seed in (0, 1):
+            clients, _ = build_federation(replace(micro_spec, seed=seed))
+            curves.append(FedClassAvg(clients, seed=seed).run(1).mean_curve.tolist())
+        assert curves[0] != curves[1]

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) on autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, gradcheck, softmax, unbroadcast
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_add_zero_identity(x):
+    t = Tensor(x, requires_grad=True)
+    out = t + np.zeros_like(x)
+    assert np.allclose(out.data, x)
+    out.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_mul_one_identity(x):
+    t = Tensor(x, requires_grad=True)
+    (t * np.ones_like(x)).sum().backward()
+    assert np.allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_linearity_of_grad(x):
+    """grad of (a*f) is a * grad of f."""
+    t1 = Tensor(x, requires_grad=True)
+    (t1 * t1).sum().backward()
+    g1 = t1.grad.copy()
+    t2 = Tensor(x, requires_grad=True)
+    ((t2 * t2) * 3.0).sum().backward()
+    assert np.allclose(t2.grad, 3.0 * g1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_simplex(x):
+    if x.ndim == 1:
+        x = x[None]
+    out = softmax(Tensor(x), axis=-1).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_shift_invariance(x):
+    if x.ndim == 1:
+        x = x[None]
+    a = softmax(Tensor(x), axis=-1).data
+    b = softmax(Tensor(x + 100.0), axis=-1).data
+    assert np.allclose(a, b, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+def test_unbroadcast_inverts_broadcast_shapes(a, b, c):
+    """For any broadcastable pair, unbroadcast returns the original shape."""
+    full = np.ones((a, b, c))
+    for shape in [(1, b, c), (a, 1, c), (a, b, 1), (b, c), (c,), ()]:
+        g = unbroadcast(full, shape)
+        assert g.shape == shape
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 4), st.integers(2, 4)),
+        elements=st.floats(min_value=-2, max_value=2, allow_nan=False, width=64),
+    )
+)
+def test_gradcheck_on_random_composite(x):
+    """Finite differences agree with autograd on a random composite fn."""
+    assert gradcheck(lambda a: ((a * a).tanh() + a.exp() * 0.1).sum(), [x], atol=1e-4)

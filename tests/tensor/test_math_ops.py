@@ -1,0 +1,138 @@
+"""Elementwise math ops: values and gradients."""
+
+import numpy as np
+
+from repro.tensor import (
+    Tensor,
+    abs_,
+    clip,
+    exp,
+    gradcheck,
+    leaky_relu,
+    log,
+    maximum,
+    minimum,
+    relu,
+    sigmoid,
+    sqrt,
+    tanh,
+    where,
+)
+
+
+def _rand(shape, seed=0, offset=0.0):
+    return np.random.default_rng(seed).normal(size=shape) + offset
+
+
+class TestValues:
+    def test_exp(self):
+        x = _rand((3,))
+        assert np.allclose(exp(Tensor(x)).data, np.exp(x))
+
+    def test_log(self):
+        x = np.abs(_rand((3,))) + 1
+        assert np.allclose(log(Tensor(x)).data, np.log(x))
+
+    def test_sqrt(self):
+        x = np.abs(_rand((3,))) + 1
+        assert np.allclose(sqrt(Tensor(x)).data, np.sqrt(x))
+
+    def test_tanh(self):
+        x = _rand((3,))
+        assert np.allclose(tanh(Tensor(x)).data, np.tanh(x))
+
+    def test_sigmoid_stable_large_negative(self):
+        out = sigmoid(Tensor([-1000.0])).data
+        assert np.isfinite(out).all() and out[0] < 1e-10
+
+    def test_sigmoid_stable_large_positive(self):
+        out = sigmoid(Tensor([1000.0])).data
+        assert np.isfinite(out).all() and out[0] > 1 - 1e-10
+
+    def test_relu(self):
+        assert np.allclose(relu(Tensor([-1.0, 0.0, 2.0])).data, [0, 0, 2])
+
+    def test_leaky_relu(self):
+        assert np.allclose(leaky_relu(Tensor([-10.0, 10.0]), 0.1).data, [-1.0, 10.0])
+
+    def test_abs(self):
+        assert np.allclose(abs_(Tensor([-2.0, 3.0])).data, [2, 3])
+
+    def test_clip(self):
+        assert np.allclose(clip(Tensor([-5.0, 0.5, 5.0]), -1, 1).data, [-1, 0.5, 1])
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 4.0]), Tensor([2.0, 3.0])
+        assert np.allclose(maximum(a, b).data, [2, 4])
+        assert np.allclose(minimum(a, b).data, [1, 3])
+
+    def test_where(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1, 2])
+
+    def test_method_forms(self):
+        x = Tensor([0.5])
+        for name in ("exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs"):
+            assert getattr(x, name)().data is not None
+
+
+class TestGradients:
+    def test_exp_grad(self):
+        assert gradcheck(lambda a: exp(a).sum(), [_rand((2, 3))])
+
+    def test_log_grad(self):
+        assert gradcheck(lambda a: log(a).sum(), [np.abs(_rand((2, 3))) + 1])
+
+    def test_sqrt_grad(self):
+        assert gradcheck(lambda a: sqrt(a).sum(), [np.abs(_rand((2, 3))) + 1])
+
+    def test_tanh_grad(self):
+        assert gradcheck(lambda a: tanh(a).sum(), [_rand((2, 3))])
+
+    def test_sigmoid_grad(self):
+        assert gradcheck(lambda a: sigmoid(a).sum(), [_rand((2, 3))])
+
+    def test_relu_grad(self):
+        x = _rand((3, 3))
+        x[np.abs(x) < 0.1] += 0.5  # keep away from the kink
+        assert gradcheck(lambda a: relu(a).sum(), [x])
+
+    def test_leaky_relu_grad(self):
+        x = _rand((3, 3))
+        x[np.abs(x) < 0.1] += 0.5
+        assert gradcheck(lambda a: leaky_relu(a, 0.2).sum(), [x])
+
+    def test_abs_grad(self):
+        x = _rand((3,))
+        x[np.abs(x) < 0.1] = 0.5
+        assert gradcheck(lambda a: abs_(a).sum(), [x])
+
+    def test_clip_grad_interior(self):
+        assert gradcheck(lambda a: clip(a, -10, 10).sum(), [_rand((3,))])
+
+    def test_clip_grad_zero_outside(self):
+        x = Tensor([5.0], requires_grad=True)
+        clip(x, -1, 1).sum().backward()
+        assert np.allclose(x.grad, [0.0])
+
+    def test_maximum_grad(self):
+        a, b = _rand((4,)), _rand((4,), 1)
+        b += np.where(np.abs(a - b) < 0.1, 0.5, 0.0)
+        assert gradcheck(lambda x, y: maximum(x, y).sum(), [a, b])
+
+    def test_minimum_grad(self):
+        a, b = _rand((4,)), _rand((4,), 1)
+        b += np.where(np.abs(a - b) < 0.1, 0.5, 0.0)
+        assert gradcheck(lambda x, y: minimum(x, y).sum(), [a, b])
+
+    def test_where_grad(self):
+        cond = np.array([[True, False], [False, True]])
+        assert gradcheck(
+            lambda a, b: where(cond, a, b).sum(), [_rand((2, 2)), _rand((2, 2), 1)]
+        )
+
+    def test_composite_grad(self):
+        assert gradcheck(
+            lambda a: (sigmoid(a) * tanh(a) + exp(-abs_(a) - 1)).sum(),
+            [_rand((3,), offset=1)],
+        )

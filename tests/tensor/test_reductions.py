@@ -1,0 +1,126 @@
+"""Reductions and normalization ops."""
+
+import numpy as np
+
+from repro.tensor import (
+    Tensor,
+    gradcheck,
+    log_softmax,
+    logsumexp,
+    max_,
+    mean,
+    min_,
+    norm,
+    softmax,
+    sum_,
+    var,
+)
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestValues:
+    def test_sum_all(self):
+        x = _rand((3, 4))
+        assert np.isclose(sum_(Tensor(x)).item(), x.sum())
+
+    def test_sum_axis_keepdims(self):
+        x = _rand((3, 4))
+        out = sum_(Tensor(x), axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        assert np.allclose(out.data, x.sum(1, keepdims=True))
+
+    def test_sum_multi_axis(self):
+        x = _rand((2, 3, 4))
+        assert np.allclose(sum_(Tensor(x), axis=(0, 2)).data, x.sum((0, 2)))
+
+    def test_mean(self):
+        x = _rand((3, 4))
+        assert np.allclose(mean(Tensor(x), axis=0).data, x.mean(0))
+
+    def test_max_min(self):
+        x = _rand((3, 4))
+        assert np.allclose(max_(Tensor(x), axis=1).data, x.max(1))
+        assert np.allclose(min_(Tensor(x), axis=1).data, x.min(1))
+
+    def test_var(self):
+        x = _rand((5, 4))
+        assert np.allclose(var(Tensor(x), axis=0).data, x.var(0))
+
+    def test_logsumexp_matches_naive(self):
+        x = _rand((3, 4))
+        naive = np.log(np.exp(x).sum(1))
+        assert np.allclose(logsumexp(Tensor(x), axis=1).data, naive)
+
+    def test_logsumexp_stable(self):
+        x = np.array([[1000.0, 1000.0]])
+        assert np.isfinite(logsumexp(Tensor(x), axis=1).data).all()
+
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(Tensor(_rand((3, 5))), axis=1).data
+        assert np.allclose(out.sum(1), 1.0)
+        assert (out > 0).all()
+
+    def test_softmax_stable(self):
+        out = softmax(Tensor([[1000.0, 0.0]]), axis=1).data
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_consistency(self):
+        x = _rand((3, 5))
+        assert np.allclose(
+            log_softmax(Tensor(x), axis=1).data, np.log(softmax(Tensor(x), axis=1).data)
+        )
+
+    def test_norm(self):
+        x = _rand((4,))
+        assert np.isclose(norm(Tensor(x)).item(), np.linalg.norm(x), atol=1e-5)
+
+    def test_norm_axis(self):
+        x = _rand((3, 4))
+        assert np.allclose(norm(Tensor(x), axis=1).data, np.linalg.norm(x, axis=1), atol=1e-5)
+
+
+class TestGradients:
+    def test_sum_grad(self):
+        assert gradcheck(lambda a: (sum_(a, axis=0) ** 2).sum(), [_rand((3, 4))])
+
+    def test_sum_keepdims_grad(self):
+        assert gradcheck(lambda a: (sum_(a, axis=1, keepdims=True) ** 2).sum(), [_rand((3, 4))])
+
+    def test_mean_grad(self):
+        assert gradcheck(lambda a: (mean(a, axis=(0, 2)) ** 2).sum(), [_rand((2, 3, 4))])
+
+    def test_max_grad(self):
+        x = _rand((3, 4))
+        assert gradcheck(lambda a: max_(a, axis=1).sum(), [x])
+
+    def test_max_grad_with_ties_splits(self):
+        x = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        max_(x, axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min_grad(self):
+        assert gradcheck(lambda a: min_(a, axis=0).sum(), [_rand((3, 4))])
+
+    def test_var_grad(self):
+        assert gradcheck(lambda a: var(a, axis=0).sum(), [_rand((4, 3))])
+
+    def test_logsumexp_grad(self):
+        assert gradcheck(lambda a: logsumexp(a, axis=1).sum(), [_rand((3, 4))])
+
+    def test_logsumexp_keepdims_grad(self):
+        assert gradcheck(lambda a: logsumexp(a, axis=0, keepdims=True).sum(), [_rand((3, 4))])
+
+    def test_softmax_grad(self):
+        assert gradcheck(lambda a: (softmax(a, axis=1) ** 2).sum(), [_rand((3, 4))])
+
+    def test_log_softmax_grad(self):
+        assert gradcheck(lambda a: (log_softmax(a, axis=1) * log_softmax(a, axis=1)).sum(), [_rand((3, 4))])
+
+    def test_norm_grad(self):
+        assert gradcheck(lambda a: norm(a), [_rand((4,))])
+
+    def test_grad_full_reduction_scalar(self):
+        assert gradcheck(lambda a: mean(a), [_rand((3, 4))])

@@ -1,0 +1,64 @@
+"""CLI runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.algorithm == "fedclassavg"
+        assert args.partition == "dirichlet"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithm", "fedfoo"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "imagenet"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fedclassavg" in out and "emnist" in out
+
+    def test_fedavg_requires_homogeneous(self, capsys):
+        assert main(["--algorithm", "fedavg"]) == 2
+
+    def test_micro_run(self, capsys):
+        rc = main(
+            [
+                "--algorithm",
+                "fedclassavg",
+                "--clients",
+                "3",
+                "--rounds",
+                "1",
+                "--dataset",
+                "fashion_mnist-tiny",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert "communication" in out
+
+    def test_micro_homogeneous_run(self, capsys):
+        rc = main(
+            [
+                "--algorithm",
+                "fedavg",
+                "--homogeneous",
+                "cnn2layer",
+                "--clients",
+                "3",
+                "--rounds",
+                "1",
+            ]
+        )
+        assert rc == 0
+        assert "fedavg" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Configuration presets and the hyperparameter tuner."""
+
+import numpy as np
+import pytest
+
+from repro.config import EXPERIMENT_PRESETS, PAPER_HYPERPARAMS, tiny_preset
+from repro.tuning import Choice, LogUniform, RandomSearchTuner, Uniform
+
+
+class TestPaperHyperparams:
+    def test_table1_values_verbatim(self):
+        assert PAPER_HYPERPARAMS["cifar10"].learning_rate == 0.0001
+        assert PAPER_HYPERPARAMS["fashion_mnist"].learning_rate == 0.0006
+        assert PAPER_HYPERPARAMS["fashion_mnist"].rho == 0.4662
+        assert PAPER_HYPERPARAMS["emnist"].learning_rate == 0.0005
+        assert all(h.batch_size == 64 for h in PAPER_HYPERPARAMS.values())
+        assert all(h.local_epochs == 1 for h in PAPER_HYPERPARAMS.values())
+
+    def test_presets_reference_paper_values(self):
+        p = EXPERIMENT_PRESETS["paper-cifar10"]
+        assert p.lr == PAPER_HYPERPARAMS["cifar10"].learning_rate
+        assert p.rho == PAPER_HYPERPARAMS["cifar10"].rho
+        assert p.num_clients == 20
+        assert p.n_public == 3000
+
+    def test_tiny_preset_overrides(self):
+        p = tiny_preset(num_clients=6, rounds=3, lr=0.01)
+        assert p.num_clients == 6 and p.rounds == 3 and p.lr == 0.01
+
+
+class TestSamplers:
+    def test_log_uniform_range(self):
+        d = LogUniform(1e-4, 1e-1)
+        rng = np.random.default_rng(0)
+        vals = [d.sample(rng) for _ in range(100)]
+        assert all(1e-4 <= v <= 1e-1 for v in vals)
+        # log-uniform: median near geometric mean
+        assert 1e-3 < np.median(vals) < 1e-2
+
+    def test_log_uniform_validation(self):
+        with pytest.raises(ValueError):
+            LogUniform(0, 1)
+        with pytest.raises(ValueError):
+            LogUniform(1, 1)
+
+    def test_uniform(self):
+        d = Uniform(2, 3)
+        v = d.sample(np.random.default_rng(0))
+        assert 2 <= v <= 3
+        with pytest.raises(ValueError):
+            Uniform(3, 2)
+
+    def test_choice(self):
+        d = Choice([8, 16, 32])
+        assert d.sample(np.random.default_rng(0)) in (8, 16, 32)
+        with pytest.raises(ValueError):
+            Choice([])
+
+
+class TestRandomSearch:
+    def test_finds_maximum_region(self):
+        # objective peaked at x=0.7
+        tuner = RandomSearchTuner(
+            space={"x": Uniform(0, 1)},
+            objective=lambda p: -((p["x"] - 0.7) ** 2),
+            n_trials=50,
+            seed=0,
+        )
+        best = tuner.run()
+        assert abs(best.params["x"] - 0.7) < 0.1
+        assert len(tuner.trials) == 50
+
+    def test_deterministic(self):
+        def run(seed):
+            t = RandomSearchTuner(
+                space={"x": Uniform(0, 1)}, objective=lambda p: p["x"], n_trials=5, seed=seed
+            )
+            return t.run().params["x"]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_best_is_max_of_trials(self):
+        tuner = RandomSearchTuner(
+            space={"x": Uniform(0, 1)}, objective=lambda p: p["x"], n_trials=10, seed=1
+        )
+        best = tuner.run()
+        assert best.score == max(t.score for t in tuner.trials)

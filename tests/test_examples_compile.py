@@ -1,0 +1,34 @@
+"""Every example script must at least parse and import cleanly."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "heterogeneous_cifar.py",
+        "ablation_study.py",
+        "communication_cost.py",
+        "homogeneous_scaling.py",
+        "feature_analysis.py",
+        "personalization_strategies.py",
+        "private_federated.py",
+    } <= names
+
+
+def test_examples_have_main_and_docstring():
+    for p in EXAMPLES:
+        src = p.read_text()
+        assert src.lstrip().startswith('"""'), f"{p.name} missing module docstring"
+        assert 'if __name__ == "__main__":' in src, f"{p.name} missing main guard"

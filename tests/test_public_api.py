@@ -1,0 +1,66 @@
+"""Public API surface: every exported name exists and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.losses",
+    "repro.models",
+    "repro.data",
+    "repro.partition",
+    "repro.comm",
+    "repro.federated",
+    "repro.core",
+    "repro.algorithms",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+def test_all_exports_resolve(pkg_name):
+    pkg = importlib.import_module(pkg_name)
+    assert hasattr(pkg, "__all__") and pkg.__all__, f"{pkg_name} missing __all__"
+    for name in pkg.__all__:
+        assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+def test_public_callables_documented(pkg_name):
+    """Every public class/function carries a docstring."""
+    pkg = importlib.import_module(pkg_name)
+    undocumented = []
+    for name in pkg.__all__:
+        obj = getattr(pkg, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(f"{pkg_name}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+def test_package_docstring(pkg_name):
+    pkg = importlib.import_module(pkg_name)
+    assert (pkg.__doc__ or "").strip(), f"{pkg_name} missing package docstring"
+
+
+def test_no_duplicate_exports_across_algorithms():
+    """Algorithm names are unique — registry sanity."""
+    from repro import algorithms
+    from repro.core import FedClassAvg
+
+    classes = [getattr(algorithms, n) for n in algorithms.__all__]
+    names = [c.name for c in classes] + [FedClassAvg.name]
+    assert len(names) == len(set(names))
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

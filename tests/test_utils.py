@@ -1,0 +1,55 @@
+"""Utility helpers: RNG streams, timer."""
+
+import time
+
+import numpy as np
+
+from repro.utils import Timer
+from repro.utils.rng import get_rng, seed_all, spawn_rng
+
+
+class TestRng:
+    def test_seed_all_resets_global(self):
+        seed_all(5)
+        a = get_rng().random(3)
+        seed_all(5)
+        b = get_rng().random(3)
+        assert np.array_equal(a, b)
+
+    def test_spawn_streams_independent(self):
+        seed_all(0)
+        a = spawn_rng(1).random(5)
+        b = spawn_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_reproducible(self):
+        seed_all(7)
+        a = spawn_rng(3).random(5)
+        seed_all(7)
+        b = spawn_rng(3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_depends_on_root_seed(self):
+        seed_all(1)
+        a = spawn_rng(0).random(5)
+        seed_all(2)
+        b = spawn_rng(0).random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first >= 0.009
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
