@@ -10,7 +10,8 @@ ledger.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.comm import format_bytes
+from repro.comm import format_bytes, payload_nbytes
+from repro.config import tiny_preset
 from repro.core import FedClassAvg
 from repro.experiments import format_table5, make_spec, run_table5
 from repro.federated import build_federation
@@ -50,3 +51,42 @@ def test_table5_live_ledger(benchmark, bench_preset):
           f"({algo.comm.cost.total_messages} messages)")
     # tiny classifier (32×10) ≈ 1.4 KB fp32; up+down per round ⇒ < 10 KB
     assert per_client_round < 10 * 1024
+
+
+@pytest.mark.paper_experiment("table5")
+def test_table5_partial_participation_per_client_bytes(benchmark):
+    """Fig. 7 regime (sample_rate=0.1): per-client cost must be what one
+    *participant* transfers — the old ``num_clients`` divisor understated
+    it by ~1/sample_rate."""
+    preset = tiny_preset(
+        "fashion_mnist-tiny",
+        num_clients=10,
+        rounds=3,
+        n_train=400,
+        n_test=200,
+        test_per_client=20,
+        sample_rate=0.1,
+    )
+
+    def experiment():
+        spec = make_spec(preset, partition="dirichlet")
+        clients, _ = build_federation(spec)
+        algo = FedClassAvg(clients, rho=preset.rho, sample_rate=0.1, seed=0)
+        algo.run(3)
+        return algo
+
+    algo = run_once(benchmark, experiment)
+    cost = algo.comm.cost
+    # 10 clients at rate 0.1 ⇒ exactly one participant per round
+    assert cost.per_round_participants == [1, 1, 1]
+
+    # hand-computed: each participant downloads + uploads one classifier
+    classifier_bytes = payload_nbytes(algo.clients[0].model.classifier_state())
+    expected = 2 * classifier_bytes
+    measured = cost.per_client_round_bytes()
+    print(f"\npartial participation: {format_bytes(measured)} per participant-round "
+          f"(hand-computed {format_bytes(expected)})")
+    assert measured == pytest.approx(expected)
+    # the pre-fix formula diluted the cost ~10× under sample_rate=0.1
+    diluted = cost.total_bytes / (3 * len(algo.clients))
+    assert measured == pytest.approx(10 * diluted)

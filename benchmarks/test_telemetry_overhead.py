@@ -1,0 +1,101 @@
+"""Telemetry null-backend overhead guard.
+
+The instrumented hot paths (span choke points, the ``profiled_op``
+decorator on every tensor op, executor task timing) all collapse to a
+single indirection when the null backend is installed.  This micro-bench
+pins that property: the *measured* per-call cost of every null primitive,
+multiplied by the number of telemetry touchpoints an instrumented
+FedClassAvg run actually makes, must stay below 5% of that run's
+wall-clock.  A regression that puts real work on the disabled path
+(allocation, locking, I/O) trips this immediately.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import telemetry
+from repro.config import tiny_preset
+from repro.core import FedClassAvg
+from repro.experiments import make_spec
+from repro.federated import build_federation
+from repro.telemetry.opprof import profiled_op
+
+
+def _build_algo(seed=0):
+    preset = tiny_preset(
+        "fashion_mnist-tiny", num_clients=3, rounds=2, n_train=240, n_test=90, test_per_client=30
+    )
+    clients, _ = build_federation(make_spec(preset, partition="dirichlet", seed=seed))
+    return FedClassAvg(clients, rho=preset.rho, seed=seed)
+
+
+@profiled_op("bench_nop")
+def _nop(x):
+    return x
+
+
+@pytest.mark.paper_experiment("telemetry-overhead")
+def test_null_backend_overhead_under_5pct(benchmark):
+    telemetry.disable()
+
+    # 1. wall-clock of a small FedClassAvg run on the null backend
+    algo = _build_algo(seed=0)
+    t0 = time.perf_counter()
+    run_once(benchmark, lambda: algo.run(2))
+    t_run = time.perf_counter() - t0
+
+    # 2. count the telemetry touchpoints an identical instrumented run makes
+    tel = telemetry.configure(profile_ops=True)
+    try:
+        _build_algo(seed=0).run(2)
+        n_spans = len(tel.tracer.finished)
+        totals = tel.ops.totals()
+        n_ops = int(sum(r["forward_calls"] + r["backward_calls"] for r in totals.values()))
+        snap = tel.metrics.snapshot()
+        n_metrics = int(sum(snap["counters"].values())) + sum(
+            h["count"] for h in snap["histograms"].values()
+        )
+    finally:
+        tel.close()
+        telemetry.disable()
+
+    # 3. measured unit cost of each null primitive (oversampled for resolution)
+    reps = 20_000
+    t = time.perf_counter()
+    for _ in range(reps):
+        with telemetry.span("x", a=1):
+            pass
+    span_cost = (time.perf_counter() - t) / reps
+
+    t = time.perf_counter()
+    for _ in range(reps):
+        _nop(1)
+    op_cost = (time.perf_counter() - t) / reps
+
+    t = time.perf_counter()
+    for _ in range(reps):
+        telemetry.counter("c").inc()
+    metric_cost = (time.perf_counter() - t) / reps
+
+    overhead = n_spans * span_cost + n_ops * op_cost + n_metrics * metric_cost
+    print(
+        f"\nnull-backend overhead: {overhead * 1e3:.3f} ms projected over "
+        f"{n_spans} spans + {n_ops} op calls + {n_metrics} metric updates "
+        f"vs {t_run:.2f} s run ({overhead / t_run:.3%})"
+    )
+    assert overhead < 0.05 * t_run
+
+
+@pytest.mark.paper_experiment("telemetry-overhead")
+def test_disabled_primitives_allocate_nothing_per_call(benchmark):
+    """Null span/instrument calls return shared singletons (no per-call garbage)."""
+    telemetry.disable()
+    run_once(benchmark, lambda: None)
+    sp1 = telemetry.span("a", k=1)
+    sp2 = telemetry.span("b")
+    assert sp1 is sp2
+    assert telemetry.counter("x") is telemetry.histogram("y")

@@ -5,10 +5,13 @@ Run any algorithm on any dataset/partition from a shell::
     python -m repro.cli --algorithm fedclassavg --dataset fashion_mnist-tiny \
         --clients 8 --rounds 6 --partition dirichlet
     python -m repro.cli --algorithm fedavg --homogeneous resnet18 --rounds 5
+    python -m repro.cli --rounds 3 --telemetry run.jsonl
     python -m repro.cli --list
 
 Prints per-round progress, the final accuracy table row, the learning
-curve, and the communication ledger.
+curve, and the communication ledger.  ``--telemetry PATH`` additionally
+streams spans / per-round summaries / an op-level profile to ``PATH``
+(JSON Lines) and prints the human-readable breakdown at the end.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import telemetry
 from repro.analysis import ascii_curves
 from repro.comm import format_bytes
 from repro.config import tiny_preset
@@ -58,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="'+weight' variants: exchange full models (fedclassavg/ktpfl)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write span/round/op-profile telemetry to PATH as JSON Lines",
+    )
     return p
 
 
@@ -83,16 +93,29 @@ def main(argv: list[str] | None = None) -> int:
         sample_rate=args.sample_rate,
     )
     fca_kwargs = {"share_all_weights": args.share_weights} if args.algorithm == "fedclassavg" else None
-    history, cost = run_algorithm(
-        args.algorithm,
-        preset,
-        partition=args.partition,
-        rounds=args.rounds,
-        homogeneous_arch=args.homogeneous,
-        share_weights=args.share_weights,
-        seed=args.seed,
-        fedclassavg_kwargs=fca_kwargs,
-    )
+    tel = telemetry.configure(jsonl=args.telemetry, profile_ops=True) if args.telemetry else None
+    try:
+        history, cost = run_algorithm(
+            args.algorithm,
+            preset,
+            partition=args.partition,
+            rounds=args.rounds,
+            homogeneous_arch=args.homogeneous,
+            share_weights=args.share_weights,
+            seed=args.seed,
+            fedclassavg_kwargs=fca_kwargs,
+        )
+    finally:
+        if tel is not None:
+            tel.close()
+            telemetry.disable()
+
+    if tel is not None:
+        print("\ntelemetry: per-round breakdown")
+        print(telemetry.format_round_summary(tel.rounds))
+        print("\ntelemetry: op profile")
+        print(telemetry.format_op_profile(tel.ops.totals()))
+        print(f"telemetry written to {args.telemetry}")
 
     mean, std = history.final_acc()
     print(f"\n{args.algorithm} on {args.dataset} ({args.partition}, {args.clients} clients)")

@@ -19,6 +19,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import telemetry
 from repro.comm.cost import CostModel
 from repro.utils.serialization import state_dict_to_bytes
 
@@ -107,16 +108,24 @@ class SimComm:
     def bcast(self, obj, root: int = 0, ranks: list[int] | None = None):
         """Broadcast from ``root`` to ``ranks`` (default: everyone else)."""
         targets = ranks if ranks is not None else [r for r in range(self.size) if r != root]
-        for dst in targets:
-            if dst != root:
-                self.send(obj, root, dst, tag=-1)
-        return [self.recv(dst, src=root, tag=-1) for dst in targets if dst != root]
+        bytes0 = self.cost.total_bytes
+        with telemetry.span("broadcast", root=root, targets=len(targets)) as sp:
+            for dst in targets:
+                if dst != root:
+                    self.send(obj, root, dst, tag=-1)
+            out = [self.recv(dst, src=root, tag=-1) for dst in targets if dst != root]
+            sp.set(nbytes=self.cost.total_bytes - bytes0)
+        return out
 
     def gather(self, objs: dict[int, object], root: int = 0) -> list:
         """Gather ``{rank: obj}`` messages at ``root`` (ordered by rank)."""
-        for src in sorted(objs):
-            self.send(objs[src], src, root, tag=-2)
-        return [self.recv(root, src=src, tag=-2) for src in sorted(objs)]
+        bytes0 = self.cost.total_bytes
+        with telemetry.span("gather", root=root, sources=len(objs)) as sp:
+            for src in sorted(objs):
+                self.send(objs[src], src, root, tag=-2)
+            out = [self.recv(root, src=src, tag=-2) for src in sorted(objs)]
+            sp.set(nbytes=self.cost.total_bytes - bytes0)
+        return out
 
     def scatter(self, objs: list, root: int = 0, ranks: list[int] | None = None) -> list:
         """Scatter ``objs[i]`` to ``ranks[i]`` from ``root``."""

@@ -14,10 +14,19 @@ __all__ = ["CostModel", "format_bytes"]
 
 
 def format_bytes(n: float) -> str:
-    """Human-readable byte size (Table 5 style: '22 KB', '43.73 MB')."""
+    """Human-readable byte size (Table 5 style: '22 KB', '43.73 MB').
+
+    Whole-number sizes drop the fractional part ('22 KB', not '22.00 KB'),
+    matching how the paper prints them.
+    """
     for unit in ("B", "KB", "MB", "GB"):
         if abs(n) < 1024.0 or unit == "GB":
-            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+            if unit == "B":
+                return f"{int(n)} B"
+            s = f"{n:.2f}"
+            if s.endswith(".00"):
+                s = s[:-3]
+            return f"{s} {unit}"
         n /= 1024.0
     raise AssertionError("unreachable")
 
@@ -38,20 +47,36 @@ class CostModel:
     total_time_s: float = 0.0
     per_link: dict = field(default_factory=lambda: defaultdict(int))
     per_round: list = field(default_factory=list)
+    #: simulated transfer seconds per closed round (parallel to per_round)
+    per_round_time_s: list = field(default_factory=list)
+    #: participants per closed round, when the round loop reports them
+    per_round_participants: list = field(default_factory=list)
     _round_bytes: int = 0
+    _round_time_s: float = 0.0
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
+        transfer_s = self.latency_s + nbytes / self.bandwidth_Bps
         self.total_bytes += nbytes
         self.total_messages += 1
-        self.total_time_s += self.latency_s + nbytes / self.bandwidth_Bps
+        self.total_time_s += transfer_s
         self.per_link[(src, dst)] += nbytes
         self._round_bytes += nbytes
+        self._round_time_s += transfer_s
 
-    def end_round(self) -> int:
-        """Close the current communication round; return its byte count."""
+    def end_round(self, participants: int | None = None) -> int:
+        """Close the current communication round; return its byte count.
+
+        ``participants`` is the number of clients that took part, used by
+        :meth:`per_client_round_bytes` to report true per-client cost
+        under partial participation (sample_rate < 1).
+        """
         b = self._round_bytes
         self.per_round.append(b)
+        self.per_round_time_s.append(self._round_time_s)
+        if participants is not None:
+            self.per_round_participants.append(int(participants))
         self._round_bytes = 0
+        self._round_time_s = 0.0
         return b
 
     def uplink_bytes(self, server_rank: int = 0) -> int:
@@ -62,8 +87,22 @@ class CostModel:
         """Bytes sent from the server to clients."""
         return sum(v for (s, d), v in self.per_link.items() if s == server_rank)
 
-    def per_client_round_bytes(self, num_clients: int) -> float:
-        """Average bytes per client per round (the Table 5 quantity)."""
+    def per_client_round_bytes(self, num_clients: int | None = None) -> float:
+        """Average bytes per participating client per round (Table 5).
+
+        When the round loop reported participant counts (see
+        :meth:`end_round`), the divisor is the number of actual
+        (client, round) participations — so sample_rate < 1 runs
+        (Fig. 7 / Table 5's 100-client regime) report what one
+        participant really transfers, not a value diluted ~1/sample_rate
+        by idle clients.  Without participant data, ``num_clients``
+        (full participation) is assumed.
+        """
+        if self.per_round_participants:
+            participations = sum(self.per_round_participants)
+            return self.total_bytes / max(1, participations)
+        if num_clients is None:
+            raise ValueError("num_clients required when no participant counts were recorded")
         rounds = max(1, len(self.per_round))
         return self.total_bytes / (rounds * max(1, num_clients))
 

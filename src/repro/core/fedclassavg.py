@@ -134,6 +134,7 @@ class FedClassAvg(FederatedAlgorithm):
         uploading = (
             self.fault_injector.survivors(sampled) if self.fault_injector is not None else sampled
         )
+        self.last_survivors = list(uploading)
 
         def outgoing(k: int) -> dict[str, np.ndarray]:
             state = self._client_payload(self.clients[k])
@@ -149,4 +150,9 @@ class FedClassAvg(FederatedAlgorithm):
             received = [self.compressor.decompress(s) for s in received]
         weights = [self.clients[k].data_size for k in uploading]
         self.global_state = weighted_average_state(received, weights)
-        return float(np.mean(losses)) if losses else 0.0
+        # The reported train loss mirrors what the server can observe:
+        # the mean over *surviving* clients — a faulted client's loss
+        # never reaches the server, so it must not leak into the metric.
+        loss_by_client = dict(zip(sampled, losses))
+        survivor_losses = [loss_by_client[k] for k in uploading]
+        return float(np.mean(survivor_losses)) if survivor_losses else 0.0

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = ["weighted_average_state", "interpolate_state"]
 
 
@@ -40,12 +42,15 @@ def weighted_average_state(
             raise ValueError("weights must sum to a positive value")
         w = w / total
 
-    out: dict[str, np.ndarray] = {}
-    for key in keys:
-        acc = np.zeros_like(states[0][key], dtype=np.float64)
-        for wi, s in zip(w, states):
-            acc += wi * s[key]
-        out[key] = acc.astype(states[0][key].dtype) if states[0][key].dtype.kind in "iu" else acc
+    with telemetry.span("aggregate", states=len(states), tensors=len(keys)):
+        out: dict[str, np.ndarray] = {}
+        for key in keys:
+            acc = np.zeros_like(states[0][key], dtype=np.float64)
+            for wi, s in zip(w, states):
+                acc += wi * s[key]
+            out[key] = (
+                acc.astype(states[0][key].dtype) if states[0][key].dtype.kind in "iu" else acc
+            )
     return out
 
 

@@ -8,6 +8,9 @@ round, and communication-round bookkeeping on the shared cost model.
 
 from __future__ import annotations
 
+import time
+
+from repro import telemetry
 from repro.comm import CostModel, SimComm
 from repro.federated.client import FederatedClient
 from repro.federated.history import RoundMetrics, RunHistory
@@ -51,6 +54,9 @@ class FederatedAlgorithm:
         self.comm = comm or SimComm(len(clients) + 1, CostModel())
         self.sampler = ClientSampler(len(clients), sample_rate, seed=seed)
         self.seed = seed
+        #: set by fault-tolerant subclasses to the clients whose uploads
+        #: actually arrived in the last round (None ⇒ everyone survived)
+        self.last_survivors: list[int] | None = None
 
     # ------------------------------------------------------------------
     def server_rank(self) -> int:
@@ -72,13 +78,43 @@ class FederatedAlgorithm:
         return [c.evaluate() for c in self.clients]
 
     def run(self, rounds: int, eval_every: int = 1, verbose: bool = False) -> RunHistory:
-        """Execute ``rounds`` communication rounds and record history."""
+        """Execute ``rounds`` communication rounds and record history.
+
+        When telemetry is enabled, each round runs inside a ``round`` span
+        and emits a per-round summary record breaking wall-clock into
+        local compute vs. simulated communication time, bytes up/down,
+        and participant/survivor counts.
+        """
         history = RunHistory(self.name)
+        tel = telemetry.get_telemetry()
+        cost = self.comm.cost
         self.setup()
         for t in range(rounds):
             sampled = self.sampler.sample(t)
-            train_loss = self.round(t, sampled)
-            round_bytes = self.comm.cost.end_round()
+            self.last_survivors = None
+            if tel.enabled:
+                up0, down0 = cost.uplink_bytes(), cost.downlink_bytes()
+                comm0 = cost.total_time_s
+                compute0 = tel.tracer.total("local_update")[1]
+                wall0 = time.perf_counter()
+            with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
+                train_loss = self.round(t, sampled)
+            round_bytes = cost.end_round(participants=len(sampled))
+            if tel.enabled:
+                survivors = self.last_survivors
+                tel.record_round(
+                    round=t,
+                    algorithm=self.name,
+                    wall_s=time.perf_counter() - wall0,
+                    compute_s=tel.tracer.total("local_update")[1] - compute0,
+                    comm_s=cost.total_time_s - comm0,
+                    bytes=round_bytes,
+                    bytes_up=cost.uplink_bytes() - up0,
+                    bytes_down=cost.downlink_bytes() - down0,
+                    participants=len(sampled),
+                    survivors=len(survivors) if survivors is not None else len(sampled),
+                    train_loss=train_loss,
+                )
             if (t + 1) % eval_every == 0 or t == rounds - 1:
                 accs = self.evaluate_all()
             else:

@@ -4,19 +4,45 @@ The paper parallelizes clients across MPI ranks; here client updates are
 independent Python callables, so a thread pool gives parallelism across
 NumPy's GIL-releasing BLAS kernels.  Results always come back ordered by
 client id regardless of completion order, keeping runs deterministic.
+
+When telemetry is enabled, both executors record a per-task wall-clock
+histogram (``executor.task_s``) and a task counter (``executor.tasks``)
+— the straggler distribution that motivates async aggregation.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro import telemetry
+
 __all__ = ["SerialExecutor", "ThreadExecutor", "make_executor"]
+
+
+def _instrument(fn):
+    """Wrap ``fn`` with per-task timing when telemetry is live (else as-is)."""
+    tel = telemetry.get_telemetry()
+    if not tel.enabled:
+        return fn
+    hist = tel.histogram("executor.task_s")
+    tasks = tel.counter("executor.tasks")
+
+    def timed(item):
+        t0 = time.perf_counter()
+        out = fn(item)
+        hist.observe(time.perf_counter() - t0)
+        tasks.inc()
+        return out
+
+    return timed
 
 
 class SerialExecutor:
     """Run client updates one by one (deterministic baseline)."""
 
     def map(self, fn, items: list) -> list:
+        fn = _instrument(fn)
         return [fn(item) for item in items]
 
     def shutdown(self) -> None:  # pragma: no cover - nothing to release
@@ -34,7 +60,7 @@ class ThreadExecutor:
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
 
     def map(self, fn, items: list) -> list:
-        return list(self._pool.map(fn, items))
+        return list(self._pool.map(_instrument(fn), items))
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
@@ -46,4 +72,4 @@ def make_executor(kind: str = "serial", max_workers: int = 4):
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(max_workers=max_workers)
-    raise KeyError(f"unknown executor kind {kind!r}")
+    raise ValueError(f"unknown executor kind {kind!r}")

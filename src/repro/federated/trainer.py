@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.transforms import Compose, default_augmentation
 from repro.federated.client import FederatedClient
 from repro.losses import cross_entropy, ntxent_loss, proximal_l2, supcon_loss
@@ -77,37 +78,42 @@ def local_update(
         aug = default_augmentation(size)
 
     losses: list[float] = []
-    for _ in range(epochs):
-        for xb, yb in client.train_loader():
-            client.optimizer.zero_grad()
+    with telemetry.span("local_update", client=client.client_id, epochs=epochs) as sp:
+        for _ in range(epochs):
+            for xb, yb in client.train_loader():
+                client.optimizer.zero_grad()
 
-            if config.use_contrastive:
-                xa = aug(xb, client.aug_rng)
-                xb2 = aug(xb, client.aug_rng)
-                feat_a = model.features(Tensor(xa))
-                feat_b = model.features(Tensor(xb2))
-                logits = model.classifier(feat_a)
-                loss = cross_entropy(logits, yb)
-                if config.contrastive == "supcon":
-                    loss = loss + supcon_loss(feat_a, feat_b, yb, temperature=config.temperature)
+                if config.use_contrastive:
+                    xa = aug(xb, client.aug_rng)
+                    xb2 = aug(xb, client.aug_rng)
+                    feat_a = model.features(Tensor(xa))
+                    feat_b = model.features(Tensor(xb2))
+                    logits = model.classifier(feat_a)
+                    loss = cross_entropy(logits, yb)
+                    if config.contrastive == "supcon":
+                        loss = loss + supcon_loss(
+                            feat_a, feat_b, yb, temperature=config.temperature
+                        )
+                    else:
+                        loss = loss + ntxent_loss(feat_a, feat_b, temperature=config.temperature)
                 else:
-                    loss = loss + ntxent_loss(feat_a, feat_b, temperature=config.temperature)
-            else:
-                logits = model(Tensor(xb))
-                loss = cross_entropy(logits, yb)
+                    logits = model(Tensor(xb))
+                    loss = cross_entropy(logits, yb)
 
-            if config.use_proximal and reference_state is not None:
-                if config.proximal_on == "classifier":
-                    pairs = model.classifier_parameters()
-                    ref = {k: v for k, v in reference_state.items() if k in dict(pairs)}
-                    prox = proximal_l2(pairs, ref, squared=config.proximal_squared)
-                else:
-                    pairs = list(model.named_parameters())
-                    ref = {k: reference_state[k] for k, _ in pairs}
-                    prox = proximal_l2(pairs, ref, squared=config.proximal_squared)
-                loss = loss + config.rho * prox
+                if config.use_proximal and reference_state is not None:
+                    if config.proximal_on == "classifier":
+                        pairs = model.classifier_parameters()
+                        ref = {k: v for k, v in reference_state.items() if k in dict(pairs)}
+                        prox = proximal_l2(pairs, ref, squared=config.proximal_squared)
+                    else:
+                        pairs = list(model.named_parameters())
+                        ref = {k: reference_state[k] for k, _ in pairs}
+                        prox = proximal_l2(pairs, ref, squared=config.proximal_squared)
+                    loss = loss + config.rho * prox
 
-            loss.backward()
-            client.optimizer.step()
-            losses.append(loss.item())
+                loss.backward()
+                client.optimizer.step()
+                losses.append(loss.item())
+        sp.set(batches=len(losses))
+    telemetry.counter("train.batches").inc(len(losses))
     return float(np.mean(losses)) if losses else 0.0

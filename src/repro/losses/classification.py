@@ -5,10 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tensor import Tensor, as_tensor, log_softmax, softmax
+from repro.telemetry.opprof import profiled_op
 
 __all__ = ["cross_entropy", "nll_loss", "kl_divergence", "soft_cross_entropy"]
 
 
+@profiled_op("cross_entropy", backward=False)
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
     logits = as_tensor(logits)

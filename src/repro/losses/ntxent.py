@@ -16,10 +16,12 @@ import numpy as np
 
 from repro.losses.supcon import normalize_features
 from repro.tensor import Tensor, as_tensor, concat, exp, log
+from repro.telemetry.opprof import profiled_op
 
 __all__ = ["ntxent_loss"]
 
 
+@profiled_op("ntxent", backward=False)
 def ntxent_loss(features_a: Tensor, features_b: Tensor, temperature: float = 0.5) -> Tensor:
     """NT-Xent loss over two views of the same N samples."""
     features_a, features_b = as_tensor(features_a), as_tensor(features_b)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tensor import Tensor, as_tensor, concat, exp, log
+from repro.telemetry.opprof import profiled_op
 
 __all__ = ["supcon_loss", "normalize_features"]
 
@@ -23,6 +24,7 @@ def normalize_features(z: Tensor, eps: float = 1e-12) -> Tensor:
     return z * norms**-0.5
 
 
+@profiled_op("supcon", backward=False)
 def supcon_loss(
     features_a: Tensor,
     features_b: Tensor,

@@ -1,0 +1,241 @@
+"""Lightweight observability for the federated stack.
+
+Three instruments behind one facade:
+
+* **spans** — nested wall-clock regions (``round`` → ``broadcast`` /
+  ``local_update`` / ``aggregate``), thread-safe for executor workers;
+* **metrics** — process-wide counters / gauges / histograms;
+* **op profiler** — opt-in per-op forward/backward attribution inside
+  the autograd engine (:mod:`repro.telemetry.opprof`).
+
+Telemetry is **disabled by default**: the module-level ``span()`` /
+``counter()`` / … helpers dispatch to a :class:`NullTelemetry` whose
+every operation is a no-op on a shared singleton, so instrumented hot
+paths cost one indirection when nothing is listening.  Enable with::
+
+    tel = telemetry.configure(jsonl="run.jsonl", profile_ops=True)
+    ...  # run experiments
+    print(telemetry.format_round_summary(tel.rounds))
+    tel.close()
+    telemetry.disable()
+
+Every closed span, per-round summary, final metrics snapshot, and op
+profile is streamed to the JSONL file as one self-describing record
+(``{"type": "span" | "round" | "metrics" | "op_profile", ...}``).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.export import (
+    JsonlWriter,
+    format_op_profile,
+    format_round_summary,
+    read_jsonl,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.opprof import OpProfiler, active_profiler, profiled_op
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "configure",
+    "disable",
+    "get_telemetry",
+    "set_telemetry",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "record_round",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OpProfiler",
+    "profiled_op",
+    "active_profiler",
+    "JsonlWriter",
+    "read_jsonl",
+    "format_round_summary",
+    "format_op_profile",
+]
+
+
+class _NullSpan:
+    """Reusable no-op context manager standing in for :class:`Span`."""
+
+    __slots__ = ()
+    name = ""
+    duration_s = 0.0
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class _NullInstrument:
+    """No-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullTelemetry:
+    """The disabled backend: every call is a no-op on shared singletons."""
+
+    enabled = False
+    tracer = None
+    metrics = None
+    ops = None
+
+    @property
+    def rounds(self) -> list:
+        return []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def record_round(self, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class Telemetry:
+    """Live backend: tracer + metrics + optional op profiler + JSONL export."""
+
+    enabled = True
+
+    def __init__(self, jsonl: str | None = None, profile_ops: bool = False):
+        self._writer = JsonlWriter(jsonl) if jsonl else None
+        sink = self._writer.write if self._writer else None
+        self.tracer = Tracer(sink=sink)
+        self.metrics = MetricsRegistry()
+        self.ops = OpProfiler() if profile_ops else None
+        if self.ops is not None:
+            self.ops.activate()
+        self.rounds: list[dict] = []
+
+    # -- instrument accessors ------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+    # -- round summaries -----------------------------------------------
+    def record_round(self, **fields) -> None:
+        """Record one round's compute/comm breakdown (see base.run)."""
+        record = {"type": "round", **fields}
+        self.rounds.append(record)
+        if self._writer is not None:
+            self._writer.write(record)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Flush the final metrics / op-profile records and close the file."""
+        if self.ops is not None:
+            self.ops.deactivate()
+        if self._writer is not None:
+            self._writer.write({"type": "metrics", **self.metrics.snapshot()})
+            if self.ops is not None:
+                self._writer.write({"type": "op_profile", "ops": self.ops.totals()})
+            self._writer.close()
+
+
+_NULL = NullTelemetry()
+_current: NullTelemetry | Telemetry = _NULL
+
+
+def get_telemetry() -> NullTelemetry | Telemetry:
+    """The process-wide telemetry backend (null unless configured)."""
+    return _current
+
+
+def set_telemetry(tel: NullTelemetry | Telemetry) -> NullTelemetry | Telemetry:
+    """Install ``tel`` as the current backend; returns the previous one."""
+    global _current
+    prev = _current
+    _current = tel
+    return prev
+
+
+def configure(jsonl: str | None = None, profile_ops: bool = False) -> Telemetry:
+    """Create, install, and return a live :class:`Telemetry` backend."""
+    tel = Telemetry(jsonl=jsonl, profile_ops=profile_ops)
+    set_telemetry(tel)
+    return tel
+
+
+def disable() -> None:
+    """Reinstall the null backend (does not close the previous one)."""
+    set_telemetry(_NULL)
+
+
+# -- module-level conveniences dispatching to the current backend -------
+def span(name: str, **attrs):
+    """Open a span on the current backend (no-op context manager when disabled)."""
+    return _current.span(name, **attrs)
+
+
+def counter(name: str):
+    """Counter ``name`` on the current backend (no-op instrument when disabled)."""
+    return _current.counter(name)
+
+
+def gauge(name: str):
+    """Gauge ``name`` on the current backend (no-op instrument when disabled)."""
+    return _current.gauge(name)
+
+
+def histogram(name: str):
+    """Histogram ``name`` on the current backend (no-op instrument when disabled)."""
+    return _current.histogram(name)
+
+
+def record_round(**fields) -> None:
+    """Record a per-round summary on the current backend (no-op when disabled)."""
+    _current.record_round(**fields)

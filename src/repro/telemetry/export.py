@@ -1,0 +1,85 @@
+"""JSONL export and human-readable telemetry summaries."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["JsonlWriter", "read_jsonl", "format_round_summary", "format_op_profile"]
+
+
+class JsonlWriter:
+    """Append-only, thread-safe JSON-Lines writer."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, default=_jsonable, separators=(",", ":"))
+        with self._lock:
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def _jsonable(obj):
+    """Fallback encoder for numpy scalars and other oddballs."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL telemetry file back into record dicts."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def format_round_summary(rounds: list[dict]) -> str:
+    """Tabulate per-round records (compute vs. simulated comm, bytes, survivors)."""
+    if not rounds:
+        return "(no round telemetry recorded)"
+    header = (
+        f"{'round':>5}  {'wall_s':>8}  {'compute_s':>9}  {'comm_s':>8}  "
+        f"{'up':>10}  {'down':>10}  {'part':>4}  {'surv':>4}  {'loss':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rounds:
+        loss = r.get("train_loss")
+        lines.append(
+            f"{r.get('round', '?'):>5}  {r.get('wall_s', 0.0):>8.3f}  "
+            f"{r.get('compute_s', 0.0):>9.3f}  {r.get('comm_s', 0.0):>8.3f}  "
+            f"{r.get('bytes_up', 0):>10}  {r.get('bytes_down', 0):>10}  "
+            f"{r.get('participants', 0):>4}  {r.get('survivors', 0):>4}  "
+            + (f"{loss:>8.4f}" if loss is not None else f"{'-':>8}")
+        )
+    return "\n".join(lines)
+
+
+def format_op_profile(totals: dict[str, dict[str, float]]) -> str:
+    """Tabulate per-op forward/backward totals, slowest first."""
+    if not totals:
+        return "(op profiler disabled or no ops recorded)"
+    rows = sorted(
+        totals.items(), key=lambda kv: kv[1]["forward_s"] + kv[1]["backward_s"], reverse=True
+    )
+    header = f"{'op':<16}  {'fwd_s':>8}  {'fwd_n':>7}  {'bwd_s':>8}  {'bwd_n':>7}"
+    lines = [header, "-" * len(header)]
+    for op, row in rows:
+        lines.append(
+            f"{op:<16}  {row['forward_s']:>8.3f}  {int(row['forward_calls']):>7}  "
+            f"{row['backward_s']:>8.3f}  {int(row['backward_calls']):>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Opt-in op-level profiler for the autograd engine.
+
+Ops in :mod:`repro.tensor` (and the composite losses) are decorated with
+:func:`profiled_op`.  When no profiler is active the decorator costs a
+single module-global ``is None`` check per call; when one is active it
+times the forward pass and — for leaf ops whose output carries a single
+``_backward`` closure — wraps that closure so the backward pass is
+attributed to the same op type.
+
+Composite functions (``supcon``, ``ntxent``, ``cross_entropy``) are
+profiled forward-only (``backward=False``): their backward work is the
+sum of their constituent leaf ops, which are timed individually.  Timings
+are *inclusive* — a decorated op that calls another decorated op counts
+the nested time in both rows.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the tensor layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+
+__all__ = ["OpProfiler", "profiled_op", "active_profiler"]
+
+#: the single active profiler, or None (the common, near-free case)
+_ACTIVE: "OpProfiler | None" = None
+
+
+def active_profiler() -> "OpProfiler | None":
+    """Return the currently activated profiler (None when disabled)."""
+    return _ACTIVE
+
+
+class OpProfiler:
+    """Thread-safe accumulator of per-op forward/backward wall-clock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (op, phase) -> [calls, seconds]; phase is "forward" | "backward"
+        self._stats: dict[tuple[str, str], list] = {}
+
+    def record(self, op: str, phase: str, seconds: float) -> None:
+        with self._lock:
+            cell = self._stats.get((op, phase))
+            if cell is None:
+                self._stats[(op, phase)] = [1, seconds]
+            else:
+                cell[0] += 1
+                cell[1] += seconds
+
+    def activate(self) -> None:
+        """Make this profiler the target of every ``profiled_op`` call."""
+        global _ACTIVE
+        _ACTIVE = self
+
+    def deactivate(self) -> None:
+        """Stop profiling (only if this profiler is the active one)."""
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Per-op totals: ``{op: {forward_s, forward_calls, backward_s, backward_calls}}``."""
+        with self._lock:
+            items = {k: list(v) for k, v in self._stats.items()}
+        out: dict[str, dict[str, float]] = {}
+        for (op, phase), (calls, seconds) in items.items():
+            row = out.setdefault(
+                op, {"forward_s": 0.0, "forward_calls": 0, "backward_s": 0.0, "backward_calls": 0}
+            )
+            row[f"{phase}_s"] += seconds
+            row[f"{phase}_calls"] += calls
+        return out
+
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(v[1] for v in self._stats.values())
+
+
+def profiled_op(name: str, backward: bool = True):
+    """Decorator attributing an op's forward (and backward) time to ``name``.
+
+    ``backward=False`` marks composite functions whose returned tensor's
+    ``_backward`` covers only its final tape node — timing it would
+    misattribute, so only the forward pass is recorded.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            prof = _ACTIVE
+            if prof is None:
+                return fn(*args, **kwargs)
+            t0 = time.perf_counter()
+            out = fn(*args, **kwargs)
+            prof.record(name, "forward", time.perf_counter() - t0)
+            if backward:
+                bw = getattr(out, "_backward", None)
+                if bw is not None:
+
+                    def timed_backward(grad, _bw=bw, _prof=prof):
+                        t1 = time.perf_counter()
+                        try:
+                            return _bw(grad)
+                        finally:
+                            _prof.record(name, "backward", time.perf_counter() - t1)
+
+                    out._backward = timed_backward
+            return out
+
+        return wrapper
+
+    return decorate

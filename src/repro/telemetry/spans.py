@@ -1,0 +1,130 @@
+"""Span-based wall-clock tracer.
+
+``Tracer.span("local_update", client=3)`` returns a context manager; on
+exit the span records its duration, its parent (the innermost span open
+*on the same thread*), and its attributes, then hands a plain-dict record
+to the tracer's sink.  Parenting is tracked per thread so spans opened by
+``ThreadExecutor`` workers nest correctly and never corrupt each other's
+stacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region.  Use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "thread",
+        "start_wall",
+        "duration_s",
+        "_start",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.thread = ""
+        self.start_wall = 0.0
+        self.duration_s = 0.0
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. byte counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = next(tracer._ids)
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.thread = threading.current_thread().name
+        self.start_wall = time.time()
+        self._start = time.perf_counter()
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.duration_s = time.perf_counter() - self._start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unbalanced exit: drop everything above us
+            del stack[stack.index(self) :]
+        self._tracer._finish(self)
+
+    def record(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "ts": self.start_wall,
+            "dur_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Creates spans, aggregates per-name totals, forwards closed spans.
+
+    ``sink`` is an optional callable receiving each closed span's record
+    dict (e.g. a JSONL writer).  ``finished`` keeps the records in memory
+    for summaries and tests.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.finished: list[dict] = []
+        # name -> [count, total_seconds]
+        self._totals: dict[str, list] = {}
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _finish(self, span: Span) -> None:
+        record = span.record()
+        with self._lock:
+            self.finished.append(record)
+            cell = self._totals.get(span.name)
+            if cell is None:
+                self._totals[span.name] = [1, span.duration_s]
+            else:
+                cell[0] += 1
+                cell[1] += span.duration_s
+        if self.sink is not None:
+            self.sink(record)
+
+    def total(self, name: str) -> tuple[int, float]:
+        """(count, total seconds) over closed spans named ``name``."""
+        with self._lock:
+            cell = self._totals.get(name)
+            return (cell[0], cell[1]) if cell else (0, 0.0)
+
+    def names(self) -> set:
+        with self._lock:
+            return set(self._totals)

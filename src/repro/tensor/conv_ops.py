@@ -15,6 +15,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.telemetry.opprof import profiled_op
 from repro.tensor.shape_ops import pad2d
 from repro.tensor.tensor import Tensor, as_tensor
 
@@ -64,6 +65,7 @@ def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int) -> n
     return out
 
 
+@profiled_op("conv2d")
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -110,6 +112,7 @@ def conv2d(
     return Tensor._make(out, parents, backward)
 
 
+@profiled_op("depthwise_conv2d")
 def depthwise_conv2d(
     x: Tensor,
     weight: Tensor,
@@ -157,6 +160,7 @@ def depthwise_conv2d(
     return Tensor._make(out, parents, backward)
 
 
+@profiled_op("max_pool2d")
 def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: int = 0) -> Tensor:
     """Max pooling over NCHW; gradient routes to the argmax of each window."""
     x = as_tensor(x)
@@ -201,6 +205,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: 
     return Tensor._make(out, (x,), backward)
 
 
+@profiled_op("avg_pool2d")
 def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: int = 0) -> Tensor:
     """Average pooling over NCHW (count includes padding cells, as PyTorch)."""
     x = as_tensor(x)
@@ -241,6 +246,7 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: 
     return Tensor._make(out, (x,), backward)
 
 
+@profiled_op("adaptive_avg_pool2d", backward=False)
 def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
     """Adaptive average pooling to an ``output_size × output_size`` grid.
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.opprof import profiled_op
 from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
 
 __all__ = [
@@ -60,6 +61,7 @@ def sqrt(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@profiled_op("tanh")
 def tanh(x: Tensor) -> Tensor:
     """Elementwise hyperbolic tangent."""
     x = as_tensor(x)
@@ -71,6 +73,7 @@ def tanh(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@profiled_op("sigmoid")
 def sigmoid(x: Tensor) -> Tensor:
     """Elementwise logistic sigmoid (numerically stable)."""
     x = as_tensor(x)
@@ -86,6 +89,7 @@ def sigmoid(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@profiled_op("relu")
 def relu(x: Tensor) -> Tensor:
     """Elementwise max(x, 0)."""
     x = as_tensor(x)
@@ -98,6 +102,7 @@ def relu(x: Tensor) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@profiled_op("leaky_relu")
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     """Elementwise leaky ReLU: x if x>0 else slope·x."""
     x = as_tensor(x)

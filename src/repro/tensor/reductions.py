@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tensor.tensor import Tensor, as_tensor
+from repro.telemetry.opprof import profiled_op
 
 __all__ = [
     "sum_",
@@ -92,6 +93,7 @@ def var(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     return mean(sq, axis=axis, keepdims=keepdims)
 
 
+@profiled_op("logsumexp")
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """log Σ e^x with the max-shift trick (overflow-safe)."""
     x = as_tensor(x)
@@ -111,6 +113,7 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@profiled_op("softmax")
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` (max-shifted for stability)."""
     x = as_tensor(x)
@@ -125,6 +128,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (x,), backward)
 
 
+@profiled_op("log_softmax")
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """log(softmax(x)) computed stably in one pass."""
     x = as_tensor(x)

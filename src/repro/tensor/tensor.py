@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.opprof import profiled_op
 from repro.tensor.autograd import is_grad_enabled
 
 __all__ = ["Tensor", "unbroadcast", "as_tensor"]
@@ -269,6 +270,7 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    @profiled_op("matmul")
     def __matmul__(self, other):
         other = as_tensor(other)
         out_data = self.data @ other.data

@@ -2,27 +2,47 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 __all__ = ["Timer"]
 
 
 class Timer:
-    """Context-manager stopwatch accumulating elapsed seconds across uses."""
+    """Context-manager stopwatch accumulating elapsed seconds across uses.
+
+    Safe to enter concurrently from multiple threads (each thread keeps
+    its own stack of start times) and reentrantly from one thread (nested
+    ``with`` blocks each add their own elapsed interval — so overlapping
+    intervals accumulate additively, as the pre-existing "accumulating"
+    semantics imply).
+    """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
-        self._start: float | None = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[float]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._stack().append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
+        stack = self._stack()
+        if not stack:
+            raise RuntimeError("Timer.__exit__ without matching __enter__ on this thread")
+        start = stack.pop()
+        delta = time.perf_counter() - start
+        with self._lock:
+            self.elapsed += delta
 
     def reset(self) -> None:
-        self.elapsed = 0.0
-        self._start = None
+        """Zero the accumulated time (open intervals on any thread keep running)."""
+        with self._lock:
+            self.elapsed = 0.0

@@ -131,3 +131,54 @@ class TestFedClassAvgIntegration:
         algo.run(1)
         # uplink is compressed, downlink unchanged ⇒ strictly fewer bytes
         assert algo.comm.cost.total_bytes < plain.comm.cost.total_bytes
+
+
+class TestRoundTripKeyOrderAlignment:
+    """``weighted_average_state`` rejects misordered keys; decompression must
+    therefore reproduce the *original key order* exactly — including when the
+    state mixes float weights with integer buffers that pass through the
+    compressor untouched.  One dict-iteration change in ``decompress`` would
+    break aggregation silently, so pin it here."""
+
+    def _mixed_state(self, seed):
+        rng = np.random.default_rng(seed)
+        # deliberately non-alphabetical order, int buffer in the middle
+        return {
+            "classifier.weight": rng.normal(size=(8, 5)),
+            "num_batches_tracked": np.array(seed + 1, dtype=np.int64),
+            "classifier.bias": rng.normal(size=5),
+            "steps": np.array([seed, seed * 2], dtype=np.int32),
+        }
+
+    @pytest.mark.parametrize(
+        "compressor", [QuantizationCompressor(bits=8), TopKCompressor(ratio=0.5)]
+    )
+    def test_decompressed_key_order_matches_original(self, compressor):
+        state = self._mixed_state(0)
+        out = compressor.decompress(compressor.compress(state))
+        assert list(out.keys()) == list(state.keys())
+
+    @pytest.mark.parametrize(
+        "compressor", [QuantizationCompressor(bits=8), TopKCompressor(ratio=0.5)]
+    )
+    def test_weighted_average_accepts_decompressed_payloads(self, compressor):
+        from repro.federated import weighted_average_state
+
+        states = [self._mixed_state(s) for s in range(3)]
+        payloads = [compressor.decompress(compressor.compress(s)) for s in states]
+        avg = weighted_average_state(payloads, weights=[1.0, 2.0, 3.0])
+        assert list(avg.keys()) == list(states[0].keys())
+        # int buffers stay integer, floats stay float
+        assert avg["num_batches_tracked"].dtype.kind == "i"
+        assert avg["steps"].dtype == np.int32
+        assert avg["classifier.weight"].dtype.kind == "f"
+
+    def test_mixed_compressed_and_original_alignment(self):
+        """A lossless round-trip must interoperate with never-compressed states."""
+        comp = TopKCompressor(ratio=1.0)
+        from repro.federated import weighted_average_state
+
+        a = self._mixed_state(1)
+        b = comp.decompress(comp.compress(self._mixed_state(2)))
+        avg = weighted_average_state([a, b])
+        assert list(avg.keys()) == list(a.keys())

@@ -29,6 +29,32 @@ class TestCostModel:
         cost.end_round()
         assert cost.per_client_round_bytes(num_clients=2) == 50.0
 
+    def test_per_client_round_bytes_partial_participation(self):
+        """With participant counts recorded, idle clients don't dilute the cost."""
+        cost = CostModel()
+        cost.record(0, 1, 100)
+        cost.record(1, 0, 100)
+        cost.end_round(participants=1)
+        cost.record(0, 2, 100)
+        cost.record(2, 0, 100)
+        cost.end_round(participants=1)
+        # 400 bytes over 2 participations — not diluted by the 10-client pool
+        assert cost.per_client_round_bytes(num_clients=10) == 200.0
+
+    def test_per_client_round_bytes_requires_divisor(self):
+        cost = CostModel()
+        cost.record(0, 1, 100)
+        cost.end_round()
+        with pytest.raises(ValueError):
+            cost.per_client_round_bytes()
+
+    def test_round_time_and_participant_ledgers(self):
+        cost = CostModel(latency_s=0.01, bandwidth_Bps=1000)
+        cost.record(0, 1, 100)
+        cost.end_round(participants=3)
+        assert cost.per_round_participants == [3]
+        assert np.isclose(cost.per_round_time_s[0], 0.01 + 0.1)
+
     def test_summary_keys(self):
         s = CostModel().summary()
         assert {"total_bytes", "total_messages", "total_time_s", "rounds"} <= set(s)
@@ -39,10 +65,11 @@ class TestFormatBytes:
         "n,expected",
         [
             (512, "512 B"),
-            (2048, "2.00 KB"),
-            (22 * 1024, "22.00 KB"),
+            (2048, "2 KB"),
+            (22 * 1024, "22 KB"),
             (int(43.73 * 1024 * 1024), "43.73 MB"),
-            (3 * 1024**3, "3.00 GB"),
+            (1536, "1.50 KB"),
+            (3 * 1024**3, "3 GB"),
         ],
     )
     def test_formatting(self, n, expected):

@@ -106,5 +106,5 @@ class TestExecutors:
         ex = make_executor("thread", max_workers=2)
         assert isinstance(ex, ThreadExecutor)
         ex.shutdown()
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError):
             make_executor("mpi")

@@ -67,7 +67,17 @@ class TestTable5Format:
             proposed_bytes=22 * 1024,
         )
         out = format_table5(r)
-        assert "45.00 MB" in out and "22.00 KB" in out
+        assert "45 MB" in out and "22 KB" in out
+
+    def test_fractional_bytes_keep_two_decimals(self):
+        r = Table5Result(
+            scale="paper",
+            model_sharing_bytes=int(43.73 * 1024**2),
+            ktpfl_bytes=int(8.9 * 1024**2),
+            proposed_bytes=int(21.5 * 1024),
+        )
+        out = format_table5(r)
+        assert "43.73 MB" in out and "21.50 KB" in out
 
 
 class TestCurvesFormat:

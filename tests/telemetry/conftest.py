@@ -1,0 +1,14 @@
+"""Telemetry tests always restore the process-global null backend."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _restore_null_backend():
+    yield
+    telemetry.disable()
+    prof = telemetry.active_profiler()
+    if prof is not None:
+        prof.deactivate()

@@ -1,0 +1,148 @@
+"""End-to-end telemetry over a real FedClassAvg run (and the CLI flag)."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import FedClassAvg
+from repro.federated import FaultInjector, ThreadExecutor
+
+
+@pytest.fixture
+def tiny_algo(micro_federation):
+    clients, _ = micro_federation
+    return FedClassAvg(clients, rho=0.1, seed=0)
+
+
+class TestRunTelemetry:
+    def test_jsonl_covers_required_spans_and_rounds(self, tiny_algo, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        tel = telemetry.configure(jsonl=path, profile_ops=True)
+        try:
+            tiny_algo.run(2)
+        finally:
+            tel.close()
+            telemetry.disable()
+
+        records = telemetry.read_jsonl(path)
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"round", "broadcast", "local_update", "aggregate"} <= span_names
+
+        rounds = [r for r in records if r["type"] == "round"]
+        assert [r["round"] for r in rounds] == [0, 1]
+        for r in rounds:
+            assert r["bytes_up"] > 0 and r["bytes_down"] > 0
+            assert r["bytes"] == r["bytes_up"] + r["bytes_down"]
+            assert r["comm_s"] > 0 and r["compute_s"] > 0
+            assert r["wall_s"] >= r["compute_s"]
+            assert r["participants"] == r["survivors"] == len(tiny_algo.clients)
+
+        ops = [r for r in records if r["type"] == "op_profile"]
+        assert len(ops) == 1
+        assert ops[0]["ops"]["conv2d"]["forward_calls"] > 0
+        assert ops[0]["ops"]["conv2d"]["backward_s"] >= 0.0
+
+        metrics = [r for r in records if r["type"] == "metrics"]
+        assert len(metrics) == 1
+        assert metrics[0]["counters"]["train.batches"] > 0
+
+    def test_round_span_parents_local_update(self, tiny_algo):
+        tel = telemetry.configure()
+        try:
+            tiny_algo.run(1)
+        finally:
+            tel.close()
+            telemetry.disable()
+        spans = {r["name"]: r for r in tel.tracer.finished}
+        assert spans["local_update"]["parent_id"] == spans["round"]["span_id"]
+        assert spans["broadcast"]["parent_id"] == spans["round"]["span_id"]
+
+    def test_thread_executor_spans_and_task_histogram(self, micro_federation):
+        clients, _ = micro_federation
+        ex = ThreadExecutor(max_workers=2)
+        tel = telemetry.configure()
+        try:
+            FedClassAvg(clients, rho=0.1, seed=0, executor=ex).run(1)
+        finally:
+            ex.shutdown()
+            tel.close()
+            telemetry.disable()
+        # one local_update span per client, recorded from worker threads
+        assert tel.tracer.total("local_update")[0] == len(clients)
+        assert tel.metrics.histogram("executor.task_s").count == len(clients)
+
+    def test_fault_injection_survivor_accounting(self, micro_federation):
+        clients, _ = micro_federation
+        algo = FedClassAvg(clients, rho=0.1, seed=0, fault_injector=FaultInjector(0.5, seed=1))
+        tel = telemetry.configure()
+        try:
+            algo.run(2)
+        finally:
+            tel.close()
+            telemetry.disable()
+        dropped = algo.fault_injector.dropped_log
+        for r in tel.rounds:
+            assert r["survivors"] == r["participants"] - len(dropped[r["round"]])
+
+    def test_disabled_backend_records_nothing(self, tiny_algo):
+        telemetry.disable()
+        tiny_algo.run(1)
+        tel = telemetry.get_telemetry()
+        assert not tel.enabled
+        assert tel.rounds == []
+
+
+class TestCliTelemetry:
+    def test_cli_flag_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.jsonl")
+        rc = main(
+            [
+                "--algorithm",
+                "fedclassavg",
+                "--clients",
+                "3",
+                "--rounds",
+                "1",
+                "--dataset",
+                "fashion_mnist-tiny",
+                "--telemetry",
+                path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-round breakdown" in out and "op profile" in out
+        records = telemetry.read_jsonl(path)
+        types = {r["type"] for r in records}
+        assert {"span", "round", "metrics", "op_profile"} <= types
+        # the CLI restores the null backend afterwards
+        assert not telemetry.get_telemetry().enabled
+
+
+class TestSurvivorLoss:
+    def test_round_loss_is_mean_over_survivors_only(self, micro_federation, monkeypatch):
+        """Faulted clients' losses must not leak into the reported round loss."""
+        from repro.federated import trainer as trainer_mod
+        from repro.core import fedclassavg as fca_mod
+
+        clients, _ = micro_federation
+        algo = FedClassAvg(clients, rho=0.1, seed=0, fault_injector=FaultInjector(0.5, seed=3))
+
+        # give every client a distinctive, known "loss"
+        fake_losses = {c.client_id: float(10 + c.client_id) for c in clients}
+        monkeypatch.setattr(
+            fca_mod, "local_update", lambda client, *a, **k: fake_losses[client.client_id]
+        )
+        monkeypatch.setattr(
+            trainer_mod, "local_update", lambda client, *a, **k: fake_losses[client.client_id]
+        )
+
+        algo.setup()
+        sampled = list(range(len(clients)))
+        loss = algo.round(0, sampled)
+        survivors = algo.last_survivors
+        assert survivors is not None and 0 < len(survivors) < len(clients)
+        expected = float(np.mean([fake_losses[k] for k in survivors]))
+        assert loss == pytest.approx(expected)

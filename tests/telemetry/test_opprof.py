@@ -1,0 +1,89 @@
+"""Op-level profiler: attribution, transparency, activation lifecycle."""
+
+import numpy as np
+
+from repro.losses import supcon_loss
+from repro.telemetry import OpProfiler, active_profiler, profiled_op
+from repro.tensor import Tensor, conv2d, relu, sum_
+
+
+def small_conv_backward():
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8)), requires_grad=True)
+    w = Tensor(np.random.default_rng(1).normal(size=(4, 3, 3, 3)), requires_grad=True)
+    loss = sum_(relu(conv2d(x, w)))
+    loss.backward()
+    return x, w
+
+
+class TestProfiledOp:
+    def test_disabled_profiler_is_transparent(self):
+        assert active_profiler() is None
+        x, w = small_conv_backward()
+        assert x.grad is not None and w.grad is not None
+
+    def test_records_forward_and_backward(self):
+        prof = OpProfiler()
+        prof.activate()
+        try:
+            small_conv_backward()
+        finally:
+            prof.deactivate()
+        totals = prof.totals()
+        assert totals["conv2d"]["forward_calls"] == 1
+        assert totals["conv2d"]["backward_calls"] == 1
+        assert totals["conv2d"]["forward_s"] >= 0.0
+        assert totals["relu"]["backward_calls"] == 1
+
+    def test_profiling_does_not_change_gradients(self):
+        np.random.seed(0)
+        x1, w1 = small_conv_backward()
+        prof = OpProfiler()
+        prof.activate()
+        try:
+            x2, w2 = small_conv_backward()
+        finally:
+            prof.deactivate()
+        assert np.allclose(x1.grad, x2.grad)
+        assert np.allclose(w1.grad, w2.grad)
+
+    def test_composite_ops_are_forward_only(self):
+        prof = OpProfiler()
+        prof.activate()
+        try:
+            a = Tensor(np.random.default_rng(2).normal(size=(6, 4)), requires_grad=True)
+            b = Tensor(np.random.default_rng(3).normal(size=(6, 4)), requires_grad=True)
+            loss = supcon_loss(a, b, np.array([0, 0, 1, 1, 2, 2]))
+            loss.backward()
+        finally:
+            prof.deactivate()
+        totals = prof.totals()
+        assert totals["supcon"]["forward_calls"] == 1
+        # backward time lands on the constituent leaf ops, never on the composite
+        assert totals["supcon"]["backward_calls"] == 0
+
+    def test_deactivate_only_clears_own_registration(self):
+        a, b = OpProfiler(), OpProfiler()
+        a.activate()
+        b.activate()
+        a.deactivate()  # a is not active; b must stay registered
+        assert active_profiler() is b
+        b.deactivate()
+        assert active_profiler() is None
+
+    def test_custom_decorated_function(self):
+        calls = []
+
+        @profiled_op("custom")
+        def op(v):
+            calls.append(v)
+            return v * 2
+
+        assert op(3) == 6  # no profiler: plain passthrough
+        prof = OpProfiler()
+        prof.activate()
+        try:
+            assert op(4) == 8
+        finally:
+            prof.deactivate()
+        assert prof.totals()["custom"]["forward_calls"] == 1
+        assert calls == [3, 4]

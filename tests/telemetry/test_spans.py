@@ -1,0 +1,92 @@
+"""Span tracer: nesting, attributes, thread isolation, JSONL sink."""
+
+import json
+import threading
+import time
+
+from repro.telemetry import JsonlWriter, Tracer, read_jsonl
+
+
+class TestTracer:
+    def test_span_records_duration_and_attrs(self):
+        tr = Tracer()
+        with tr.span("work", client=3) as sp:
+            time.sleep(0.005)
+            sp.set(batches=7)
+        assert tr.total("work")[0] == 1
+        rec = tr.finished[0]
+        assert rec["name"] == "work"
+        assert rec["dur_s"] >= 0.004
+        assert rec["attrs"] == {"client": 3, "batches": 7}
+
+    def test_nesting_sets_parent_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        outer_rec = next(r for r in tr.finished if r["name"] == "outer")
+        inner_rec = next(r for r in tr.finished if r["name"] == "inner")
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+        assert outer_rec["parent_id"] is None
+
+    def test_totals_accumulate(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("x"):
+                pass
+        count, seconds = tr.total("x")
+        assert count == 3
+        assert seconds >= 0.0
+        assert tr.total("missing") == (0, 0.0)
+
+    def test_threads_have_independent_stacks(self):
+        """Worker spans must not parent to (or pop) other threads' spans."""
+        tr = Tracer()
+        barrier = threading.Barrier(2)
+        parents = {}
+
+        def work(tag):
+            barrier.wait()
+            with tr.span(tag) as sp:
+                time.sleep(0.01)
+                parents[tag] = sp.parent_id
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        # concurrent root spans on different threads have no parent
+        assert parents == {"t0": None, "t1": None}
+        assert len(tr.finished) == 2
+
+    def test_sink_receives_each_record(self):
+        seen = []
+        tr = Tracer(sink=seen.append)
+        with tr.span("a"):
+            pass
+        assert len(seen) == 1 and seen[0]["type"] == "span"
+
+
+class TestJsonl:
+    def test_writer_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        w = JsonlWriter(path)
+        w.write({"type": "span", "name": "x", "dur_s": 0.25})
+        w.write({"type": "round", "round": 0})
+        w.close()
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["span", "round"]
+        # every line is standalone-parseable JSON
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_writer_handles_numpy_scalars(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "np.jsonl")
+        w = JsonlWriter(path)
+        w.write({"v": np.float64(1.5), "n": np.int64(3)})
+        w.close()
+        assert read_jsonl(path) == [{"v": 1.5, "n": 3}]

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.algorithms",
     "repro.analysis",
+    "repro.telemetry",
     "repro.experiments",
 ]
 

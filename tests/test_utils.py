@@ -3,6 +3,7 @@
 import time
 
 import numpy as np
+import pytest
 
 from repro.utils import Timer
 from repro.utils.rng import get_rng, seed_all, spawn_rng
@@ -53,3 +54,37 @@ class TestTimer:
             pass
         t.reset()
         assert t.elapsed == 0.0
+
+    def test_reentrant_nesting(self):
+        t = Timer()
+        with t:
+            with t:
+                time.sleep(0.01)
+        # two enter/exit pairs each contribute their own interval
+        assert t.elapsed >= 0.018
+
+    def test_concurrent_threads_do_not_clobber(self):
+        """Regression: two workers entering concurrently used to share _start."""
+        import threading
+
+        t = Timer()
+        barrier = threading.Barrier(2)
+
+        def work():
+            barrier.wait()
+            with t:
+                time.sleep(0.02)
+
+        threads = [threading.Thread(target=work) for _ in range(2)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        # both intervals accumulate (~0.04 total); the old shared-_start
+        # implementation either raised or under-counted one interval
+        assert t.elapsed >= 0.036
+
+    def test_exit_without_enter_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
