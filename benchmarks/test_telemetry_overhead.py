@@ -99,3 +99,80 @@ def test_disabled_primitives_allocate_nothing_per_call(benchmark):
     sp2 = telemetry.span("b")
     assert sp1 is sp2
     assert telemetry.counter("x") is telemetry.histogram("y")
+
+
+@pytest.mark.paper_experiment("telemetry-overhead")
+def test_health_monitor_overhead_under_5pct(benchmark):
+    """HealthMonitor ingestion must stay a rounding error on the run.
+
+    The monitor sees ~2 ``observe_client`` calls per client-round (one
+    from ``local_update`` with loss/grad-norm/duration, one from
+    ``FedClassAvg.round`` with drift/update-norm/bytes) plus one
+    ``begin_round``/``end_round`` pair per round.  The measured unit cost
+    of each entry point — with the full default detector suite attached —
+    times those counts must stay below 5% of the run's wall-clock.
+    """
+    from repro.telemetry import HealthMonitor
+
+    telemetry.disable()
+
+    # 1. wall-clock of the run on the null backend (no monitor at all)
+    algo = _build_algo(seed=0)
+    assert telemetry.get_telemetry().health is None  # null path: no monitor
+    t0 = time.perf_counter()
+    run_once(benchmark, lambda: algo.run(2))
+    t_run = time.perf_counter() - t0
+
+    # 2. observation counts of an identical monitored run
+    tel = telemetry.configure()
+    try:
+        _build_algo(seed=0).run(2)
+        monitor = tel.health
+        n_observe = sum(
+            len(points) for c in monitor.clients.values() for points in c.series.values()
+        )
+        n_rounds = 2
+    finally:
+        tel.close()
+        telemetry.disable()
+    assert n_observe > 0
+
+    # 3. measured unit costs with the default detector suite installed
+    bench_monitor = HealthMonitor()
+    reps = 5_000
+    bench_monitor.begin_round(0, list(range(8)))
+    t = time.perf_counter()
+    for i in range(reps):
+        bench_monitor.observe_client(i % 8, loss=0.5, grad_norm=1.0, duration_s=0.01)
+    observe_cost = (time.perf_counter() - t) / reps
+
+    round_reps = 500
+    t = time.perf_counter()
+    for i in range(round_reps):
+        bench_monitor.begin_round(i + 1, list(range(8)))
+        bench_monitor.end_round(i + 1, accs=[0.5] * 8)
+    round_cost = (time.perf_counter() - t) / round_reps
+
+    overhead = n_observe * observe_cost + n_rounds * round_cost
+    print(
+        f"\nhealth-monitor overhead: {overhead * 1e3:.3f} ms projected over "
+        f"{n_observe} observations + {n_rounds} round flushes "
+        f"vs {t_run:.2f} s run ({overhead / t_run:.3%})"
+    )
+    assert overhead < 0.05 * t_run
+
+
+@pytest.mark.paper_experiment("telemetry-overhead")
+def test_null_backend_has_no_health_monitor(benchmark):
+    """The disabled path never allocates or consults a HealthMonitor —
+    instrumented code gates on ``get_telemetry().health is None``."""
+    telemetry.disable()
+    run_once(benchmark, lambda: None)
+    assert telemetry.get_telemetry().health is None
+    # and a live backend can opt out entirely
+    tel = telemetry.configure(health=False)
+    try:
+        assert tel.health is None
+    finally:
+        tel.close()
+        telemetry.disable()

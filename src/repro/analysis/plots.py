@@ -31,7 +31,10 @@ def ascii_curves(
         return "(no data)"
     markers = "*o+x#@%&"
     all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
-    y_min, y_max = float(all_y.min()), float(all_y.max())
+    finite_y = all_y[np.isfinite(all_y)]
+    if finite_y.size == 0:
+        return "(no data)"
+    y_min, y_max = float(finite_y.min()), float(finite_y.max())
     if y_max - y_min < 1e-12:
         y_max = y_min + 1.0
     max_len = max(len(v) for v in series.values())
@@ -41,6 +44,8 @@ def ascii_curves(
         ys = np.asarray(ys, dtype=float)
         marker = markers[si % len(markers)]
         for i, yv in enumerate(ys):
+            if not np.isfinite(yv):  # un-evaluated rounds plot nothing
+                continue
             cx = int(round(i / max(1, max_len - 1) * (width - 1)))
             cy = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
             grid[height - 1 - cy][cx] = marker

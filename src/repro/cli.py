@@ -1,4 +1,4 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner and telemetry tooling.
 
 Run any algorithm on any dataset/partition from a shell::
 
@@ -10,8 +10,18 @@ Run any algorithm on any dataset/partition from a shell::
 
 Prints per-round progress, the final accuracy table row, the learning
 curve, and the communication ledger.  ``--telemetry PATH`` additionally
-streams spans / per-round summaries / an op-level profile to ``PATH``
-(JSON Lines) and prints the human-readable breakdown at the end.
+streams spans / per-round summaries / per-client health records + alerts
+to ``PATH`` (JSON Lines); add ``--profile-ops`` for the (opt-in,
+per-op-overhead) autograd profile.
+
+Two subcommands consume telemetry files afterwards::
+
+    python -m repro.cli report run.jsonl          # ASCII health dashboard
+    python -m repro.cli diff base.jsonl new.jsonl --gate   # CI regression gate
+
+``diff --gate`` exits non-zero when the candidate run's final accuracy
+regresses or its bytes inflate beyond the tolerances — telemetry files
+double as CI regression artifacts.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from repro.analysis import ascii_curves
 from repro.comm import format_bytes
 from repro.config import tiny_preset
 from repro.experiments.common import run_algorithm
+from repro.telemetry import diff_runs, format_diff, gate_violations, read_jsonl, render_report
 
 ALGORITHMS = ("fedclassavg", "baseline", "fedavg", "fedprox", "fedproto", "ktpfl")
 DATASETS = (
@@ -66,12 +77,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         metavar="PATH",
         default=None,
-        help="write span/round/op-profile telemetry to PATH as JSON Lines",
+        help="write span/round/health telemetry to PATH as JSON Lines",
+    )
+    p.add_argument(
+        "--profile-ops",
+        action="store_true",
+        help="also profile per-op forward/backward time (adds per-op overhead)",
     )
     return p
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro report", description="render an ASCII dashboard from a telemetry JSONL file"
+    )
+    p.add_argument("path", help="telemetry JSONL file written by --telemetry")
+    return p
+
+
+def build_diff_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro diff", description="compare two telemetry JSONL files (baseline vs candidate)"
+    )
+    p.add_argument("baseline", help="baseline run's telemetry JSONL")
+    p.add_argument("candidate", help="candidate run's telemetry JSONL")
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when the candidate regresses beyond the tolerances",
+    )
+    p.add_argument(
+        "--acc-drop",
+        type=float,
+        default=0.01,
+        help="gate tolerance for final-accuracy regression (default 0.01)",
+    )
+    p.add_argument(
+        "--bytes-inflate",
+        type=float,
+        default=0.10,
+        help="gate tolerance for total-bytes inflation, fractional (default 0.10)",
+    )
+    p.add_argument(
+        "--fail-on-new-alerts",
+        action="store_true",
+        help="also gate on the candidate producing more alerts than the baseline",
+    )
+    return p
+
+
+def report_main(argv: list[str]) -> int:
+    args = build_report_parser().parse_args(argv)
+    print(render_report(read_jsonl(args.path)))
+    return 0
+
+
+def diff_main(argv: list[str]) -> int:
+    args = build_diff_parser().parse_args(argv)
+    diff = diff_runs(read_jsonl(args.baseline), read_jsonl(args.candidate))
+    print(format_diff(diff, name_a=args.baseline, name_b=args.candidate))
+    violations = gate_violations(
+        diff,
+        acc_drop_tol=args.acc_drop,
+        bytes_inflate_tol=args.bytes_inflate,
+        allow_new_alerts=not args.fail_on_new_alerts,
+    )
+    if violations:
+        for v in violations:
+            print(f"gate: FAIL — {v}", file=sys.stderr if args.gate else sys.stdout)
+        return 1 if args.gate else 0
+    print("gate: OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
+    if argv and argv[0] == "diff":
+        return diff_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     if args.list:
         print("algorithms:", ", ".join(ALGORITHMS))
@@ -93,7 +178,11 @@ def main(argv: list[str] | None = None) -> int:
         sample_rate=args.sample_rate,
     )
     fca_kwargs = {"share_all_weights": args.share_weights} if args.algorithm == "fedclassavg" else None
-    tel = telemetry.configure(jsonl=args.telemetry, profile_ops=True) if args.telemetry else None
+    tel = (
+        telemetry.configure(jsonl=args.telemetry, profile_ops=args.profile_ops)
+        if args.telemetry
+        else None
+    )
     try:
         history, cost = run_algorithm(
             args.algorithm,
@@ -113,8 +202,13 @@ def main(argv: list[str] | None = None) -> int:
     if tel is not None:
         print("\ntelemetry: per-round breakdown")
         print(telemetry.format_round_summary(tel.rounds))
-        print("\ntelemetry: op profile")
-        print(telemetry.format_op_profile(tel.ops.totals()))
+        if tel.ops is not None:
+            print("\ntelemetry: op profile")
+            print(telemetry.format_op_profile(tel.ops.totals()))
+        if tel.health is not None and tel.health.alerts:
+            print(f"\ntelemetry: {len(tel.health.alerts)} health alert(s)")
+            for alert in tel.health.alerts:
+                print(f"  [{alert['severity']}] {alert['detector']}: {alert['message']}")
         print(f"telemetry written to {args.telemetry}")
 
     mean, std = history.final_acc()

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
+from repro.analysis.drift import measure_drift
+from repro.comm import payload_nbytes
 from repro.federated.aggregation import weighted_average_state
 from repro.federated.base import FederatedAlgorithm
 from repro.federated.trainer import LocalUpdateConfig, local_update
@@ -145,6 +148,21 @@ class FedClassAvg(FederatedAlgorithm):
             return state
 
         payloads = {self.rank_of(k): outgoing(k) for k in uploading}
+
+        # health monitoring: per-client classifier drift ‖C_k − C‖₂ vs the
+        # broadcast reference, update norm over the full payload, and the
+        # wire size each client actually uploads (post-DP/compression)
+        monitor = telemetry.get_telemetry().health
+        if monitor is not None:
+            for k in uploading:
+                client = self.clients[k]
+                monitor.observe_client(
+                    k,
+                    drift=measure_drift(client.model.classifier_state(), reference),
+                    update_norm=measure_drift(self._client_payload(client), reference),
+                    bytes_up=payload_nbytes(payloads[self.rank_of(k)]),
+                )
+
         received = self.comm.gather(payloads, root=server)
         if self.compressor is not None:
             received = [self.compressor.decompress(s) for s in received]

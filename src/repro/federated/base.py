@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro import telemetry
 from repro.comm import CostModel, SimComm
 from repro.federated.client import FederatedClient
@@ -83,15 +85,27 @@ class FederatedAlgorithm:
         When telemetry is enabled, each round runs inside a ``round`` span
         and emits a per-round summary record breaking wall-clock into
         local compute vs. simulated communication time, bytes up/down,
-        and participant/survivor counts.
+        participant/survivor counts, and the round's mean accuracy.  A
+        configured health monitor additionally receives the round
+        lifecycle (participants, survivors, per-client accuracies) so its
+        detectors see the full per-client picture.
+
+        Rounds between evaluations carry the last *evaluated* accuracies
+        forward and are marked ``evaluated=False`` in the history, so
+        ``mean_curve``/``best_acc`` never see phantom zero-accuracy
+        rounds when ``eval_every > 1``.
         """
         history = RunHistory(self.name)
         tel = telemetry.get_telemetry()
+        monitor = tel.health
         cost = self.comm.cost
         self.setup()
+        last_eval_accs: list[float] = []
         for t in range(rounds):
             sampled = self.sampler.sample(t)
             self.last_survivors = None
+            if monitor is not None:
+                monitor.begin_round(t, sampled)
             if tel.enabled:
                 up0, down0 = cost.uplink_bytes(), cost.downlink_bytes()
                 comm0 = cost.total_time_s
@@ -100,6 +114,10 @@ class FederatedAlgorithm:
             with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
                 train_loss = self.round(t, sampled)
             round_bytes = cost.end_round(participants=len(sampled))
+            evaluated = (t + 1) % eval_every == 0 or t == rounds - 1
+            if evaluated:
+                last_eval_accs = self.evaluate_all()
+            accs = last_eval_accs
             if tel.enabled:
                 survivors = self.last_survivors
                 tel.record_round(
@@ -114,11 +132,15 @@ class FederatedAlgorithm:
                     participants=len(sampled),
                     survivors=len(survivors) if survivors is not None else len(sampled),
                     train_loss=train_loss,
+                    evaluated=evaluated,
+                    mean_acc=float(np.mean(accs)) if accs else None,
                 )
-            if (t + 1) % eval_every == 0 or t == rounds - 1:
-                accs = self.evaluate_all()
-            else:
-                accs = history.rounds[-1].client_accs if history.rounds else []
+            if monitor is not None:
+                monitor.end_round(
+                    t,
+                    survivors=self.last_survivors,
+                    accs=accs if evaluated else None,
+                )
             history.append(
                 RoundMetrics(
                     round_idx=t,
@@ -126,6 +148,7 @@ class FederatedAlgorithm:
                     comm_bytes=round_bytes,
                     local_epochs=self.local_epochs,
                     train_loss=train_loss,
+                    evaluated=evaluated,
                 )
             )
             if verbose:

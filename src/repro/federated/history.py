@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -11,13 +12,19 @@ __all__ = ["RoundMetrics", "RunHistory"]
 
 @dataclass
 class RoundMetrics:
-    """Metrics of one communication round."""
+    """Metrics of one communication round.
+
+    ``evaluated`` distinguishes rounds where ``client_accs`` came from a
+    fresh ``evaluate_all`` call from rounds that merely carry the last
+    known accuracies forward (``eval_every > 1``).
+    """
 
     round_idx: int
     client_accs: list[float]
     comm_bytes: int = 0
     local_epochs: int = 1
     train_loss: float | None = None
+    evaluated: bool = True
 
     @property
     def mean_acc(self) -> float:
@@ -26,6 +33,27 @@ class RoundMetrics:
     @property
     def std_acc(self) -> float:
         return float(np.std(self.client_accs)) if self.client_accs else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "round_idx": self.round_idx,
+            "client_accs": [float(a) for a in self.client_accs],
+            "comm_bytes": int(self.comm_bytes),
+            "local_epochs": int(self.local_epochs),
+            "train_loss": float(self.train_loss) if self.train_loss is not None else None,
+            "evaluated": bool(self.evaluated),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RoundMetrics":
+        return cls(
+            round_idx=int(d["round_idx"]),
+            client_accs=[float(a) for a in d["client_accs"]],
+            comm_bytes=int(d.get("comm_bytes", 0)),
+            local_epochs=int(d.get("local_epochs", 1)),
+            train_loss=float(d["train_loss"]) if d.get("train_loss") is not None else None,
+            evaluated=bool(d.get("evaluated", True)),
+        )
 
 
 @dataclass
@@ -40,8 +68,13 @@ class RunHistory:
 
     @property
     def mean_curve(self) -> np.ndarray:
-        """Mean client accuracy per round (Figures 4–7 y-axis)."""
-        return np.array([r.mean_acc for r in self.rounds])
+        """Mean client accuracy per round (Figures 4–7 y-axis).
+
+        Rounds with no accuracy information at all (before the first
+        evaluation when ``eval_every > 1``) are NaN rather than a
+        phantom 0.0, so curves and aggregates never see fake collapses.
+        """
+        return np.array([r.mean_acc if r.client_accs else np.nan for r in self.rounds])
 
     @property
     def epoch_axis(self) -> np.ndarray:
@@ -64,4 +97,27 @@ class RunHistory:
         return sum(r.comm_bytes for r in self.rounds)
 
     def best_acc(self) -> float:
-        return max((r.mean_acc for r in self.rounds), default=0.0)
+        """Best mean accuracy over rounds that carry accuracy data."""
+        return max((r.mean_acc for r in self.rounds if r.client_accs), default=0.0)
+
+    # -- durable serialization (checkpoints, report/diff tooling) -------
+    def to_dict(self) -> dict:
+        return {"algorithm": self.algorithm, "rounds": [r.to_dict() for r in self.rounds]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunHistory":
+        return cls(
+            algorithm=d["algorithm"],
+            rounds=[RoundMetrics.from_dict(r) for r in d.get("rounds", [])],
+        )
+
+    def to_json(self, path: str) -> None:
+        """Write the full history to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def from_json(cls, path: str) -> "RunHistory":
+        """Load a history previously saved with :meth:`to_json`."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

@@ -77,6 +77,11 @@ def local_update(
         size = client.train_images.shape[-1]
         aug = default_augmentation(size)
 
+    # health monitoring wants per-client loss + grad norm; the extra
+    # grad-norm pass only runs when a monitor is installed
+    monitor = telemetry.get_telemetry().health
+    grad_sq_sum, grad_batches = 0.0, 0
+
     losses: list[float] = []
     with telemetry.span("local_update", client=client.client_id, epochs=epochs) as sp:
         for _ in range(epochs):
@@ -112,8 +117,24 @@ def local_update(
                     loss = loss + config.rho * prox
 
                 loss.backward()
+                if monitor is not None:
+                    sq = 0.0
+                    for p in client.optimizer.params:
+                        if p.grad is not None:
+                            sq += float((p.grad**2).sum())
+                    grad_sq_sum += np.sqrt(sq)
+                    grad_batches += 1
                 client.optimizer.step()
                 losses.append(loss.item())
         sp.set(batches=len(losses))
     telemetry.counter("train.batches").inc(len(losses))
-    return float(np.mean(losses)) if losses else 0.0
+    mean_loss = float(np.mean(losses)) if losses else 0.0
+    if monitor is not None:
+        monitor.observe_client(
+            client.client_id,
+            loss=mean_loss,
+            grad_norm=float(grad_sq_sum / grad_batches) if grad_batches else None,
+            duration_s=sp.duration_s,
+            batches=len(losses),
+        )
+    return mean_loss

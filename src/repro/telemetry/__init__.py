@@ -1,12 +1,19 @@
 """Lightweight observability for the federated stack.
 
-Three instruments behind one facade:
+Four instruments behind one facade:
 
 * **spans** — nested wall-clock regions (``round`` → ``broadcast`` /
   ``local_update`` / ``aggregate``), thread-safe for executor workers;
 * **metrics** — process-wide counters / gauges / histograms;
 * **op profiler** — opt-in per-op forward/backward attribution inside
-  the autograd engine (:mod:`repro.telemetry.opprof`).
+  the autograd engine (:mod:`repro.telemetry.opprof`);
+* **health monitor** — per-client anomaly detection (NaN losses, loss
+  spikes, accuracy divergence, stragglers, dead clients) with alert
+  records and a reaction callback (:mod:`repro.telemetry.health`).
+
+The analysis half lives in :mod:`repro.telemetry.report`: ASCII run
+dashboards (``python -m repro.cli report RUN.jsonl``) and run diffs with
+a CI regression gate (``python -m repro.cli diff A B --gate``).
 
 Telemetry is **disabled by default**: the module-level ``span()`` /
 ``counter()`` / … helpers dispatch to a :class:`NullTelemetry` whose
@@ -19,9 +26,10 @@ paths cost one indirection when nothing is listening.  Enable with::
     tel.close()
     telemetry.disable()
 
-Every closed span, per-round summary, final metrics snapshot, and op
-profile is streamed to the JSONL file as one self-describing record
-(``{"type": "span" | "round" | "metrics" | "op_profile", ...}``).
+Every closed span, per-round summary, per-client health flush, alert,
+final metrics snapshot, and op profile is streamed to the JSONL file as
+one self-describing record (``{"type": "span" | "round" | "client_round"
+| "alert" | "metrics" | "op_profile" | "health_summary", ...}``).
 """
 
 from __future__ import annotations
@@ -32,8 +40,20 @@ from repro.telemetry.export import (
     format_round_summary,
     read_jsonl,
 )
+from repro.telemetry.health import (
+    AccuracyDivergenceDetector,
+    ClientHealth,
+    DeadClientDetector,
+    Detector,
+    HealthMonitor,
+    LossSpikeDetector,
+    NaNLossDetector,
+    StragglerDetector,
+    default_detectors,
+)
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.opprof import OpProfiler, active_profiler, profiled_op
+from repro.telemetry.report import diff_runs, format_diff, gate_violations, render_report
 from repro.telemetry.spans import Span, Tracer
 
 __all__ = [
@@ -61,6 +81,19 @@ __all__ = [
     "read_jsonl",
     "format_round_summary",
     "format_op_profile",
+    "HealthMonitor",
+    "ClientHealth",
+    "Detector",
+    "NaNLossDetector",
+    "LossSpikeDetector",
+    "AccuracyDivergenceDetector",
+    "StragglerDetector",
+    "DeadClientDetector",
+    "default_detectors",
+    "render_report",
+    "diff_runs",
+    "format_diff",
+    "gate_violations",
 ]
 
 
@@ -114,6 +147,7 @@ class NullTelemetry:
     tracer = None
     metrics = None
     ops = None
+    health = None
 
     @property
     def rounds(self) -> list:
@@ -143,7 +177,13 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, jsonl: str | None = None, profile_ops: bool = False):
+    def __init__(
+        self,
+        jsonl: str | None = None,
+        profile_ops: bool = False,
+        health: bool | HealthMonitor = True,
+        on_alert=None,
+    ):
         self._writer = JsonlWriter(jsonl) if jsonl else None
         sink = self._writer.write if self._writer else None
         self.tracer = Tracer(sink=sink)
@@ -151,6 +191,14 @@ class Telemetry:
         self.ops = OpProfiler() if profile_ops else None
         if self.ops is not None:
             self.ops.activate()
+        if isinstance(health, HealthMonitor):
+            self.health: HealthMonitor | None = health
+            if self.health.sink is None:
+                self.health.sink = sink
+            if on_alert is not None and self.health.on_alert is None:
+                self.health.on_alert = on_alert
+        else:
+            self.health = HealthMonitor(sink=sink, on_alert=on_alert) if health else None
         self.rounds: list[dict] = []
 
     # -- instrument accessors ------------------------------------------
@@ -183,6 +231,8 @@ class Telemetry:
             self._writer.write({"type": "metrics", **self.metrics.snapshot()})
             if self.ops is not None:
                 self._writer.write({"type": "op_profile", "ops": self.ops.totals()})
+            if self.health is not None:
+                self._writer.write(self.health.summary())
             self._writer.close()
 
 
@@ -203,9 +253,21 @@ def set_telemetry(tel: NullTelemetry | Telemetry) -> NullTelemetry | Telemetry:
     return prev
 
 
-def configure(jsonl: str | None = None, profile_ops: bool = False) -> Telemetry:
-    """Create, install, and return a live :class:`Telemetry` backend."""
-    tel = Telemetry(jsonl=jsonl, profile_ops=profile_ops)
+def configure(
+    jsonl: str | None = None,
+    profile_ops: bool = False,
+    health: bool | HealthMonitor = True,
+    on_alert=None,
+) -> Telemetry:
+    """Create, install, and return a live :class:`Telemetry` backend.
+
+    ``health`` controls client health monitoring: ``True`` (default)
+    installs a :class:`HealthMonitor` with the standard detector suite,
+    ``False`` disables it, and a ready-made monitor instance is used
+    as-is (its sink defaults to the JSONL writer).  ``on_alert`` is the
+    alert callback forwarded to the monitor.
+    """
+    tel = Telemetry(jsonl=jsonl, profile_ops=profile_ops, health=health, on_alert=on_alert)
     set_telemetry(tel)
     return tel
 

@@ -1,0 +1,482 @@
+"""Client health monitoring: anomaly detection over telemetry observations.
+
+A federation of heterogeneous clients fails *per client*: one model
+diverges to NaN, one shard is so skewed accuracy collapses, one device
+is 10x slower than the round median, one client is sampled every round
+but never survives fault injection.  None of that is visible in run-level
+aggregates — Tables 2–3 of the paper report mean±std exactly because
+per-client variance is a first-class metric.
+
+:class:`HealthMonitor` ingests per-client observations as the round loop
+produces them (train loss, gradient norm, classifier drift ``‖C_k − C‖₂``,
+update norm, uplink bytes, ``local_update`` duration, participation,
+personalized accuracy) and runs pluggable :class:`Detector` instances
+over the stream.  Each triggered detector yields an **alert record**::
+
+    {"type": "alert", "round": 3, "client": 7, "detector": "nan_loss",
+     "severity": "critical", "message": "...", "value": ..., "threshold": ...}
+
+which is (1) appended to :attr:`HealthMonitor.alerts`, (2) streamed to the
+telemetry JSONL sink, and (3) passed to the ``on_alert`` callback so the
+round loop can react (log, quarantine the client, exclude it from
+aggregation).  Per-client observations are additionally flushed once per
+round as ``{"type": "client_round", ...}`` records, which is what
+:mod:`repro.telemetry.report` renders into the per-client health table.
+
+Observation-level detectors (NaN loss, loss spike) fire *inside*
+``observe_client`` — i.e. while the round is still running — so a NaN
+client can be excluded from the very aggregation it would poison.
+Round-level detectors (straggler, dead client, accuracy divergence) fire
+at :meth:`HealthMonitor.end_round` when the round's full picture exists.
+
+All entry points are thread-safe: ``observe_client`` is called from
+executor worker threads running ``local_update`` concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+__all__ = [
+    "Alert",
+    "Detector",
+    "NaNLossDetector",
+    "LossSpikeDetector",
+    "AccuracyDivergenceDetector",
+    "StragglerDetector",
+    "DeadClientDetector",
+    "ClientHealth",
+    "HealthMonitor",
+    "default_detectors",
+]
+
+#: alert records are plain dicts so they serialize like every other
+#: telemetry record; this alias documents intent in signatures
+Alert = dict
+
+
+def _finite(x) -> bool:
+    return x is not None and math.isfinite(x)
+
+
+# ---------------------------------------------------------------------------
+# detectors
+# ---------------------------------------------------------------------------
+class Detector:
+    """Base anomaly detector.
+
+    ``on_observation`` sees each batch of per-client fields as soon as it
+    is reported (mid-round); ``on_round_end`` sees the round's merged
+    per-client observations plus the monitor (for cross-round state).
+    Both return a list of alert dicts; the monitor stamps ``type``,
+    ``round`` and ``detector`` onto whatever they return.
+    """
+
+    name = "detector"
+    severity = "warning"
+
+    def on_observation(self, round_idx: int, client_id: int, fields: dict) -> list[Alert]:
+        return []
+
+    def on_round_end(
+        self, round_idx: int, obs: dict[int, dict], monitor: "HealthMonitor"
+    ) -> list[Alert]:
+        return []
+
+    def _alert(self, client_id: int | None, message: str, **extra) -> Alert:
+        return {"client": client_id, "severity": self.severity, "message": message, **extra}
+
+
+class NaNLossDetector(Detector):
+    """Fires the moment a client reports a non-finite loss or grad norm.
+
+    This is the one unambiguous failure: a NaN classifier poisons the
+    weighted average for *every* client, so the alert is critical and
+    fires mid-round (before aggregation) via ``on_observation``.
+    """
+
+    name = "nan_loss"
+    severity = "critical"
+
+    def on_observation(self, round_idx, client_id, fields):
+        alerts = []
+        for field in ("loss", "grad_norm"):
+            if field in fields and not _finite(fields[field]):
+                alerts.append(
+                    self._alert(
+                        client_id,
+                        f"client {client_id} reported non-finite {field} "
+                        f"({fields[field]}) in round {round_idx}",
+                        field=field,
+                        value=fields[field],
+                    )
+                )
+        return alerts
+
+
+class LossSpikeDetector(Detector):
+    """Rolling z-score on each client's train-loss series.
+
+    A loss far above the client's own recent history signals divergence
+    (too-high lr, a poisoned batch, optimizer-state corruption) even when
+    the value is still finite.
+    """
+
+    name = "loss_spike"
+
+    def __init__(self, window: int = 8, z_threshold: float = 4.0, min_points: int = 3):
+        self.window = window
+        self.z_threshold = z_threshold
+        self.min_points = min_points
+        self._history: dict[int, deque] = {}
+
+    def on_observation(self, round_idx, client_id, fields):
+        if "loss" not in fields or not _finite(fields["loss"]):
+            return []
+        loss = float(fields["loss"])
+        hist = self._history.setdefault(client_id, deque(maxlen=self.window))
+        alerts = []
+        if len(hist) >= self.min_points:
+            mean = sum(hist) / len(hist)
+            var = sum((v - mean) ** 2 for v in hist) / len(hist)
+            std = math.sqrt(var)
+            z = (loss - mean) / std if std > 1e-12 else (math.inf if loss > mean + 1e-6 else 0.0)
+            if z > self.z_threshold:
+                alerts.append(
+                    self._alert(
+                        client_id,
+                        f"client {client_id} loss {loss:.4f} is {z:.1f}σ above its "
+                        f"rolling mean {mean:.4f} (window={len(hist)})",
+                        value=loss,
+                        zscore=z if math.isfinite(z) else None,
+                        threshold=self.z_threshold,
+                    )
+                )
+        hist.append(loss)
+        return alerts
+
+
+class AccuracyDivergenceDetector(Detector):
+    """Fires when a client's personalized accuracy drops sharply.
+
+    Compares each new accuracy against the client's best over a recent
+    window; a drop beyond ``drop_threshold`` means the client is moving
+    away from its personalized optimum (classifier overwritten by a
+    hostile average, catastrophic forgetting, data drift).
+    """
+
+    name = "accuracy_divergence"
+
+    def __init__(self, window: int = 8, drop_threshold: float = 0.2, min_points: int = 2):
+        self.window = window
+        self.drop_threshold = drop_threshold
+        self.min_points = min_points
+        self._history: dict[int, deque] = {}
+
+    def on_observation(self, round_idx, client_id, fields):
+        if "acc" not in fields or not _finite(fields["acc"]):
+            return []
+        acc = float(fields["acc"])
+        hist = self._history.setdefault(client_id, deque(maxlen=self.window))
+        alerts = []
+        if len(hist) >= self.min_points:
+            peak = max(hist)
+            drop = peak - acc
+            if drop >= self.drop_threshold:
+                alerts.append(
+                    self._alert(
+                        client_id,
+                        f"client {client_id} accuracy fell to {acc:.4f}, "
+                        f"{drop:.4f} below its recent peak {peak:.4f}",
+                        value=acc,
+                        drop=drop,
+                        threshold=self.drop_threshold,
+                    )
+                )
+        hist.append(acc)
+        return alerts
+
+
+class StragglerDetector(Detector):
+    """Flags clients whose ``local_update`` wall-clock dwarfs the round median.
+
+    In a synchronous round the server waits for the slowest upload, so a
+    single straggler sets the round's critical path.  Needs at least
+    ``min_clients`` timed clients for the median to mean anything.
+    """
+
+    name = "straggler"
+
+    def __init__(self, ratio: float = 3.0, min_clients: int = 3, min_duration_s: float = 1e-4):
+        self.ratio = ratio
+        self.min_clients = min_clients
+        self.min_duration_s = min_duration_s
+
+    def on_round_end(self, round_idx, obs, monitor):
+        durations = {
+            k: float(o["duration_s"])
+            for k, o in obs.items()
+            if _finite(o.get("duration_s"))
+        }
+        if len(durations) < self.min_clients:
+            return []
+        ordered = sorted(durations.values())
+        mid = len(ordered) // 2
+        median = ordered[mid] if len(ordered) % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+        threshold = max(self.ratio * median, self.min_duration_s)
+        return [
+            self._alert(
+                k,
+                f"client {k} local_update took {dur:.3f}s, "
+                f"{dur / median:.1f}x the round median {median:.3f}s",
+                value=dur,
+                median_s=median,
+                threshold=self.ratio,
+            )
+            for k, dur in sorted(durations.items())
+            if dur > threshold
+        ]
+
+
+class DeadClientDetector(Detector):
+    """Flags clients that keep being sampled but whose uploads never arrive.
+
+    A client that has been sampled ``min_rounds`` times with zero
+    surviving uploads contributes nothing to the global classifier while
+    still consuming downlink bandwidth — the silent failure mode of
+    deadline-based aggregation.  Fires once per client.
+    """
+
+    name = "dead_client"
+    severity = "critical"
+
+    def __init__(self, min_rounds: int = 3):
+        self.min_rounds = min_rounds
+        self._alerted: set[int] = set()
+
+    def on_round_end(self, round_idx, obs, monitor):
+        alerts = []
+        for k, health in monitor.clients.items():
+            if k in self._alerted:
+                continue
+            if health.sampled_count >= self.min_rounds and health.survived_count == 0:
+                self._alerted.add(k)
+                alerts.append(
+                    self._alert(
+                        k,
+                        f"client {k} was sampled {health.sampled_count} times "
+                        "but no upload ever survived",
+                        value=health.sampled_count,
+                        threshold=self.min_rounds,
+                    )
+                )
+        return alerts
+
+
+def default_detectors() -> list[Detector]:
+    """The standard detector suite (one instance each, fresh state)."""
+    return [
+        NaNLossDetector(),
+        LossSpikeDetector(),
+        AccuracyDivergenceDetector(),
+        StragglerDetector(),
+        DeadClientDetector(),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# per-client state + the monitor
+# ---------------------------------------------------------------------------
+class ClientHealth:
+    """Everything the monitor knows about one client, as (round, value) series."""
+
+    __slots__ = ("client_id", "series", "sampled_count", "survived_count", "alert_count")
+
+    def __init__(self, client_id: int):
+        self.client_id = client_id
+        #: field name -> list of (round_idx, value), in round order
+        self.series: dict[str, list[tuple[int, float]]] = {}
+        self.sampled_count = 0
+        self.survived_count = 0
+        self.alert_count = 0
+
+    def record(self, round_idx: int, field: str, value) -> None:
+        self.series.setdefault(field, []).append((round_idx, value))
+
+    def values(self, field: str) -> list[float]:
+        return [v for _, v in self.series.get(field, [])]
+
+    def last(self, field: str):
+        points = self.series.get(field)
+        return points[-1][1] if points else None
+
+
+class HealthMonitor:
+    """Ingests per-client observations, runs detectors, emits alerts.
+
+    Parameters
+    ----------
+    detectors:
+        Detector instances; defaults to :func:`default_detectors`.
+    sink:
+        Optional callable receiving each emitted record dict (alerts and
+        per-round ``client_round`` flushes) — normally the telemetry
+        backend's JSONL writer.
+    on_alert:
+        Optional callback invoked with each alert record as it fires;
+        the round loop's reaction hook.
+    emit_client_records:
+        Write one ``client_round`` record per observed client per round
+        to ``sink`` (the report CLI's data source).  Disable to keep the
+        JSONL to alerts only.
+    """
+
+    def __init__(
+        self,
+        detectors: list[Detector] | None = None,
+        sink=None,
+        on_alert=None,
+        emit_client_records: bool = True,
+    ):
+        self.detectors = list(detectors) if detectors is not None else default_detectors()
+        self.sink = sink
+        self.on_alert = on_alert
+        self.emit_client_records = emit_client_records
+        self.alerts: list[Alert] = []
+        self.clients: dict[int, ClientHealth] = {}
+        self._lock = threading.Lock()
+        self._round: int = -1
+        self._round_obs: dict[int, dict] = {}
+        self._round_sampled: set[int] = set()
+        self._round_survived: set[int] = set()
+
+    # -- round lifecycle ------------------------------------------------
+    def begin_round(self, round_idx: int, sampled: list[int]) -> None:
+        """Open round ``round_idx`` with its participant set."""
+        with self._lock:
+            self._round = round_idx
+            self._round_obs = {}
+            self._round_sampled = set(sampled)
+            self._round_survived = set()
+            for k in sampled:
+                self._client(k).sampled_count += 1
+
+    def observe_client(self, client_id: int, **fields) -> None:
+        """Merge ``fields`` into this round's observation for ``client_id``.
+
+        Safe to call from executor worker threads; observation-level
+        detectors run immediately so critical alerts (NaN loss) fire
+        before the round's aggregation step.
+        """
+        pending: list[Alert] = []
+        with self._lock:
+            round_idx = self._round
+            self._round_obs.setdefault(client_id, {}).update(fields)
+            for det in self.detectors:
+                pending.extend(
+                    self._stamp(a, det, round_idx)
+                    for a in det.on_observation(round_idx, client_id, fields)
+                )
+        self._emit_alerts(pending)
+
+    def end_round(
+        self,
+        round_idx: int,
+        survivors: list[int] | None = None,
+        accs: list[float] | None = None,
+    ) -> list[Alert]:
+        """Close the round: fold in survivors + accuracies, flush, detect.
+
+        ``survivors`` defaults to everyone sampled (no fault injection).
+        ``accs`` is the full per-client accuracy list from
+        ``evaluate_all`` on evaluation rounds, ``None`` otherwise.
+        Returns the alerts this round produced (observation-level ones
+        already emitted mid-round are not repeated).
+        """
+        pending: list[Alert] = []
+        records: list[dict] = []
+        with self._lock:
+            survived = set(survivors) if survivors is not None else set(self._round_sampled)
+            self._round_survived = survived
+            for k in survived:
+                self._client(k).survived_count += 1
+            if accs is not None:
+                for k, acc in enumerate(accs):
+                    self._round_obs.setdefault(k, {})["acc"] = float(acc)
+                    for det in self.detectors:
+                        pending.extend(
+                            self._stamp(a, det, round_idx)
+                            for a in det.on_observation(round_idx, k, {"acc": float(acc)})
+                        )
+            # commit this round's observations to the per-client series
+            for k, obs in sorted(self._round_obs.items()):
+                health = self._client(k)
+                for field, value in obs.items():
+                    health.record(round_idx, field, value)
+                if self.emit_client_records:
+                    records.append(
+                        {
+                            "type": "client_round",
+                            "round": round_idx,
+                            "client": k,
+                            "sampled": k in self._round_sampled,
+                            "survived": k in survived if k in self._round_sampled else None,
+                            **obs,
+                        }
+                    )
+            obs_snapshot = {k: dict(o) for k, o in self._round_obs.items()}
+            for det in self.detectors:
+                pending.extend(
+                    self._stamp(a, det, round_idx)
+                    for a in det.on_round_end(round_idx, obs_snapshot, self)
+                )
+        if self.sink is not None:
+            for record in records:
+                self.sink(record)
+        self._emit_alerts(pending)
+        return pending
+
+    # -- summaries ------------------------------------------------------
+    def client_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self.clients)
+
+    def alerts_for(self, client_id: int) -> list[Alert]:
+        return [a for a in self.alerts if a.get("client") == client_id]
+
+    def summary(self) -> dict:
+        """Aggregate health snapshot (also usable as a JSONL record)."""
+        with self._lock:
+            by_detector: dict[str, int] = {}
+            for a in self.alerts:
+                by_detector[a["detector"]] = by_detector.get(a["detector"], 0) + 1
+            return {
+                "type": "health_summary",
+                "clients": len(self.clients),
+                "alerts": len(self.alerts),
+                "alerts_by_detector": by_detector,
+            }
+
+    # -- internals ------------------------------------------------------
+    def _client(self, client_id: int) -> ClientHealth:
+        health = self.clients.get(client_id)
+        if health is None:
+            health = self.clients[client_id] = ClientHealth(client_id)
+        return health
+
+    def _stamp(self, alert: Alert, detector: Detector, round_idx: int) -> Alert:
+        alert.update(type="alert", round=round_idx, detector=detector.name)
+        client_id = alert.get("client")
+        if client_id is not None:
+            self._client(client_id).alert_count += 1
+        return alert
+
+    def _emit_alerts(self, alerts: list[Alert]) -> None:
+        for alert in alerts:
+            self.alerts.append(alert)
+            if self.sink is not None:
+                self.sink(alert)
+            if self.on_alert is not None:
+                self.on_alert(alert)

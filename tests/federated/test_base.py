@@ -89,3 +89,96 @@ class TestRunLoop:
         h = algo.run(2)
         assert all(r.comm_bytes > 0 for r in h.rounds)
         assert len(algo.comm.cost.per_round) == 2
+
+
+class TestEvalCarryForward:
+    """eval_every > 1 must not poison curves with phantom zero-acc rounds."""
+
+    def test_unevaluated_rounds_carry_last_known_accs(self, micro_federation):
+        clients, _ = micro_federation
+        h = _NoopAlgo(clients).run(4, eval_every=2)
+        assert [r.evaluated for r in h.rounds] == [False, True, False, True]
+        # round 2 carries round 1's (evaluated) accuracies
+        assert h.rounds[2].client_accs == h.rounds[1].client_accs
+        assert h.rounds[2].client_accs != []
+
+    def test_rounds_before_first_eval_are_nan_not_zero(self, micro_federation):
+        clients, _ = micro_federation
+        h = _NoopAlgo(clients).run(4, eval_every=2)
+        curve = h.mean_curve
+        assert np.isnan(curve[0])  # no accuracy known yet — not a fake 0.0
+        assert np.isfinite(curve[1:]).all()
+
+    def test_best_acc_ignores_unknown_rounds(self, micro_federation):
+        clients, _ = micro_federation
+        h = _NoopAlgo(clients).run(3, eval_every=3)
+        # only the final round was evaluated; best_acc must equal it, and
+        # must not be dragged to 0.0 by the two unknown rounds
+        assert h.best_acc() == h.rounds[-1].mean_acc
+        assert not np.isnan(h.best_acc())
+
+    def test_eval_every_one_marks_all_rounds_evaluated(self, micro_federation):
+        clients, _ = micro_federation
+        h = _NoopAlgo(clients).run(2)
+        assert all(r.evaluated for r in h.rounds)
+
+
+class TestRunTelemetryRecords:
+    """Round-record accounting for loss-less and fault-tolerant rounds."""
+
+    def test_round_record_with_none_train_loss(self, micro_federation):
+        from repro import telemetry
+
+        clients, _ = micro_federation
+
+        class _Lossless(_NoopAlgo):
+            def round(self, t, sampled):
+                return None
+
+        tel = telemetry.configure()
+        try:
+            h = _Lossless(clients).run(2)
+        finally:
+            tel.close()
+            telemetry.disable()
+        assert len(tel.rounds) == 2
+        for r in tel.rounds:
+            assert r["train_loss"] is None
+            assert r["mean_acc"] is not None and np.isfinite(r["mean_acc"])
+        assert all(r.train_loss is None for r in h.rounds)
+
+    def test_survivor_count_follows_last_survivors(self, micro_federation):
+        from repro import telemetry
+
+        clients, _ = micro_federation
+
+        class _Flaky(_NoopAlgo):
+            def round(self, t, sampled):
+                # fault-tolerant path: only a subset's uploads arrive
+                self.last_survivors = list(sampled[: len(sampled) - 1 - t])
+                return 1.0
+
+        tel = telemetry.configure()
+        try:
+            _Flaky(clients).run(2)
+        finally:
+            tel.close()
+            telemetry.disable()
+        n = len(clients)
+        assert [(r["participants"], r["survivors"]) for r in tel.rounds] == [
+            (n, n - 1),
+            (n, n - 2),
+        ]
+
+    def test_survivors_default_to_participants(self, micro_federation):
+        from repro import telemetry
+
+        clients, _ = micro_federation
+        tel = telemetry.configure()
+        try:
+            _NoopAlgo(clients).run(1)
+        finally:
+            tel.close()
+            telemetry.disable()
+        r = tel.rounds[0]
+        assert r["survivors"] == r["participants"] == len(clients)

@@ -48,3 +48,89 @@ class TestRunHistory:
     def test_empty_final_raises(self):
         with pytest.raises(ValueError):
             RunHistory("x").final
+
+
+class TestSerialization:
+    def _full_history(self):
+        h = RunHistory("fedclassavg")
+        h.append(
+            RoundMetrics(
+                round_idx=0,
+                client_accs=[0.1, 0.2],
+                comm_bytes=128,
+                local_epochs=1,
+                train_loss=None,  # e.g. a loss-less algorithm
+                evaluated=False,
+            )
+        )
+        h.append(
+            RoundMetrics(
+                round_idx=1,
+                client_accs=[0.4, 0.6],
+                comm_bytes=256,
+                local_epochs=20,
+                train_loss=1.25,
+                evaluated=True,
+            )
+        )
+        return h
+
+    def test_dict_round_trip_is_lossless(self):
+        h = self._full_history()
+        restored = RunHistory.from_dict(h.to_dict())
+        assert restored == h  # dataclass equality covers every field
+
+    def test_dict_round_trip_preserves_none_train_loss(self):
+        restored = RunHistory.from_dict(self._full_history().to_dict())
+        assert restored.rounds[0].train_loss is None
+        assert restored.rounds[1].train_loss == 1.25
+
+    def test_json_file_round_trip(self, tmp_path):
+        import json
+
+        h = self._full_history()
+        path = str(tmp_path / "history.json")
+        h.to_json(path)
+        with open(path) as fh:
+            raw = json.load(fh)  # durable format: plain JSON on disk
+        assert raw["algorithm"] == "fedclassavg"
+        restored = RunHistory.from_json(path)
+        assert restored == h
+        assert restored.final_acc() == h.final_acc()
+        assert np.array_equal(restored.epoch_axis, h.epoch_axis)
+
+    def test_to_dict_uses_plain_python_types(self):
+        h = RunHistory("x")
+        h.append(RoundMetrics(0, [np.float64(0.5)], comm_bytes=np.int64(7), train_loss=np.float32(1.0)))
+        d = h.to_dict()
+        r = d["rounds"][0]
+        assert type(r["client_accs"][0]) is float
+        assert type(r["comm_bytes"]) is int
+        assert type(r["train_loss"]) is float
+
+    def test_from_dict_defaults_evaluated_true_for_legacy_payloads(self):
+        legacy = {
+            "algorithm": "fedavg",
+            "rounds": [{"round_idx": 0, "client_accs": [0.5]}],
+        }
+        h = RunHistory.from_dict(legacy)
+        assert h.rounds[0].evaluated is True
+        assert h.rounds[0].comm_bytes == 0
+
+
+class TestCurveNaNSemantics:
+    def test_mean_curve_nan_for_acc_less_rounds(self):
+        h = RunHistory("x")
+        h.append(RoundMetrics(0, [], evaluated=False))
+        h.append(RoundMetrics(1, [0.5, 0.7]))
+        curve = h.mean_curve
+        assert np.isnan(curve[0]) and curve[1] == 0.6
+
+    def test_best_acc_skips_acc_less_rounds(self):
+        h = RunHistory("x")
+        h.append(RoundMetrics(0, [], evaluated=False))
+        h.append(RoundMetrics(1, [0.5]))
+        assert h.best_acc() == 0.5
+
+    def test_best_acc_empty_history(self):
+        assert RunHistory("x").best_acc() == 0.0

@@ -1,0 +1,258 @@
+"""HealthMonitor + detector unit tests."""
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry.health import (
+    AccuracyDivergenceDetector,
+    DeadClientDetector,
+    HealthMonitor,
+    LossSpikeDetector,
+    NaNLossDetector,
+    StragglerDetector,
+    default_detectors,
+)
+
+
+def make_monitor(detectors, **kw):
+    sink_records = []
+    alerts_seen = []
+    monitor = HealthMonitor(
+        detectors=detectors,
+        sink=sink_records.append,
+        on_alert=alerts_seen.append,
+        **kw,
+    )
+    return monitor, sink_records, alerts_seen
+
+
+class TestNaNLossDetector:
+    def test_nan_loss_fires_critical_alert_mid_round(self):
+        monitor, sink, seen = make_monitor([NaNLossDetector()])
+        monitor.begin_round(0, [0, 1])
+        monitor.observe_client(0, loss=0.5)
+        assert monitor.alerts == []
+        monitor.observe_client(1, loss=float("nan"))
+        # the alert fired immediately (before end_round), to the sink
+        # and the callback, as a well-formed alert record
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert["type"] == "alert"
+        assert alert["detector"] == "nan_loss"
+        assert alert["severity"] == "critical"
+        assert alert["client"] == 1 and alert["round"] == 0
+        assert seen == [alert]
+        assert alert in sink
+
+    def test_inf_grad_norm_fires(self):
+        monitor, _, _ = make_monitor([NaNLossDetector()])
+        monitor.begin_round(0, [0])
+        monitor.observe_client(0, loss=0.5, grad_norm=float("inf"))
+        assert [a["field"] for a in monitor.alerts] == ["grad_norm"]
+
+    def test_finite_values_are_silent(self):
+        monitor, _, _ = make_monitor([NaNLossDetector()])
+        monitor.begin_round(0, [0])
+        monitor.observe_client(0, loss=1e9, grad_norm=1e9)
+        monitor.end_round(0)
+        assert monitor.alerts == []
+
+
+class TestLossSpikeDetector:
+    def test_spike_over_rolling_history_fires(self):
+        monitor, _, _ = make_monitor([LossSpikeDetector(z_threshold=4.0, min_points=3)])
+        for t, loss in enumerate([1.0, 1.1, 0.9, 1.0]):
+            monitor.begin_round(t, [0])
+            monitor.observe_client(0, loss=loss)
+            monitor.end_round(t)
+        assert monitor.alerts == []
+        monitor.begin_round(4, [0])
+        monitor.observe_client(0, loss=50.0)
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0]["detector"] == "loss_spike"
+        assert monitor.alerts[0]["value"] == 50.0
+
+    def test_needs_min_points(self):
+        monitor, _, _ = make_monitor([LossSpikeDetector(min_points=3)])
+        monitor.begin_round(0, [0])
+        monitor.observe_client(0, loss=1.0)
+        monitor.begin_round(1, [0])
+        monitor.observe_client(0, loss=1000.0)  # only 1 point of history
+        assert monitor.alerts == []
+
+    def test_constant_history_then_jump(self):
+        """Zero variance history must not divide by zero."""
+        monitor, _, _ = make_monitor([LossSpikeDetector(min_points=3)])
+        for t in range(3):
+            monitor.begin_round(t, [0])
+            monitor.observe_client(0, loss=1.0)
+        monitor.begin_round(3, [0])
+        monitor.observe_client(0, loss=2.0)
+        assert len(monitor.alerts) == 1
+
+
+class TestAccuracyDivergenceDetector:
+    def test_sharp_drop_fires(self):
+        monitor, _, _ = make_monitor(
+            [AccuracyDivergenceDetector(drop_threshold=0.2, min_points=2)]
+        )
+        for t, accs in enumerate([[0.6, 0.5], [0.65, 0.55], [0.66, 0.2]]):
+            monitor.begin_round(t, [0, 1])
+            monitor.end_round(t, accs=accs)
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert["detector"] == "accuracy_divergence"
+        assert alert["client"] == 1
+        assert alert["drop"] == pytest.approx(0.35)
+
+    def test_gradual_decline_within_threshold_is_silent(self):
+        monitor, _, _ = make_monitor(
+            [AccuracyDivergenceDetector(drop_threshold=0.2, min_points=2)]
+        )
+        for t, acc in enumerate([0.6, 0.55, 0.5, 0.45]):
+            monitor.begin_round(t, [0])
+            monitor.end_round(t, accs=[acc])
+        assert monitor.alerts == []
+
+
+class TestStragglerDetector:
+    def test_slow_client_vs_round_median_fires(self):
+        monitor, sink, _ = make_monitor([StragglerDetector(ratio=3.0, min_clients=3)])
+        monitor.begin_round(0, [0, 1, 2, 3])
+        for k, dur in enumerate([0.1, 0.12, 0.11, 1.0]):
+            monitor.observe_client(k, duration_s=dur)
+        alerts = monitor.end_round(0)
+        assert [a["client"] for a in alerts] == [3]
+        assert alerts[0]["detector"] == "straggler"
+        assert alerts[0] in sink  # alert reached the JSONL sink
+
+    def test_too_few_clients_is_silent(self):
+        monitor, _, _ = make_monitor([StragglerDetector(ratio=3.0, min_clients=3)])
+        monitor.begin_round(0, [0, 1])
+        monitor.observe_client(0, duration_s=0.1)
+        monitor.observe_client(1, duration_s=10.0)
+        assert monitor.end_round(0) == []
+
+
+class TestDeadClientDetector:
+    def test_sampled_but_never_surviving_fires_once(self):
+        monitor, _, _ = make_monitor([DeadClientDetector(min_rounds=3)])
+        for t in range(5):
+            monitor.begin_round(t, [0, 1])
+            monitor.end_round(t, survivors=[1])  # client 0 never survives
+        dead = [a for a in monitor.alerts if a["detector"] == "dead_client"]
+        assert len(dead) == 1  # fires once, not every round after
+        assert dead[0]["client"] == 0
+
+    def test_one_survival_resets_nothing_but_prevents_alert(self):
+        monitor, _, _ = make_monitor([DeadClientDetector(min_rounds=3)])
+        for t in range(4):
+            monitor.begin_round(t, [0])
+            monitor.end_round(t, survivors=[0])
+        assert monitor.alerts == []
+
+
+class TestClientRoundRecords:
+    def test_records_carry_observations_and_participation_flags(self):
+        monitor, sink, _ = make_monitor([])
+        monitor.begin_round(0, [0, 1])
+        monitor.observe_client(0, loss=0.4, grad_norm=1.2, bytes_up=100)
+        monitor.observe_client(1, loss=0.6)
+        monitor.end_round(0, survivors=[0], accs=[0.5, 0.6, 0.7])
+        records = [r for r in sink if r["type"] == "client_round"]
+        by_client = {r["client"]: r for r in records}
+        # sampled clients carry survived True/False; client 2 was only
+        # evaluated (not sampled), so survived is N/A
+        assert by_client[0]["sampled"] and by_client[0]["survived"] is True
+        assert by_client[1]["sampled"] and by_client[1]["survived"] is False
+        assert not by_client[2]["sampled"] and by_client[2]["survived"] is None
+        assert by_client[0]["loss"] == 0.4 and by_client[0]["bytes_up"] == 100
+        assert by_client[2]["acc"] == 0.7
+
+    def test_emit_client_records_false_keeps_jsonl_to_alerts(self):
+        monitor, sink, _ = make_monitor([NaNLossDetector()], emit_client_records=False)
+        monitor.begin_round(0, [0])
+        monitor.observe_client(0, loss=float("nan"))
+        monitor.end_round(0)
+        assert all(r["type"] == "alert" for r in sink)
+        assert len(sink) == 1
+
+    def test_series_accumulate_across_rounds(self):
+        monitor, _, _ = make_monitor([])
+        for t in range(3):
+            monitor.begin_round(t, [0])
+            monitor.observe_client(0, loss=float(t))
+            monitor.end_round(t)
+        assert monitor.clients[0].values("loss") == [0.0, 1.0, 2.0]
+        assert monitor.clients[0].last("loss") == 2.0
+        assert monitor.clients[0].sampled_count == 3
+        assert monitor.clients[0].survived_count == 3
+
+
+class TestMonitorPlumbing:
+    def test_default_detectors_installed(self):
+        monitor = HealthMonitor()
+        names = {d.name for d in monitor.detectors}
+        assert names == {
+            "nan_loss",
+            "loss_spike",
+            "accuracy_divergence",
+            "straggler",
+            "dead_client",
+        }
+        # fresh state per call
+        assert default_detectors()[1] is not default_detectors()[1]
+
+    def test_summary_counts_alerts_by_detector(self):
+        monitor, _, _ = make_monitor([NaNLossDetector()])
+        monitor.begin_round(0, [0, 1])
+        monitor.observe_client(0, loss=float("nan"))
+        monitor.observe_client(1, loss=float("nan"))
+        summary = monitor.summary()
+        assert summary["type"] == "health_summary"
+        assert summary["alerts"] == 2
+        assert summary["alerts_by_detector"] == {"nan_loss": 2}
+
+    def test_on_alert_callback_enables_quarantine(self):
+        """The documented reaction hook: a round loop can exclude clients
+        that alerted critically from aggregation."""
+        quarantined = set()
+
+        def react(alert):
+            if alert["severity"] == "critical":
+                quarantined.add(alert["client"])
+
+        monitor = HealthMonitor(detectors=[NaNLossDetector()], on_alert=react)
+        monitor.begin_round(0, [0, 1, 2])
+        monitor.observe_client(0, loss=0.5)
+        monitor.observe_client(1, loss=float("nan"))
+        uploading = [k for k in [0, 1, 2] if k not in quarantined]
+        assert uploading == [0, 2]
+
+    def test_concurrent_observe_is_thread_safe(self):
+        monitor, sink, _ = make_monitor([NaNLossDetector()])
+        monitor.begin_round(0, list(range(32)))
+
+        def work(k):
+            for _ in range(50):
+                monitor.observe_client(k, loss=0.1 * k, duration_s=0.01)
+
+        threads = [threading.Thread(target=work, args=(k,)) for k in range(32)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        monitor.end_round(0)
+        records = [r for r in sink if r["type"] == "client_round"]
+        assert len(records) == 32
+        assert monitor.alerts == []
+        assert all(math.isfinite(r["loss"]) for r in records)
+
+    def test_alerts_for_filters_by_client(self):
+        monitor, _, _ = make_monitor([NaNLossDetector()])
+        monitor.begin_round(0, [0, 1])
+        monitor.observe_client(1, loss=float("nan"))
+        assert monitor.alerts_for(0) == []
+        assert len(monitor.alerts_for(1)) == 1

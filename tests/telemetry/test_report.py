@@ -1,0 +1,167 @@
+"""Report rendering and run-diff/gate tests (pure record-dict level)."""
+
+import pytest
+
+from repro.telemetry.report import (
+    diff_runs,
+    format_diff,
+    gate_violations,
+    render_report,
+    sparkline,
+    summarize_run,
+)
+
+
+def round_rec(t, mean_acc=None, train_loss=1.0, up=100, down=100, **kw):
+    return {
+        "type": "round",
+        "round": t,
+        "algorithm": "fedclassavg",
+        "wall_s": 1.0,
+        "compute_s": 0.8,
+        "comm_s": 0.1,
+        "bytes": up + down,
+        "bytes_up": up,
+        "bytes_down": down,
+        "participants": 2,
+        "survivors": 2,
+        "train_loss": train_loss,
+        "mean_acc": mean_acc,
+        "evaluated": mean_acc is not None,
+        **kw,
+    }
+
+
+def client_rec(t, k, **fields):
+    return {
+        "type": "client_round",
+        "round": t,
+        "client": k,
+        "sampled": True,
+        "survived": True,
+        **fields,
+    }
+
+
+def make_run(accs=(0.3, 0.5, 0.6), up=100, alerts=0):
+    records = []
+    for t, acc in enumerate(accs):
+        records.append(round_rec(t, mean_acc=acc, up=up, down=up))
+        records.append(client_rec(t, 0, loss=1.0 - 0.1 * t, acc=acc, duration_s=0.1, bytes_up=up))
+        records.append(client_rec(t, 1, loss=2.0 - 0.1 * t, acc=acc, duration_s=0.3, bytes_up=up))
+    for i in range(alerts):
+        records.append(
+            {
+                "type": "alert",
+                "round": i,
+                "client": 0,
+                "detector": "loss_spike",
+                "severity": "warning",
+                "message": f"synthetic alert {i}",
+            }
+        )
+    return records
+
+
+class TestSparkline:
+    def test_maps_range_to_blocks(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert s[0] == "▁" and s[-1] == "█" and len(s) == 3
+
+    def test_resamples_long_series(self):
+        assert len(sparkline(list(range(100)), width=12)) == 12
+
+    def test_none_and_nan_render_dots(self):
+        assert sparkline([None, 1.0, float("nan")]) == "·▅·"
+
+    def test_flat_series_is_mid_level(self):
+        assert set(sparkline([2.0, 2.0, 2.0])) == {"▅"}
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestSummarizeRun:
+    def test_acc_aggregates_skip_unevaluated_rounds(self):
+        records = [round_rec(0, mean_acc=None), round_rec(1, mean_acc=0.7), round_rec(2, mean_acc=0.6)]
+        s = summarize_run(records)
+        assert s.final_acc() == 0.6
+        assert s.best_acc() == 0.7
+
+    def test_empty_run(self):
+        s = summarize_run([])
+        assert s.final_acc() is None and s.best_acc() is None and s.total_bytes() == 0
+
+    def test_client_rows(self):
+        s = summarize_run(make_run(alerts=2))
+        rows = {r["client"]: r for r in s.client_rows()}
+        assert rows[0]["sampled"] == 3 and rows[0]["survived"] == 3
+        assert rows[0]["alerts"] == 2 and rows[1]["alerts"] == 0
+        assert rows[0]["bytes_up"] == 300
+        assert rows[1]["mean_duration_s"] == pytest.approx(0.3)
+
+
+class TestRenderReport:
+    def test_dashboard_sections(self):
+        out = render_report(make_run(alerts=1))
+        assert "run: fedclassavg" in out
+        assert "per-round breakdown:" in out
+        assert "per-client health:" in out
+        assert "alerts (1):" in out
+        assert "synthetic alert 0" in out
+        assert "loss trend" in out and "acc trend" in out
+
+    def test_no_alerts_renders_placeholder(self):
+        assert "(no alerts)" in render_report(make_run())
+
+    def test_alerting_client_is_flagged_in_table(self):
+        out = render_report(make_run(alerts=1))
+        table = out.split("per-client health:")[1].split("alerts (")[0]
+        rows = [line for line in table.splitlines() if line.rstrip().endswith("!")]
+        assert len(rows) == 1 and rows[0].strip().startswith("0")
+
+
+class TestDiff:
+    def test_deltas_are_candidate_minus_baseline(self):
+        diff = diff_runs(make_run(accs=(0.3, 0.6)), make_run(accs=(0.3, 0.5)))
+        assert diff["final_acc"] == (0.6, 0.5, pytest.approx(-0.1))
+        assert diff["alerts"] == (0, 0, 0)
+
+    def test_format_diff_mentions_names(self):
+        out = format_diff(diff_runs(make_run(), make_run()), "base.jsonl", "new.jsonl")
+        assert "base.jsonl" in out and "new.jsonl" in out
+        assert "final_acc" in out and "total_bytes" in out
+
+    def test_missing_acc_renders_dash(self):
+        diff = diff_runs([round_rec(0, mean_acc=None)], make_run())
+        assert diff["final_acc"][0] is None
+        assert "-" in format_diff(diff)
+
+
+class TestGate:
+    def test_passes_identical_runs(self):
+        assert gate_violations(diff_runs(make_run(), make_run())) == []
+
+    def test_fails_on_accuracy_regression(self):
+        diff = diff_runs(make_run(accs=(0.3, 0.6)), make_run(accs=(0.3, 0.5)))
+        violations = gate_violations(diff, acc_drop_tol=0.01)
+        assert len(violations) == 1 and "regressed" in violations[0]
+
+    def test_tolerates_small_regression(self):
+        diff = diff_runs(make_run(accs=(0.3, 0.6)), make_run(accs=(0.3, 0.595)))
+        assert gate_violations(diff, acc_drop_tol=0.01) == []
+
+    def test_fails_on_byte_inflation(self):
+        diff = diff_runs(make_run(up=100), make_run(up=150))
+        violations = gate_violations(diff, bytes_inflate_tol=0.10)
+        assert len(violations) == 1 and "inflated" in violations[0]
+
+    def test_new_alerts_gate_is_opt_in(self):
+        diff = diff_runs(make_run(), make_run(alerts=3))
+        assert gate_violations(diff) == []
+        violations = gate_violations(diff, allow_new_alerts=False)
+        assert len(violations) == 1 and "alert count" in violations[0]
+
+    def test_improvement_never_fails(self):
+        diff = diff_runs(make_run(accs=(0.3, 0.5)), make_run(accs=(0.3, 0.9), up=50))
+        assert gate_violations(diff, allow_new_alerts=False) == []

@@ -62,3 +62,81 @@ class TestMain:
         )
         assert rc == 0
         assert "fedavg" in capsys.readouterr().out
+
+
+class TestReportAndDiffSubcommands:
+    """End-to-end smoke: run --telemetry, then report and diff the JSONL."""
+
+    def _run(self, path, seed=0):
+        rc = main(
+            [
+                "--clients",
+                "3",
+                "--rounds",
+                "2",
+                "--dataset",
+                "fashion_mnist-tiny",
+                "--seed",
+                str(seed),
+                "--telemetry",
+                path,
+            ]
+        )
+        assert rc == 0
+
+    def test_run_report_diff_pipeline(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        self._run(path)
+        capsys.readouterr()
+
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "per-client health:" in out
+        assert "per-round breakdown:" in out
+        assert "loss trend" in out
+        assert "alerts (" in out
+
+        # a run diffed against itself passes the gate
+        assert main(["diff", path, path, "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "final_acc" in out and "gate: OK" in out
+
+    def test_profile_ops_flag_defaults_off(self):
+        args = build_parser().parse_args([])
+        assert args.profile_ops is False
+
+    def test_diff_gate_fails_on_seeded_regression(self, tmp_path, capsys):
+        import json
+
+        def write(path, mean_acc):
+            with open(path, "w") as fh:
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "round",
+                            "round": 0,
+                            "algorithm": "fedclassavg",
+                            "bytes": 100,
+                            "bytes_up": 50,
+                            "bytes_down": 50,
+                            "wall_s": 1.0,
+                            "compute_s": 0.8,
+                            "comm_s": 0.1,
+                            "mean_acc": mean_acc,
+                            "evaluated": True,
+                        }
+                    )
+                    + "\n"
+                )
+
+        base, cand = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        write(base, 0.80)
+        write(cand, 0.70)
+        # without --gate: report the regression but exit 0
+        assert main(["diff", base, cand]) == 0
+        assert "FAIL" in capsys.readouterr().out
+        # with --gate: non-zero exit for CI
+        assert main(["diff", base, cand, "--gate"]) == 1
+        assert "regressed" in capsys.readouterr().err
+        # improvement direction passes
+        assert main(["diff", cand, base, "--gate"]) == 0
