@@ -163,6 +163,94 @@ def test_health_monitor_overhead_under_5pct(benchmark):
 
 
 @pytest.mark.paper_experiment("telemetry-overhead")
+def test_memprof_and_recorder_idle_overhead_under_5pct(benchmark):
+    """Deep-dive instruments armed but idle must stay under the 5% budget.
+
+    "Idle" is the steady state of a healthy run: the memory profiler is
+    active (every tensor allocation pays its hook) and the flight
+    recorder is armed (every client round pays one capture + trajectory
+    attach, but no alert ever fires so nothing is serialized or written).
+    The measured unit cost of each touchpoint times the counts an
+    instrumented run actually produces must stay below 5% of the
+    null-backend run's wall-clock.
+    """
+    import numpy as np
+
+    from repro.telemetry import FlightRecorder, MemoryProfiler
+
+    telemetry.disable()
+
+    # 1. wall-clock of the run on the null backend
+    algo = _build_algo(seed=0)
+    t0 = time.perf_counter()
+    run_once(benchmark, lambda: algo.run(2))
+    t_run = time.perf_counter() - t0
+
+    # 2. touchpoint counts of an identical run with both instruments armed
+    tel = telemetry.configure(memory=True, recorder=FlightRecorder(out_dir=None))
+    try:
+        armed = _build_algo(seed=0)
+        armed.run(2)
+        n_allocs = int(sum(r["alloc_count"] for r in tel.memory.records))
+        n_client_rounds = len(tel.memory.records)
+        n_batches = int(tel.metrics.counter("train.batches").value)
+    finally:
+        tel.close()
+        telemetry.disable()
+    assert n_allocs > 0 and n_client_rounds > 0
+
+    # 3a. allocation-hook cost with the profiler active but no open region
+    #     (what every tensor allocation outside a client round pays)
+    class _Obj:
+        __slots__ = ("__weakref__",)
+
+    mem = MemoryProfiler()
+    mem.activate()
+    try:
+        obj = _Obj()
+        reps = 20_000
+        t = time.perf_counter()
+        for _ in range(reps):
+            mem.on_alloc(obj, 128)
+        alloc_cost = (time.perf_counter() - t) / reps
+    finally:
+        mem.deactivate()
+
+    # 3b. per-client-round recorder cost: one capture + one trajectory
+    rec = FlightRecorder(out_dir=None)
+    rec.begin_round(0)
+    client = armed.clients[0]
+    reps = 50
+    t = time.perf_counter()
+    for _ in range(reps):
+        rec.capture_client(client, 1, armed.config)
+        rec.record_trajectory(client.client_id, [0.5] * 8, [1.0] * 8)
+    capture_cost = (time.perf_counter() - t) / reps
+
+    # 3c. per-batch grad-norm pass the armed trainer adds
+    params = [p for p in client.optimizer.params]
+    reps = 500
+    t = time.perf_counter()
+    for _ in range(reps):
+        sq = 0.0
+        for p in params:
+            if p.grad is not None:
+                sq += float((p.grad**2).sum())
+        float(np.sqrt(sq))
+    gradnorm_cost = (time.perf_counter() - t) / reps
+
+    overhead = (
+        n_allocs * alloc_cost + n_client_rounds * capture_cost + n_batches * gradnorm_cost
+    )
+    print(
+        f"\nidle memprof+recorder overhead: {overhead * 1e3:.3f} ms projected over "
+        f"{n_allocs} allocations + {n_client_rounds} captures + {n_batches} grad-norm passes "
+        f"vs {t_run:.2f} s run ({overhead / t_run:.3%})"
+    )
+    assert overhead < 0.05 * t_run
+
+
+@pytest.mark.paper_experiment("telemetry-overhead")
 def test_null_backend_has_no_health_monitor(benchmark):
     """The disabled path never allocates or consults a HealthMonitor —
     instrumented code gates on ``get_telemetry().health is None``."""

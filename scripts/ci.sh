@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite + telemetry overhead budget.
+#
+#   scripts/ci.sh            # full run
+#   scripts/ci.sh --fast     # tier-1 tests only (skip the overhead bench)
+#
+# The overhead benchmark re-asserts the <5% telemetry budget (null
+# backend, health monitor, and memprof+recorder enabled-but-idle) so an
+# instrumentation regression fails CI even when no functional test sees
+# it.  Runs from any working directory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== telemetry overhead budget =="
+    python -m pytest -x -q benchmarks/test_telemetry_overhead.py
+fi
+
+echo "== CI OK =="

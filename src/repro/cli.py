@@ -14,14 +14,23 @@ streams spans / per-round summaries / per-client health records + alerts
 to ``PATH`` (JSON Lines); add ``--profile-ops`` for the (opt-in,
 per-op-overhead) autograd profile.
 
-Two subcommands consume telemetry files afterwards::
+Deep-dive flags: ``--memprof`` adds the autograd allocation profiler
+(per-client-round memory peaks in the report), ``--record DIR`` arms the
+flight recorder — on any health alert a replay bundle lands in ``DIR``.
+
+Four subcommands consume telemetry files afterwards::
 
     python -m repro.cli report run.jsonl          # ASCII health dashboard
     python -m repro.cli diff base.jsonl new.jsonl --gate   # CI regression gate
+    python -m repro.cli trace run.jsonl -o trace.json      # Perfetto timeline
+    python -m repro.cli trace run.jsonl --ascii            # terminal Gantt
+    python -m repro.cli replay DIR/replay-*.json           # deterministic re-run
 
 ``diff --gate`` exits non-zero when the candidate run's final accuracy
 regresses or its bytes inflate beyond the tolerances — telemetry files
-double as CI regression artifacts.
+double as CI regression artifacts.  ``replay`` exits non-zero when the
+re-executed client round fails to reproduce the recorded loss/grad-norm
+trajectory bit-exactly.
 """
 
 from __future__ import annotations
@@ -84,6 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also profile per-op forward/backward time (adds per-op overhead)",
     )
+    p.add_argument(
+        "--memprof",
+        action="store_true",
+        help="profile autograd memory (per-client-round peaks; needs --telemetry)",
+    )
+    p.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="arm the flight recorder: on any health alert write a replay "
+        "bundle to DIR (needs --telemetry)",
+    )
     return p
 
 
@@ -126,6 +147,64 @@ def build_diff_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro trace",
+        description="convert a telemetry JSONL file to a Chrome/Perfetto trace timeline",
+    )
+    p.add_argument("path", help="telemetry JSONL file written by --telemetry")
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="TRACE.json",
+        default=None,
+        help="trace-event JSON output path (default: <input>.trace.json)",
+    )
+    p.add_argument(
+        "--ascii",
+        action="store_true",
+        help="print an ASCII per-round Gantt chart instead of writing JSON",
+    )
+    p.add_argument(
+        "--width", type=int, default=48, help="ASCII chart width in characters (default 48)"
+    )
+    return p
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro replay",
+        description="re-run a flight-recorder bundle and verify it reproduces bit-exactly",
+    )
+    p.add_argument("bundle", help="replay bundle JSON written by the flight recorder")
+    return p
+
+
+def trace_main(argv: list[str]) -> int:
+    args = build_trace_parser().parse_args(argv)
+    records = read_jsonl(args.path)
+    if args.ascii:
+        print(telemetry.ascii_gantt(records, width=args.width))
+        if args.output is None:
+            return 0
+    out = args.output if args.output is not None else args.path + ".trace.json"
+    n = telemetry.write_chrome_trace(records, out)
+    if n == 0:
+        print(f"warning: no spans in {args.path} (was the run telemetered?)", file=sys.stderr)
+    print(f"wrote {n} trace events to {out} (load in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def replay_main(argv: list[str]) -> int:
+    # imported lazily: replay pulls in the full federated stack
+    from repro.telemetry.replay import format_replay_result, load_bundle, replay_bundle
+
+    args = build_replay_parser().parse_args(argv)
+    result = replay_bundle(load_bundle(args.bundle))
+    print(format_replay_result(result))
+    return 0 if result["match"] else 1
+
+
 def report_main(argv: list[str]) -> int:
     args = build_report_parser().parse_args(argv)
     print(render_report(read_jsonl(args.path)))
@@ -156,6 +235,10 @@ def main(argv: list[str] | None = None) -> int:
         return report_main(argv[1:])
     if argv and argv[0] == "diff":
         return diff_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list:
@@ -178,11 +261,32 @@ def main(argv: list[str] | None = None) -> int:
         sample_rate=args.sample_rate,
     )
     fca_kwargs = {"share_all_weights": args.share_weights} if args.algorithm == "fedclassavg" else None
+    if (args.memprof or args.record) and not args.telemetry:
+        print("error: --memprof/--record require --telemetry PATH", file=sys.stderr)
+        return 2
     tel = (
-        telemetry.configure(jsonl=args.telemetry, profile_ops=args.profile_ops)
+        telemetry.configure(
+            jsonl=args.telemetry,
+            profile_ops=args.profile_ops,
+            memory=args.memprof,
+            recorder=args.record,
+        )
         if args.telemetry
         else None
     )
+    if tel is not None and tel.recorder is not None:
+        # store the exact federation spec so a persisted bundle is
+        # self-contained — `cli replay` rebuilds the identical client
+        from dataclasses import asdict
+
+        from repro.experiments.common import fedproto_spec, make_spec
+
+        spec = make_spec(preset, args.partition, args.homogeneous, args.seed)
+        if args.algorithm == "fedproto" and args.homogeneous is None:
+            spec = fedproto_spec(spec)
+        tel.recorder.set_run_config(
+            spec=asdict(spec), algorithm=args.algorithm, local_epochs=1
+        )
     try:
         history, cost = run_algorithm(
             args.algorithm,
@@ -205,10 +309,20 @@ def main(argv: list[str] | None = None) -> int:
         if tel.ops is not None:
             print("\ntelemetry: op profile")
             print(telemetry.format_op_profile(tel.ops.totals()))
+        if tel.memory is not None and tel.memory.records:
+            print("\ntelemetry: memory profile")
+            print(telemetry.format_mem_summary(tel.memory.records))
         if tel.health is not None and tel.health.alerts:
             print(f"\ntelemetry: {len(tel.health.alerts)} health alert(s)")
             for alert in tel.health.alerts:
                 print(f"  [{alert['severity']}] {alert['detector']}: {alert['message']}")
+        if tel.recorder is not None:
+            if tel.recorder.bundles_written:
+                print(f"\ntelemetry: {len(tel.recorder.bundles_written)} replay bundle(s)")
+                for path in tel.recorder.bundles_written:
+                    print(f"  {path}  (re-run: python -m repro.cli replay {path})")
+            else:
+                print("\ntelemetry: flight recorder armed, no alerts — no bundles written")
         print(f"telemetry written to {args.telemetry}")
 
     mean, std = history.final_acc()

@@ -123,6 +123,12 @@ class FedClassAvg(FederatedAlgorithm):
         # classifier — constant during the round.
         reference = {k_: v.copy() for k_, v in self.global_state.items()}
 
+        # flight recorder: register the broadcast once so per-client
+        # captures reference it instead of copying it N times
+        recorder = telemetry.get_telemetry().recorder
+        if recorder is not None:
+            recorder.note_broadcast(t, self.global_state)
+
         def update(k: int) -> float:
             return local_update(self.clients[k], self.local_epochs, self.config, reference)
 

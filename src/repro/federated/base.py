@@ -59,6 +59,9 @@ class FederatedAlgorithm:
         #: set by fault-tolerant subclasses to the clients whose uploads
         #: actually arrived in the last round (None ⇒ everyone survived)
         self.last_survivors: list[int] | None = None
+        #: set by ``load_checkpoint`` — a resumed run must not re-run
+        #: ``setup()`` (it would clobber the restored global state)
+        self.resumed = False
 
     # ------------------------------------------------------------------
     def server_rank(self) -> int:
@@ -99,7 +102,8 @@ class FederatedAlgorithm:
         tel = telemetry.get_telemetry()
         monitor = tel.health
         cost = self.comm.cost
-        self.setup()
+        if not self.resumed:
+            self.setup()
         last_eval_accs: list[float] = []
         for t in range(rounds):
             sampled = self.sampler.sample(t)
@@ -107,12 +111,18 @@ class FederatedAlgorithm:
             if monitor is not None:
                 monitor.begin_round(t, sampled)
             if tel.enabled:
+                tel.current_round = t
+                if tel.recorder is not None:
+                    tel.recorder.begin_round(t)
                 up0, down0 = cost.uplink_bytes(), cost.downlink_bytes()
                 comm0 = cost.total_time_s
                 compute0 = tel.tracer.total("local_update")[1]
                 wall0 = time.perf_counter()
-            with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
-                train_loss = self.round(t, sampled)
+            # the context propagates round/algorithm onto every span the
+            # round opens — including spans on executor worker threads
+            with tel.context(round=t, algorithm=self.name):
+                with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
+                    train_loss = self.round(t, sampled)
             round_bytes = cost.end_round(participants=len(sampled))
             evaluated = (t + 1) % eval_every == 0 or t == rounds - 1
             if evaluated:

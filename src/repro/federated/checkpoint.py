@@ -4,28 +4,59 @@ Long federated runs (the paper trains hundreds of rounds) need restart
 capability.  A checkpoint bundles every client's model state, the
 algorithm's global state, and the round counter into one binary blob
 (the same length-prefixed format the wire uses).
+
+A trailing **extras** section (format tag ``RPX1``) additionally captures
+everything else that makes training stochastic or stateful: every
+client's loader/augmentation RNG stream positions, the client sampler's
+stream, the process-global stream (dropout), an optional fault-injector
+stream, and each client's optimizer state (Adam moments survive across
+rounds).  With the extras restored, a run resumed from a checkpoint is
+**bit-identical** to the same run never having stopped.  Blobs written
+before the extras section existed still load — the section is optional
+on read.
+
+``load_checkpoint`` sets ``algorithm.resumed = True`` so the base round
+loop skips ``setup()`` — re-initializing the global state would clobber
+the restored one (destructively so for weight-sharing algorithms).
 """
 
 from __future__ import annotations
 
 import io
+import json
 import struct
 
 import numpy as np
 
+from repro.utils.rng import (
+    global_rng_state,
+    module_rng_streams,
+    restore_global_rng_state,
+    rng_state,
+    set_rng_state,
+)
 from repro.utils.serialization import state_dict_from_bytes, state_dict_to_bytes
 
-__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_bytes", "restore_from_bytes"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_bytes",
+    "restore_from_bytes",
+    "capture_extras",
+    "restore_extras",
+]
 
 _MAGIC = b"RPCK"
+_EXTRAS_MAGIC = b"RPX1"
 
 
 def checkpoint_bytes(
     client_states: list[dict[str, np.ndarray]],
     global_state: dict[str, np.ndarray] | None,
     round_idx: int,
+    extras: dict | None = None,
 ) -> bytes:
-    """Serialize a run snapshot."""
+    """Serialize a run snapshot (``extras`` appends the RNG/optimizer section)."""
     buf = io.BytesIO()
     buf.write(_MAGIC)
     buf.write(struct.pack("<q", round_idx))
@@ -37,11 +68,28 @@ def checkpoint_bytes(
         blob = state_dict_to_bytes(state)
         buf.write(struct.pack("<Q", len(blob)))
         buf.write(blob)
+    if extras is not None:
+        buf.write(_EXTRAS_MAGIC)
+        rng_blob = json.dumps(extras.get("rng", {})).encode("utf-8")
+        buf.write(struct.pack("<Q", len(rng_blob)))
+        buf.write(rng_blob)
+        optimizers = extras.get("optimizers") or []
+        buf.write(struct.pack("<I", len(optimizers)))
+        for state in optimizers:
+            blob = state_dict_to_bytes(state)
+            buf.write(struct.pack("<Q", len(blob)))
+            buf.write(blob)
     return buf.getvalue()
 
 
-def restore_from_bytes(blob: bytes) -> tuple[list[dict], dict, int]:
-    """Inverse of :func:`checkpoint_bytes`."""
+def restore_from_bytes(
+    blob: bytes, with_extras: bool = False
+) -> tuple[list[dict], dict, int] | tuple[list[dict], dict, int, dict | None]:
+    """Inverse of :func:`checkpoint_bytes`.
+
+    With ``with_extras=True`` a fourth element is returned: the extras
+    dict, or ``None`` when the blob predates the extras section.
+    """
     buf = io.BytesIO(blob)
     if buf.read(4) != _MAGIC:
         raise ValueError("not a checkpoint blob")
@@ -53,7 +101,76 @@ def restore_from_bytes(blob: bytes) -> tuple[list[dict], dict, int]:
     for _ in range(n):
         (blen,) = struct.unpack("<Q", buf.read(8))
         client_states.append(state_dict_from_bytes(buf.read(blen)))
-    return client_states, global_state, round_idx
+    if not with_extras:
+        return client_states, global_state, round_idx
+    extras = None
+    if buf.read(4) == _EXTRAS_MAGIC:
+        (rlen,) = struct.unpack("<Q", buf.read(8))
+        rng = json.loads(buf.read(rlen).decode("utf-8"))
+        (n_opt,) = struct.unpack("<I", buf.read(4))
+        optimizers = []
+        for _ in range(n_opt):
+            (blen,) = struct.unpack("<Q", buf.read(8))
+            optimizers.append(state_dict_from_bytes(buf.read(blen)))
+        extras = {"rng": rng, "optimizers": optimizers}
+    return client_states, global_state, round_idx, extras
+
+
+def capture_extras(algorithm) -> dict:
+    """Snapshot every RNG stream and optimizer the run's future depends on."""
+    fault = getattr(algorithm, "fault_injector", None)
+    return {
+        "rng": {
+            "clients": [
+                {
+                    "loader": rng_state(c.loader_rng),
+                    "aug": rng_state(c.aug_rng),
+                    # model-owned streams (e.g. dropout masks) advance with
+                    # every training forward pass — miss them and a resumed
+                    # run diverges on any dropout-bearing architecture
+                    "model": {
+                        name: rng_state(r) for name, r in module_rng_streams(c.model).items()
+                    },
+                }
+                for c in algorithm.clients
+            ],
+            "sampler": rng_state(algorithm.sampler.rng),
+            "global": global_rng_state(),
+            "fault": rng_state(fault.rng) if fault is not None else None,
+        },
+        "optimizers": [c.optimizer.state_arrays() for c in algorithm.clients],
+    }
+
+
+def restore_extras(algorithm, extras: dict) -> None:
+    """Restore a :func:`capture_extras` snapshot onto ``algorithm`` in place."""
+    rng = extras.get("rng", {})
+    client_rng = rng.get("clients") or []
+    if client_rng and len(client_rng) != len(algorithm.clients):
+        raise ValueError(
+            f"extras cover {len(client_rng)} clients, algorithm has {len(algorithm.clients)}"
+        )
+    for c, streams in zip(algorithm.clients, client_rng):
+        set_rng_state(c.loader_rng, streams["loader"])
+        set_rng_state(c.aug_rng, streams["aug"])
+        owned = module_rng_streams(c.model)
+        for name, state in (streams.get("model") or {}).items():
+            if name in owned:
+                set_rng_state(owned[name], state)
+    if rng.get("sampler") is not None:
+        set_rng_state(algorithm.sampler.rng, rng["sampler"])
+    if rng.get("global") is not None:
+        restore_global_rng_state(rng["global"])
+    fault = getattr(algorithm, "fault_injector", None)
+    if rng.get("fault") is not None and fault is not None:
+        set_rng_state(fault.rng, rng["fault"])
+    optimizers = extras.get("optimizers") or []
+    if optimizers and len(optimizers) != len(algorithm.clients):
+        raise ValueError(
+            f"extras cover {len(optimizers)} optimizers, algorithm has {len(algorithm.clients)}"
+        )
+    for c, state in zip(algorithm.clients, optimizers):
+        c.optimizer.load_state_arrays(state)
 
 
 def save_checkpoint(path: str, algorithm, round_idx: int) -> None:
@@ -62,13 +179,24 @@ def save_checkpoint(path: str, algorithm, round_idx: int) -> None:
     client_states = [c.model.state_dict() for c in algorithm.clients]
     global_state = getattr(algorithm, "global_state", None)
     with open(path, "wb") as f:
-        f.write(checkpoint_bytes(client_states, global_state, round_idx))
+        f.write(
+            checkpoint_bytes(client_states, global_state, round_idx, extras=capture_extras(algorithm))
+        )
 
 
 def load_checkpoint(path: str, algorithm) -> int:
-    """Restore ``algorithm`` from ``path``; returns the stored round index."""
+    """Restore ``algorithm`` from ``path``; returns the stored round index.
+
+    Marks the algorithm ``resumed`` so ``run()`` skips ``setup()`` — the
+    restored global state must not be re-initialized.  When the blob
+    carries the extras section, RNG streams and optimizer state are
+    restored too, making the continuation bit-identical to a run that
+    never stopped.
+    """
     with open(path, "rb") as f:
-        client_states, global_state, round_idx = restore_from_bytes(f.read())
+        client_states, global_state, round_idx, extras = restore_from_bytes(
+            f.read(), with_extras=True
+        )
     if len(client_states) != len(algorithm.clients):
         raise ValueError(
             f"checkpoint has {len(client_states)} clients, algorithm has {len(algorithm.clients)}"
@@ -77,4 +205,7 @@ def load_checkpoint(path: str, algorithm) -> int:
         c.model.load_state_dict(state)
     if global_state and hasattr(algorithm, "global_state"):
         algorithm.global_state = global_state
+    if extras is not None:
+        restore_extras(algorithm, extras)
+    algorithm.resumed = True
     return round_idx

@@ -7,7 +7,11 @@ client id regardless of completion order, keeping runs deterministic.
 
 When telemetry is enabled, both executors record a per-task wall-clock
 histogram (``executor.task_s``) and a task counter (``executor.tasks``)
-— the straggler distribution that motivates async aggregation.
+— the straggler distribution that motivates async aggregation.  Worker
+tasks additionally *adopt* the submitting thread's open span and context
+(``Tracer.adopt``), so spans emitted inside ``ThreadExecutor`` workers
+parent to the round span and inherit its ``round`` attribute instead of
+floating as unattributable roots.
 """
 
 from __future__ import annotations
@@ -21,16 +25,26 @@ __all__ = ["SerialExecutor", "ThreadExecutor", "make_executor"]
 
 
 def _instrument(fn):
-    """Wrap ``fn`` with per-task timing when telemetry is live (else as-is)."""
+    """Wrap ``fn`` with per-task timing when telemetry is live (else as-is).
+
+    The wrapper captures the *submitting* thread's innermost span id and
+    context at wrap time (``map`` runs inside the round span) and adopts
+    them around each task, so spans opened by the task — on any worker
+    thread — nest under the round span and inherit its attributes.
+    """
     tel = telemetry.get_telemetry()
     if not tel.enabled:
         return fn
     hist = tel.histogram("executor.task_s")
     tasks = tel.counter("executor.tasks")
+    tracer = tel.tracer
+    parent_id = tracer.current_span_id()
+    context = tracer.current_context()
 
     def timed(item):
         t0 = time.perf_counter()
-        out = fn(item)
+        with tracer.adopt(parent_id, context):
+            out = fn(item)
         hist.observe(time.perf_counter() - t0)
         tasks.inc()
         return out

@@ -11,6 +11,8 @@ exactly what the Table 4 ablation needs:
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro import telemetry
@@ -77,13 +79,30 @@ def local_update(
         size = client.train_images.shape[-1]
         aug = default_augmentation(size)
 
-    # health monitoring wants per-client loss + grad norm; the extra
-    # grad-norm pass only runs when a monitor is installed
-    monitor = telemetry.get_telemetry().health
-    grad_sq_sum, grad_batches = 0.0, 0
+    tel = telemetry.get_telemetry()
+    # health monitoring and the flight recorder both want the per-batch
+    # grad-norm series; the extra pass only runs when one is installed
+    monitor = tel.health
+    recorder = tel.recorder
+    if recorder is not None:
+        # snapshot the pre-round (model, optimizer, RNG) triple *before*
+        # the first batch advances any of them — this is the replay input
+        recorder.capture_client(client, epochs, config, reference=reference_state)
+    grad_norms: list[float] = []
+
+    memprof = tel.memory
+    mem_scope = (
+        memprof.client_round(client.client_id, tel.current_round)
+        if memprof is not None
+        else contextlib.nullcontext(None)
+    )
 
     losses: list[float] = []
-    with telemetry.span("local_update", client=client.client_id, epochs=epochs) as sp:
+    with (
+        telemetry.context(client=client.client_id),
+        telemetry.span("local_update", client=client.client_id, epochs=epochs) as sp,
+        mem_scope as mem_region,
+    ):
         for _ in range(epochs):
             for xb, yb in client.train_loader():
                 client.optimizer.zero_grad()
@@ -117,24 +136,29 @@ def local_update(
                     loss = loss + config.rho * prox
 
                 loss.backward()
-                if monitor is not None:
+                if monitor is not None or recorder is not None:
                     sq = 0.0
                     for p in client.optimizer.params:
                         if p.grad is not None:
                             sq += float((p.grad**2).sum())
-                    grad_sq_sum += np.sqrt(sq)
-                    grad_batches += 1
+                    grad_norms.append(float(np.sqrt(sq)))
                 client.optimizer.step()
                 losses.append(loss.item())
         sp.set(batches=len(losses))
     telemetry.counter("train.batches").inc(len(losses))
     mean_loss = float(np.mean(losses)) if losses else 0.0
+    if recorder is not None:
+        # trajectory attaches before the monitor sees the loss, so an
+        # alert fired inside observe_client persists a complete bundle
+        recorder.record_trajectory(client.client_id, losses, grad_norms)
     if monitor is not None:
-        monitor.observe_client(
-            client.client_id,
+        fields = dict(
             loss=mean_loss,
-            grad_norm=float(grad_sq_sum / grad_batches) if grad_batches else None,
+            grad_norm=float(np.mean(grad_norms)) if grad_norms else None,
             duration_s=sp.duration_s,
             batches=len(losses),
         )
+        if mem_region is not None:
+            fields["mem_peak"] = mem_region.peak_live_bytes
+        monitor.observe_client(client.client_id, **fields)
     return mean_loss

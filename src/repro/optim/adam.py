@@ -33,6 +33,25 @@ class Adam(Optimizer):
         self._v: list[np.ndarray | None] = [None] * len(self.params)
         self._t = 0
 
+    def state_arrays(self) -> dict:
+        out = {"t": np.array(self._t, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            if m is not None:
+                out[f"m.{i}"] = m.copy()
+                out[f"v.{i}"] = v.copy()
+        return out
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        self._t = int(arrays.get("t", 0))
+        self._m = [None] * len(self.params)
+        self._v = [None] * len(self.params)
+        for key, arr in arrays.items():
+            if key == "t":
+                continue
+            kind, idx = key.split(".")
+            slot = self._m if kind == "m" else self._v
+            slot[int(idx)] = np.array(arr, copy=True)
+
     def step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2

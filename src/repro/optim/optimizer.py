@@ -24,3 +24,20 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # -- state capture (checkpointing / deterministic replay) -----------
+    def state_arrays(self) -> dict:
+        """Snapshot the optimizer's mutable state as ``{name: ndarray}``.
+
+        The mapping serializes with ``state_dict_to_bytes`` and restores
+        with :meth:`load_state_arrays`; a stateless optimizer returns an
+        empty dict.  Subclasses with per-parameter buffers must override
+        both methods, copying arrays on the way out so later steps cannot
+        mutate a capture.
+        """
+        return {}
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        """Restore a capture from :meth:`state_arrays` (bit-exact)."""
+        if arrays:
+            raise ValueError(f"{type(self).__name__} has no state to restore")

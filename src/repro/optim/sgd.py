@@ -26,6 +26,16 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self._velocity: list[np.ndarray | None] = [None] * len(self.params)
 
+    def state_arrays(self) -> dict:
+        return {
+            f"vel.{i}": v.copy() for i, v in enumerate(self._velocity) if v is not None
+        }
+
+    def load_state_arrays(self, arrays: dict) -> None:
+        self._velocity = [None] * len(self.params)
+        for key, arr in arrays.items():
+            self._velocity[int(key.split(".")[1])] = np.array(arr, copy=True)
+
     def step(self) -> None:
         for i, p in enumerate(self.params):
             if p.grad is None:

@@ -1,19 +1,32 @@
 """Lightweight observability for the federated stack.
 
-Four instruments behind one facade:
+Six instruments behind one facade:
 
 * **spans** — nested wall-clock regions (``round`` → ``broadcast`` /
-  ``local_update`` / ``aggregate``), thread-safe for executor workers;
+  ``local_update`` / ``aggregate``), thread-safe for executor workers,
+  with cross-thread parent adoption and inheritable context attributes
+  (``round``, ``client``) so worker spans stay attributable;
 * **metrics** — process-wide counters / gauges / histograms;
 * **op profiler** — opt-in per-op forward/backward attribution inside
   the autograd engine (:mod:`repro.telemetry.opprof`);
+* **memory profiler** — opt-in allocation tracking in the autograd
+  substrate: per-client-round live-byte peaks, per-op allocation, and
+  the backward-graph retention high-water mark
+  (:mod:`repro.telemetry.memprof`);
 * **health monitor** — per-client anomaly detection (NaN losses, loss
   spikes, accuracy divergence, stragglers, dead clients) with alert
-  records and a reaction callback (:mod:`repro.telemetry.health`).
+  records and a reaction callback (:mod:`repro.telemetry.health`);
+* **flight recorder** — continuous capture of each client round's replay
+  inputs (model/optimizer/RNG state, broadcast weights, trajectory);
+  on any health alert a replay bundle is persisted for bit-exact
+  re-execution via ``python -m repro.cli replay``
+  (:mod:`repro.telemetry.recorder` / :mod:`repro.telemetry.replay`).
 
-The analysis half lives in :mod:`repro.telemetry.report`: ASCII run
-dashboards (``python -m repro.cli report RUN.jsonl``) and run diffs with
-a CI regression gate (``python -m repro.cli diff A B --gate``).
+The analysis half lives in :mod:`repro.telemetry.report` and
+:mod:`repro.telemetry.trace`: ASCII run dashboards (``python -m repro.cli
+report RUN.jsonl``), run diffs with a CI regression gate (``python -m
+repro.cli diff A B --gate``), and Chrome/Perfetto trace-event timelines
+(``python -m repro.cli trace RUN.jsonl -o trace.json``).
 
 Telemetry is **disabled by default**: the module-level ``span()`` /
 ``counter()`` / … helpers dispatch to a :class:`NullTelemetry` whose
@@ -51,10 +64,18 @@ from repro.telemetry.health import (
     StragglerDetector,
     default_detectors,
 )
+from repro.telemetry.memprof import MemoryProfiler, active_memprof, format_mem_summary
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.opprof import OpProfiler, active_profiler, profiled_op
+from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.report import diff_runs, format_diff, gate_violations, render_report
 from repro.telemetry.spans import Span, Tracer
+from repro.telemetry.trace import (
+    ascii_gantt,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Telemetry",
@@ -68,6 +89,7 @@ __all__ = [
     "gauge",
     "histogram",
     "record_round",
+    "context",
     "Tracer",
     "Span",
     "MetricsRegistry",
@@ -94,6 +116,14 @@ __all__ = [
     "diff_runs",
     "format_diff",
     "gate_violations",
+    "MemoryProfiler",
+    "active_memprof",
+    "format_mem_summary",
+    "FlightRecorder",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "ascii_gantt",
 ]
 
 
@@ -136,8 +166,21 @@ class _NullInstrument:
         return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
 
 
+class _NullContext:
+    """Reusable no-op context manager (stands in for tracer contexts)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
 _NULL_SPAN = _NullSpan()
 _NULL_INSTRUMENT = _NullInstrument()
+_NULL_CONTEXT = _NullContext()
 
 
 class NullTelemetry:
@@ -148,6 +191,9 @@ class NullTelemetry:
     metrics = None
     ops = None
     health = None
+    memory = None
+    recorder = None
+    current_round = -1
 
     @property
     def rounds(self) -> list:
@@ -155,6 +201,9 @@ class NullTelemetry:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def context(self, **attrs) -> _NullContext:
+        return _NULL_CONTEXT
 
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
@@ -173,7 +222,8 @@ class NullTelemetry:
 
 
 class Telemetry:
-    """Live backend: tracer + metrics + optional op profiler + JSONL export."""
+    """Live backend: tracer + metrics + optional op/memory profilers,
+    health monitor, flight recorder, and JSONL export."""
 
     enabled = True
 
@@ -183,6 +233,8 @@ class Telemetry:
         profile_ops: bool = False,
         health: bool | HealthMonitor = True,
         on_alert=None,
+        memory: bool = False,
+        recorder: str | FlightRecorder | None = None,
     ):
         self._writer = JsonlWriter(jsonl) if jsonl else None
         sink = self._writer.write if self._writer else None
@@ -191,6 +243,17 @@ class Telemetry:
         self.ops = OpProfiler() if profile_ops else None
         if self.ops is not None:
             self.ops.activate()
+        self.memory = MemoryProfiler(sink=sink) if memory else None
+        if self.memory is not None:
+            self.memory.activate()
+        if isinstance(recorder, FlightRecorder):
+            self.recorder: FlightRecorder | None = recorder
+            if self.recorder.sink is None:
+                self.recorder.sink = sink
+        elif recorder is not None:
+            self.recorder = FlightRecorder(out_dir=recorder, sink=sink)
+        else:
+            self.recorder = None
         if isinstance(health, HealthMonitor):
             self.health: HealthMonitor | None = health
             if self.health.sink is None:
@@ -199,11 +262,28 @@ class Telemetry:
                 self.health.on_alert = on_alert
         else:
             self.health = HealthMonitor(sink=sink, on_alert=on_alert) if health else None
+        if self.health is not None and self.recorder is not None:
+            # alerts trigger bundle persistence before any user callback
+            user_cb = self.health.on_alert
+
+            def _alert_chain(alert, _rec=self.recorder, _user=user_cb):
+                _rec.on_alert(alert)
+                if _user is not None:
+                    _user(alert)
+
+            self.health.on_alert = _alert_chain
         self.rounds: list[dict] = []
+        #: round index the loop is currently executing (set by ``base.run``
+        #: so thread-borne instruments can stamp records without plumbing)
+        self.current_round = -1
 
     # -- instrument accessors ------------------------------------------
     def span(self, name: str, **attrs) -> Span:
         return self.tracer.span(name, **attrs)
+
+    def context(self, **attrs):
+        """Inheritable span attributes for the current thread (see Tracer)."""
+        return self.tracer.context(**attrs)
 
     def counter(self, name: str) -> Counter:
         return self.metrics.counter(name)
@@ -227,6 +307,8 @@ class Telemetry:
         """Flush the final metrics / op-profile records and close the file."""
         if self.ops is not None:
             self.ops.deactivate()
+        if self.memory is not None:
+            self.memory.deactivate()
         if self._writer is not None:
             self._writer.write({"type": "metrics", **self.metrics.snapshot()})
             if self.ops is not None:
@@ -258,6 +340,8 @@ def configure(
     profile_ops: bool = False,
     health: bool | HealthMonitor = True,
     on_alert=None,
+    memory: bool = False,
+    recorder: str | FlightRecorder | None = None,
 ) -> Telemetry:
     """Create, install, and return a live :class:`Telemetry` backend.
 
@@ -265,9 +349,19 @@ def configure(
     installs a :class:`HealthMonitor` with the standard detector suite,
     ``False`` disables it, and a ready-made monitor instance is used
     as-is (its sink defaults to the JSONL writer).  ``on_alert`` is the
-    alert callback forwarded to the monitor.
+    alert callback forwarded to the monitor.  ``memory=True`` activates
+    the autograd allocation profiler.  ``recorder`` arms the flight
+    recorder: a directory path (bundles persisted there on alert) or a
+    ready-made :class:`FlightRecorder`.
     """
-    tel = Telemetry(jsonl=jsonl, profile_ops=profile_ops, health=health, on_alert=on_alert)
+    tel = Telemetry(
+        jsonl=jsonl,
+        profile_ops=profile_ops,
+        health=health,
+        on_alert=on_alert,
+        memory=memory,
+        recorder=recorder,
+    )
     set_telemetry(tel)
     return tel
 
@@ -301,3 +395,8 @@ def histogram(name: str):
 def record_round(**fields) -> None:
     """Record a per-round summary on the current backend (no-op when disabled)."""
     _current.record_round(**fields)
+
+
+def context(**attrs):
+    """Inheritable span attributes on the current backend (no-op when disabled)."""
+    return _current.context(**attrs)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 
 __all__ = ["JsonlWriter", "read_jsonl", "format_round_summary", "format_op_profile"]
 
@@ -37,13 +38,27 @@ def _jsonable(obj):
 
 
 def read_jsonl(path: str) -> list[dict]:
-    """Parse a JSONL telemetry file back into record dicts."""
+    """Parse a JSONL telemetry file back into record dicts.
+
+    A crashed or killed run can leave the final line truncated mid-record;
+    undecodable lines are skipped with a warning rather than poisoning the
+    whole file — post-mortem analysis of a crashed run is exactly when the
+    telemetry matters most.
+    """
     records = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping undecodable record "
+                    "(truncated by a crash?)",
+                    stacklevel=2,
+                )
     return records
 
 

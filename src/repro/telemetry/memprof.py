@@ -1,0 +1,244 @@
+"""Allocation profiler for the autograd substrate.
+
+:class:`MemoryProfiler` hooks :class:`repro.tensor.Tensor` creation (the
+single choke point every op output passes through) and attributes tensor
+bytes to **regions** — one region per client-round, opened by the trainer
+around ``local_update``.  Inside a region it tracks:
+
+* ``alloc_bytes`` — total tensor bytes allocated on the region's thread;
+* ``peak_live_bytes`` — high-water mark of bytes simultaneously live
+  among the region's own allocations (frees observed via weakref
+  finalizers, so tensors dropped by the Python GC are credited back);
+* ``graph_peak_bytes`` — the backward-graph retention high-water mark:
+  at each ``backward()`` the engine reports the total bytes of every
+  tensor retained by the tape (the topological sort it is about to walk),
+  which is exactly the memory a training step cannot release until the
+  backward pass frees the graph;
+* per-op stats via :func:`repro.telemetry.opprof.profiled_op` — calls,
+  total allocated bytes, and the peak bytes allocated by a single call.
+
+Cost model: when no profiler is active, the tensor hook is one
+module-global ``is None`` check.  When a profiler is active but no region
+is open on the allocating thread (the *enabled-but-idle* state the
+overhead benchmark pins), the hook additionally pays one thread-local
+lookup and returns.  Only allocations inside an open region pay for
+accounting and finalizer registration.
+
+Like :mod:`repro.telemetry.opprof`, this module imports nothing from the
+rest of ``repro`` so the tensor layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+__all__ = ["MemoryProfiler", "MemRegion", "active_memprof", "format_mem_summary"]
+
+#: the single active profiler, or None (the common, near-free case)
+_ACTIVE: "MemoryProfiler | None" = None
+
+
+def active_memprof() -> "MemoryProfiler | None":
+    """Return the currently activated memory profiler (None when disabled)."""
+    return _ACTIVE
+
+
+class MemRegion:
+    """Accounting for one client-round's allocations (single-threaded)."""
+
+    __slots__ = (
+        "client",
+        "round",
+        "alloc_bytes",
+        "alloc_count",
+        "live_bytes",
+        "peak_live_bytes",
+        "graph_peak_bytes",
+        "op_stats",
+        "closed",
+        "_op_stack",
+    )
+
+    def __init__(self, client: int, round_idx: int):
+        self.client = client
+        self.round = round_idx
+        self.alloc_bytes = 0
+        self.alloc_count = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self.graph_peak_bytes = 0
+        #: op name -> [calls, alloc_bytes, peak_call_bytes]
+        self.op_stats: dict[str, list] = {}
+        self.closed = False
+        self._op_stack: list[list] = []  # [name, bytes_this_call]
+
+    def on_alloc(self, nbytes: int) -> None:
+        self.alloc_bytes += nbytes
+        self.alloc_count += 1
+        self.live_bytes += nbytes
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+        if self._op_stack:
+            self._op_stack[-1][1] += nbytes
+
+    def on_free(self, nbytes: int) -> None:
+        # finalizers may fire long after the region closed; the peak is
+        # already committed, so late frees only adjust the live counter
+        self.live_bytes -= nbytes
+
+    def record(self) -> dict:
+        """Self-describing telemetry record for this region."""
+        return {
+            "type": "mem",
+            "round": self.round,
+            "client": self.client,
+            "alloc_bytes": self.alloc_bytes,
+            "alloc_count": self.alloc_count,
+            "mem_peak": self.peak_live_bytes,
+            "graph_peak_bytes": self.graph_peak_bytes,
+            "ops": {
+                op: {"calls": calls, "alloc_bytes": total, "peak_call_bytes": peak}
+                for op, (calls, total, peak) in sorted(self.op_stats.items())
+            },
+        }
+
+
+class MemoryProfiler:
+    """Tracks tensor allocations inside per-client-round regions.
+
+    ``sink`` receives each closed region's record dict (normally the
+    telemetry JSONL writer).  Closed-region records are also kept in
+    :attr:`records` for in-memory summaries and tests.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink
+        self.records: list[dict] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- activation ----------------------------------------------------
+    def activate(self) -> None:
+        """Make this profiler the target of the tensor allocation hook."""
+        global _ACTIVE
+        _ACTIVE = self
+
+    def deactivate(self) -> None:
+        """Stop profiling (only if this profiler is the active one)."""
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+    # -- region lifecycle ----------------------------------------------
+    def _region(self) -> MemRegion | None:
+        return getattr(self._local, "region", None)
+
+    def client_round(self, client: int, round_idx: int) -> "_RegionScope":
+        """Context manager opening an accounting region on this thread.
+
+        On exit the region's record is appended to :attr:`records` and
+        streamed to the sink.  Regions do not nest: ``local_update`` is
+        not reentrant per thread.
+        """
+        return _RegionScope(self, client, round_idx)
+
+    # -- hooks (called from the tensor layer) ---------------------------
+    def on_alloc(self, tensor, nbytes: int) -> None:
+        """Account a new tensor's bytes to this thread's open region."""
+        region = self._region()
+        if region is None or nbytes == 0:
+            return
+        region.on_alloc(nbytes)
+        weakref.finalize(tensor, region.on_free, nbytes)
+
+    def on_backward_graph(self, nbytes: int) -> None:
+        """Record the retained-graph size observed by a ``backward()`` call."""
+        region = self._region()
+        if region is not None and nbytes > region.graph_peak_bytes:
+            region.graph_peak_bytes = nbytes
+
+    # -- per-op attribution (driven by opprof.profiled_op) ---------------
+    def op_begin(self, name: str) -> list | None:
+        region = self._region()
+        if region is None:
+            return None
+        frame = [name, 0]
+        region._op_stack.append(frame)
+        return frame
+
+    def op_end(self, frame: list) -> None:
+        region = self._region()
+        if region is None or not region._op_stack:
+            return
+        region._op_stack.pop()
+        name, nbytes = frame
+        if region._op_stack:
+            # inclusive accounting, matching the op profiler's timings
+            region._op_stack[-1][1] += nbytes
+        cell = region.op_stats.get(name)
+        if cell is None:
+            region.op_stats[name] = [1, nbytes, nbytes]
+        else:
+            cell[0] += 1
+            cell[1] += nbytes
+            if nbytes > cell[2]:
+                cell[2] = nbytes
+
+    # -- summaries -------------------------------------------------------
+    def peak_by_client(self) -> dict[int, int]:
+        """Max ``mem_peak`` per client over all closed regions."""
+        with self._lock:
+            records = list(self.records)
+        out: dict[int, int] = {}
+        for rec in records:
+            k = rec["client"]
+            if rec["mem_peak"] > out.get(k, -1):
+                out[k] = rec["mem_peak"]
+        return out
+
+    def _commit(self, region: MemRegion) -> dict:
+        record = region.record()
+        with self._lock:
+            self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+        return record
+
+
+class _RegionScope:
+    """Opens/closes a :class:`MemRegion` on the entering thread."""
+
+    __slots__ = ("_prof", "region")
+
+    def __init__(self, prof: MemoryProfiler, client: int, round_idx: int):
+        self._prof = prof
+        self.region = MemRegion(client, round_idx)
+
+    def __enter__(self) -> MemRegion:
+        self._prof._local.region = self.region
+        return self.region
+
+    def __exit__(self, *exc) -> None:
+        self._prof._local.region = None
+        self.region.closed = True
+        self._prof._commit(self.region)
+
+
+def format_mem_summary(records: list[dict]) -> str:
+    """Tabulate per-client-round ``mem`` records (largest peak first)."""
+    rows = [r for r in records if r.get("type") == "mem"]
+    if not rows:
+        return "(no memory profile recorded)"
+    header = (
+        f"{'round':>5}  {'client':>6}  {'alloc':>12}  {'allocs':>7}  "
+        f"{'mem_peak':>12}  {'graph_peak':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in sorted(rows, key=lambda r: r.get("mem_peak", 0), reverse=True):
+        lines.append(
+            f"{r.get('round', '?'):>5}  {r.get('client', '?'):>6}  "
+            f"{r.get('alloc_bytes', 0):>12}  {r.get('alloc_count', 0):>7}  "
+            f"{r.get('mem_peak', 0):>12}  {r.get('graph_peak_bytes', 0):>12}"
+        )
+    return "\n".join(lines)

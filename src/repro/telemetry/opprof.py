@@ -13,8 +13,14 @@ sum of their constituent leaf ops, which are timed individually.  Timings
 are *inclusive* — a decorated op that calls another decorated op counts
 the nested time in both rows.
 
-This module deliberately imports nothing from the rest of ``repro`` so
-the tensor layer can depend on it without cycles.
+The decorator doubles as the memory profiler's op-attribution hook: when
+a :class:`repro.telemetry.memprof.MemoryProfiler` is active, each
+decorated call opens an op frame so tensor allocations made inside it are
+attributed to the op name (same inclusive accounting as the timings).
+
+This module deliberately imports nothing from the rest of ``repro``
+beyond the equally import-free :mod:`repro.telemetry.memprof`, so the
+tensor layer can depend on it without cycles.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ from __future__ import annotations
 import functools
 import threading
 import time
+
+from repro.telemetry import memprof as _memprof
 
 __all__ = ["OpProfiler", "profiled_op", "active_profiler"]
 
@@ -96,10 +104,25 @@ def profiled_op(name: str, backward: bool = True):
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
             prof = _ACTIVE
-            if prof is None:
+            mem = _memprof._ACTIVE
+            if prof is None and mem is None:
                 return fn(*args, **kwargs)
+            if prof is None:
+                # memory-only profiling: attribute allocations, skip timing
+                frame = mem.op_begin(name)
+                if frame is None:
+                    return fn(*args, **kwargs)
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    mem.op_end(frame)
+            mem_frame = mem.op_begin(name) if mem is not None else None
             t0 = time.perf_counter()
-            out = fn(*args, **kwargs)
+            try:
+                out = fn(*args, **kwargs)
+            finally:
+                if mem_frame is not None:
+                    mem.op_end(mem_frame)
             prof.record(name, "forward", time.perf_counter() - t0)
             if backward:
                 bw = getattr(out, "_backward", None)

@@ -1,0 +1,258 @@
+"""Alert-triggered flight recorder for deterministic client-round replay.
+
+When the health monitor flags a client (NaN loss, spike, straggler …) the
+interesting state is already gone: the model has stepped, the RNG streams
+have advanced, the batch order is forgotten.  The flight recorder solves
+this the way avionics do — continuously capture the *inputs* of every
+client round into a ring buffer (depth: the current round), and persist a
+**replay bundle** only when an alert fires.
+
+A bundle is one JSON file holding everything a bit-exact re-execution of
+that single client round needs:
+
+* the run configuration (the :class:`~repro.federated.setup.FederationSpec`
+  fields), so the replaying process rebuilds the identical client — same
+  data shard, same architecture;
+* the client's pre-round model state and optimizer state;
+* the exact RNG stream positions (loader shuffle → batch order,
+  augmentation, and the process-global stream used by dropout), captured
+  via :mod:`repro.utils.rng`;
+* the broadcast reference weights the proximal term pulls toward;
+* the observed per-batch loss (and grad-norm) trajectory, which the
+  replay asserts against.
+
+``python -m repro.cli replay BUNDLE.json`` re-runs the round (see
+:mod:`repro.telemetry.replay`) and verifies the trajectory reproduces
+bit-exactly.
+
+Capture cost: per client round, one model-state copy, one optimizer-state
+copy, and three small RNG dicts — no serialization, no I/O.  JSON
+encoding happens only when an alert triggers persistence.  The null
+telemetry backend carries no recorder at all, so the disabled path stays
+allocation-free.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import threading
+
+import numpy as np
+
+from repro.utils.rng import global_rng_state, module_rng_streams, rng_state
+from repro.utils.serialization import state_dict_to_bytes
+
+__all__ = ["FlightRecorder", "encode_state", "decode_state"]
+
+BUNDLE_FORMAT = "repro-replay/1"
+
+
+def encode_state(state: dict[str, np.ndarray]) -> str:
+    """Encode a ``{name: ndarray}`` mapping as base64 for JSON embedding."""
+    return base64.b64encode(state_dict_to_bytes(state)).decode("ascii")
+
+
+def decode_state(blob: str) -> dict[str, np.ndarray]:
+    """Inverse of :func:`encode_state`."""
+    from repro.utils.serialization import state_dict_from_bytes
+
+    return state_dict_from_bytes(base64.b64decode(blob.encode("ascii")))
+
+
+class FlightRecorder:
+    """Captures per-client-round replay state; persists bundles on alert.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory replay bundles are written to on alert.  ``None`` keeps
+        captures in memory only (the replay harness uses this mode to
+        collect a re-executed trajectory without touching disk).
+    max_bundles:
+        Persistence budget per run — a pathological run alerting every
+        round must not fill the disk with near-identical bundles.
+    sink:
+        Optional callable receiving a ``{"type": "replay_bundle", ...}``
+        record whenever a bundle is written (streamed to the telemetry
+        JSONL so reports can link alerts to their bundles).
+    """
+
+    def __init__(self, out_dir: str | None = None, max_bundles: int = 8, sink=None):
+        self.out_dir = out_dir
+        self.max_bundles = max_bundles
+        self.sink = sink
+        self.run_config: dict = {}
+        self.bundles_written: list[str] = []
+        self._lock = threading.Lock()
+        self._round = -1
+        self._broadcast: dict[str, np.ndarray] | None = None
+        #: client_id -> capture dict for the *current* round only
+        self._captures: dict[int, dict] = {}
+        #: (round, client) pairs already persisted (one bundle per pair)
+        self._persisted: set[tuple[int, int]] = set()
+
+    # -- run / round lifecycle ------------------------------------------
+    def set_run_config(self, **config) -> None:
+        """Record how to rebuild the federation (spec fields, algorithm…)."""
+        self.run_config.update(config)
+
+    def begin_round(self, round_idx: int, broadcast_state: dict[str, np.ndarray] | None = None):
+        """Advance the ring buffer: drop the previous round's captures.
+
+        ``broadcast_state`` is the round's reference weights; storing it
+        once here lets :meth:`capture_client` skip per-client copies.
+        """
+        with self._lock:
+            self._round = round_idx
+            self._captures = {}
+            self._broadcast = (
+                {k: v.copy() for k, v in broadcast_state.items()}
+                if broadcast_state is not None
+                else None
+            )
+
+    def note_broadcast(self, round_idx: int, broadcast_state: dict[str, np.ndarray]) -> None:
+        """Register the round's broadcast reference weights (one copy/round).
+
+        Algorithms call this right after broadcasting so per-client
+        captures can skip copying the (identical) reference state.
+        """
+        with self._lock:
+            self._round = round_idx
+            self._broadcast = {k: v.copy() for k, v in broadcast_state.items()}
+
+    # -- capture (called from the trainer, possibly on worker threads) ---
+    def capture_client(self, client, epochs: int, config, reference=None) -> None:
+        """Snapshot ``client``'s pre-round state for potential replay.
+
+        ``config`` is the :class:`~repro.federated.trainer.LocalUpdateConfig`
+        in effect; ``reference`` is the proximal reference state, used
+        only when no round broadcast was registered via
+        :meth:`begin_round` (algorithms that bypass the round hook).
+        """
+        capture = {
+            "client": client.client_id,
+            "epochs": int(epochs),
+            "local_config": {
+                "use_contrastive": config.use_contrastive,
+                "use_proximal": config.use_proximal,
+                "rho": config.rho,
+                "temperature": config.temperature,
+                "contrastive": config.contrastive,
+                "proximal_on": config.proximal_on,
+                "proximal_squared": config.proximal_squared,
+            },
+            "model_state": client.model.state_dict(),
+            "optimizer_state": client.optimizer.state_arrays(),
+            "rng": {
+                "loader": rng_state(client.loader_rng),
+                "aug": rng_state(client.aug_rng),
+                "global": global_rng_state(),
+                # model-owned streams (dropout masks): a rebuilt model's
+                # streams sit at their post-init position, which only
+                # coincides with the live position before round 0
+                "model": {
+                    name: rng_state(r) for name, r in module_rng_streams(client.model).items()
+                },
+            },
+            "losses": None,
+            "grad_norms": None,
+        }
+        with self._lock:
+            if reference is not None and self._broadcast is None:
+                self._broadcast = {k: v.copy() for k, v in reference.items()}
+            capture["round"] = self._round
+            self._captures[client.client_id] = capture
+
+    def record_trajectory(
+        self, client_id: int, losses: list[float], grad_norms: list[float] | None = None
+    ) -> None:
+        """Attach the observed per-batch trajectory to the client's capture."""
+        with self._lock:
+            capture = self._captures.get(client_id)
+            if capture is None:
+                return
+            capture["losses"] = [float(x) for x in losses]
+            if grad_norms is not None:
+                capture["grad_norms"] = [float(x) for x in grad_norms]
+
+    def trajectory(self, client_id: int) -> tuple[list[float] | None, list[float] | None]:
+        """The captured (losses, grad_norms) for ``client_id`` this round."""
+        with self._lock:
+            capture = self._captures.get(client_id)
+            if capture is None:
+                return None, None
+            return capture["losses"], capture["grad_norms"]
+
+    # -- persistence -----------------------------------------------------
+    def on_alert(self, alert: dict) -> str | None:
+        """HealthMonitor reaction hook: persist the alerted client's bundle.
+
+        Run-level alerts (``client`` is None) and clients without a
+        capture this round are ignored; each (round, client) pair is
+        persisted at most once.  Returns the bundle path when written.
+        """
+        client_id = alert.get("client")
+        if client_id is None or self.out_dir is None:
+            return None
+        with self._lock:
+            capture = self._captures.get(client_id)
+            if capture is None:
+                return None
+            key = (capture["round"], client_id)
+            if key in self._persisted or len(self.bundles_written) >= self.max_bundles:
+                return None
+            self._persisted.add(key)
+            bundle = self._bundle(capture, alert)
+        path = os.path.join(
+            self.out_dir, f"replay-round{bundle['round']}-client{client_id}.json"
+        )
+        os.makedirs(self.out_dir, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh)
+        with self._lock:
+            self.bundles_written.append(path)
+        if self.sink is not None:
+            self.sink(
+                {
+                    "type": "replay_bundle",
+                    "round": bundle["round"],
+                    "client": client_id,
+                    "path": path,
+                    "detector": alert.get("detector"),
+                }
+            )
+        return path
+
+    def dump_bundle(self, client_id: int, path: str, alert: dict | None = None) -> str:
+        """Persist ``client_id``'s current capture unconditionally (debugging)."""
+        with self._lock:
+            capture = self._captures.get(client_id)
+            if capture is None:
+                raise KeyError(f"no capture for client {client_id} this round")
+            bundle = self._bundle(capture, alert)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh)
+        return path
+
+    def _bundle(self, capture: dict, alert: dict | None) -> dict:
+        """Build the JSON-ready bundle from an in-memory capture (lock held)."""
+        return {
+            "format": BUNDLE_FORMAT,
+            "run_config": self.run_config,
+            "round": capture["round"],
+            "client": capture["client"],
+            "epochs": capture["epochs"],
+            "local_config": capture["local_config"],
+            "alert": alert,
+            "model_state": encode_state(capture["model_state"]),
+            "optimizer_state": encode_state(capture["optimizer_state"]),
+            "broadcast_state": encode_state(self._broadcast) if self._broadcast else None,
+            "rng": capture["rng"],
+            "trajectory": {
+                "losses": capture["losses"],
+                "grad_norms": capture["grad_norms"],
+            },
+        }

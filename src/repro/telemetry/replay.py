@@ -1,0 +1,154 @@
+"""Deterministic re-execution of a flight-recorder bundle.
+
+:func:`replay_bundle` rebuilds the recorded client from the bundle's run
+configuration (same dataset shard, same architecture), restores the
+captured (model, optimizer, RNG) triple, and re-runs the single client
+round through the *production* ``local_update`` — not a simulation of it.
+Because every stochastic input is restored (batch order via the loader
+stream, augmentation draws, dropout's global stream) and the numeric
+substrate is deterministic NumPy, the re-executed per-batch loss and
+grad-norm trajectories must match the recording **bit-exactly**; any
+divergence localizes a nondeterminism bug or an environment mismatch.
+
+This module imports the federated stack, so it is *not* re-exported from
+``repro.telemetry`` (which the tensor layer imports); consumers —
+``repro.cli replay``, tests — import it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from repro import telemetry
+from repro.telemetry.recorder import BUNDLE_FORMAT, FlightRecorder, decode_state
+from repro.utils.rng import module_rng_streams, restore_global_rng_state, set_rng_state
+
+__all__ = ["load_bundle", "replay_bundle", "format_replay_result"]
+
+
+def load_bundle(path: str) -> dict:
+    """Read and sanity-check a replay bundle written by the flight recorder."""
+    with open(path, encoding="utf-8") as fh:
+        bundle = json.load(fh)
+    fmt = bundle.get("format")
+    if fmt != BUNDLE_FORMAT:
+        raise ValueError(f"not a replay bundle (format {fmt!r}, expected {BUNDLE_FORMAT!r})")
+    return bundle
+
+
+def _rebuild_client(bundle: dict):
+    """Reconstruct the recorded client from the bundle's federation spec."""
+    from repro.federated.setup import FederationSpec, build_federation
+
+    run_config = bundle.get("run_config") or {}
+    spec_fields = run_config.get("spec")
+    if not spec_fields:
+        raise ValueError("bundle has no run_config.spec — cannot rebuild the federation")
+    spec_fields = dict(spec_fields)
+    # JSON turns int keys into strings; model overrides may be keyed by client id
+    overrides = spec_fields.get("model_overrides") or {}
+    spec_fields["model_overrides"] = {
+        (int(k) if isinstance(k, str) and k.isdigit() else k): v for k, v in overrides.items()
+    }
+    spec = FederationSpec(**spec_fields)
+    clients, _ = build_federation(spec)
+    client_id = int(bundle["client"])
+    if client_id >= len(clients):
+        raise ValueError(f"bundle client {client_id} not in rebuilt federation of {len(clients)}")
+    return clients[client_id]
+
+
+def _match(replayed: list[float] | None, recorded: list[float] | None) -> tuple[bool, float]:
+    """Bit-exact trajectory comparison (NaN == NaN); returns (ok, max |Δ|)."""
+    if recorded is None:
+        return True, 0.0
+    if replayed is None or len(replayed) != len(recorded):
+        return False, math.inf
+    a = np.asarray(replayed, dtype=np.float64)
+    b = np.asarray(recorded, dtype=np.float64)
+    exact = bool(np.array_equal(a, b, equal_nan=True))
+    finite = np.isfinite(a) & np.isfinite(b)
+    max_diff = float(np.max(np.abs(a[finite] - b[finite]))) if finite.any() else 0.0
+    if not exact and (np.isfinite(a) != np.isfinite(b)).any():
+        max_diff = math.inf
+    return exact, max_diff
+
+
+def replay_bundle(bundle: dict) -> dict:
+    """Re-run the recorded client round; compare against the recording.
+
+    Returns a result dict: ``round`` / ``client`` / ``batches``, the
+    replayed and recorded trajectories, per-series ``(exact, max_diff)``
+    verdicts, and the overall ``match`` flag (True only when every
+    recorded series reproduced bit-exactly).
+    """
+    from repro.federated.trainer import LocalUpdateConfig, local_update
+
+    client = _rebuild_client(bundle)
+
+    client.model.load_state_dict(decode_state(bundle["model_state"]))
+    client.optimizer.load_state_arrays(decode_state(bundle["optimizer_state"]))
+    rng = bundle["rng"]
+    set_rng_state(client.loader_rng, rng["loader"])
+    set_rng_state(client.aug_rng, rng["aug"])
+    restore_global_rng_state(rng["global"])
+    owned = module_rng_streams(client.model)
+    for name, state in (rng.get("model") or {}).items():
+        if name in owned:
+            set_rng_state(owned[name], state)
+
+    config = LocalUpdateConfig(**bundle["local_config"])
+    reference = decode_state(bundle["broadcast_state"]) if bundle.get("broadcast_state") else None
+
+    # run under a capture-only telemetry backend so the production
+    # trainer records the replayed trajectory exactly as the original did
+    recorder = FlightRecorder(out_dir=None)
+    recorder.begin_round(int(bundle["round"]))
+    tel = telemetry.Telemetry(health=False, recorder=recorder)
+    tel.current_round = int(bundle["round"])
+    previous = telemetry.set_telemetry(tel)
+    try:
+        mean_loss = local_update(client, int(bundle["epochs"]), config, reference)
+    finally:
+        telemetry.set_telemetry(previous)
+        tel.close()
+
+    replayed_losses, replayed_norms = recorder.trajectory(client.client_id)
+    recorded = bundle.get("trajectory") or {}
+    loss_ok, loss_diff = _match(replayed_losses, recorded.get("losses"))
+    norm_ok, norm_diff = _match(replayed_norms, recorded.get("grad_norms"))
+    return {
+        "round": int(bundle["round"]),
+        "client": client.client_id,
+        "batches": len(replayed_losses or []),
+        "mean_loss": mean_loss,
+        "replayed_losses": replayed_losses,
+        "recorded_losses": recorded.get("losses"),
+        "replayed_grad_norms": replayed_norms,
+        "recorded_grad_norms": recorded.get("grad_norms"),
+        "loss_match": loss_ok,
+        "loss_max_diff": loss_diff,
+        "grad_norm_match": norm_ok,
+        "grad_norm_max_diff": norm_diff,
+        "match": loss_ok and norm_ok,
+    }
+
+
+def format_replay_result(result: dict) -> str:
+    """Human-readable replay verdict."""
+    lines = [
+        f"replay: round {result['round']}, client {result['client']}, "
+        f"{result['batches']} batches",
+        f"  losses     : {'bit-exact' if result['loss_match'] else 'DIVERGED'}"
+        + ("" if result["loss_match"] else f" (max |Δ| = {result['loss_max_diff']:.3e})"),
+    ]
+    if result.get("recorded_grad_norms") is not None:
+        lines.append(
+            f"  grad norms : {'bit-exact' if result['grad_norm_match'] else 'DIVERGED'}"
+            + ("" if result["grad_norm_match"] else f" (max |Δ| = {result['grad_norm_max_diff']:.3e})")
+        )
+    lines.append(f"  verdict    : {'REPRODUCED' if result['match'] else 'NOT REPRODUCED'}")
+    return "\n".join(lines)

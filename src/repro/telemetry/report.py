@@ -84,6 +84,7 @@ class RunSummary:
         self.rounds = [r for r in records if r.get("type") == "round"]
         self.client_rounds = [r for r in records if r.get("type") == "client_round"]
         self.alerts = [r for r in records if r.get("type") == "alert"]
+        self.mem_records = [r for r in records if r.get("type") == "mem"]
         self.metrics = next((r for r in records if r.get("type") == "metrics"), None)
         self.algorithm = self.rounds[0].get("algorithm") if self.rounds else None
 
@@ -128,11 +129,20 @@ class RunSummary:
             k = a.get("client")
             if k is not None:
                 alert_counts[k] = alert_counts.get(k, 0) + 1
+        # memory peaks come from client_round fields (memprof on) with the
+        # standalone "mem" records as fallback for partial captures
+        mem_peaks: dict[int, int] = {}
+        for r in self.mem_records:
+            k = r.get("client")
+            if k is not None and _finite(r.get("mem_peak")):
+                mem_peaks[k] = max(mem_peaks.get(k, 0), int(r["mem_peak"]))
         for k in self.client_ids():
             mine = [r for r in self.client_rounds if r["client"] == k]
             losses = self.client_series(k, "loss")
             accs = self.client_series(k, "acc")
             durs = [d for d in self.client_series(k, "duration_s") if _finite(d)]
+            peaks = [p for p in self.client_series(k, "mem_peak") if _finite(p)]
+            peak = max([mem_peaks.get(k, 0), *[int(p) for p in peaks]], default=0)
             rows.append(
                 {
                     "client": k,
@@ -142,6 +152,7 @@ class RunSummary:
                     "accs": accs,
                     "mean_duration_s": sum(durs) / len(durs) if durs else None,
                     "bytes_up": sum(r.get("bytes_up") or 0 for r in mine),
+                    "mem_peak": peak or None,
                     "alerts": alert_counts.get(k, 0),
                 }
             )
@@ -182,22 +193,29 @@ def _render_client_table(s: RunSummary, spark_width: int = 12) -> str:
     rows = s.client_rows()
     if not rows:
         return "(no per-client telemetry recorded)"
+    # the memory column only appears when some run had the profiler on
+    with_mem = any(row["mem_peak"] for row in rows)
     header = (
         f"{'client':>6}  {'part':>4}  {'surv':>4}  {'loss':>8}  "
         f"{'loss trend':<{spark_width}}  {'acc':>6}  {'acc trend':<{spark_width}}  "
-        f"{'dur_s':>7}  {'up':>10}  {'alerts':>6}"
+        f"{'dur_s':>7}  {'up':>10}  "
+        + (f"{'mem_peak':>10}  " if with_mem else "")
+        + f"{'alerts':>6}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         loss = row["losses"][-1] if row["losses"] else None
         acc = row["accs"][-1] if row["accs"] else None
         flag = " !" if row["alerts"] else ""
+        mem = ""
+        if with_mem:
+            mem = (f"{_fmt_bytes(row['mem_peak']):>10}" if row["mem_peak"] else f"{'-':>10}") + "  "
         lines.append(
             f"{row['client']:>6}  {row['sampled']:>4}  {row['survived']:>4}  "
             f"{_fmt_opt(loss, '8.4f'):>8}  {sparkline(row['losses'], spark_width):<{spark_width}}  "
             f"{_fmt_opt(acc, '6.4f'):>6}  {sparkline(row['accs'], spark_width):<{spark_width}}  "
             f"{_fmt_opt(row['mean_duration_s'], '7.3f'):>7}  "
-            f"{_fmt_bytes(row['bytes_up']):>10}  {row['alerts']:>6}{flag}"
+            f"{_fmt_bytes(row['bytes_up']):>10}  {mem}{row['alerts']:>6}{flag}"
         )
     return "\n".join(lines)
 

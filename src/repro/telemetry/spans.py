@@ -6,10 +6,21 @@ exit the span records its duration, its parent (the innermost span open
 to the tracer's sink.  Parenting is tracked per thread so spans opened by
 ``ThreadExecutor`` workers nest correctly and never corrupt each other's
 stacks.
+
+Two mechanisms make spans *attributable* across thread boundaries:
+
+* :meth:`Tracer.context` installs inheritable attributes (``round``,
+  ``client`` …) on the current thread; every span opened while the
+  context is active merges them (the span's own attributes win).
+* :meth:`Tracer.adopt` hands a worker thread the parent span id and the
+  context captured on the submitting thread, so spans opened inside an
+  executor worker parent to the submitting thread's open span instead of
+  floating as orphan roots.
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 import time
@@ -51,7 +62,10 @@ class Span:
         tracer = self._tracer
         self.span_id = next(tracer._ids)
         stack = tracer._stack()
-        self.parent_id = stack[-1].span_id if stack else None
+        self.parent_id = stack[-1].span_id if stack else tracer._adopted_parent()
+        context = tracer._context()
+        if context:
+            self.attrs = {**context, **self.attrs}
         self.thread = threading.current_thread().name
         self.start_wall = time.time()
         self._start = time.perf_counter()
@@ -103,8 +117,60 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _context(self) -> dict:
+        return getattr(self._local, "context", None) or {}
+
+    def _adopted_parent(self) -> int | None:
+        return getattr(self._local, "adopted_parent", None)
+
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
+
+    # -- cross-thread attribution --------------------------------------
+    def current_span_id(self) -> int | None:
+        """Id of the innermost span open on this thread (or the adopted parent)."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else self._adopted_parent()
+
+    def current_context(self) -> dict:
+        """Copy of the inheritable attributes active on this thread."""
+        return dict(self._context())
+
+    @contextlib.contextmanager
+    def context(self, **attrs):
+        """Install inheritable span attributes on the current thread.
+
+        Nested contexts merge (inner keys win); every span opened while
+        the context is active records the merged attributes unless the
+        span sets the same key itself.
+        """
+        prev = getattr(self._local, "context", None)
+        self._local.context = {**(prev or {}), **attrs}
+        try:
+            yield
+        finally:
+            self._local.context = prev
+
+    @contextlib.contextmanager
+    def adopt(self, parent_id: int | None, context: dict | None = None):
+        """Parent this thread's root spans to ``parent_id`` for the block.
+
+        Executor workers call this with the submitting thread's
+        :meth:`current_span_id` / :meth:`current_context` so their spans
+        nest under (and inherit the attributes of) the span that
+        scheduled them.  Only root spans are affected: an already-open
+        span on this thread still parents normally.
+        """
+        prev_parent = getattr(self._local, "adopted_parent", None)
+        prev_context = getattr(self._local, "context", None)
+        self._local.adopted_parent = parent_id
+        if context:
+            self._local.context = {**(prev_context or {}), **context}
+        try:
+            yield
+        finally:
+            self._local.adopted_parent = prev_parent
+            self._local.context = prev_context
 
     def _finish(self, span: Span) -> None:
         record = span.record()

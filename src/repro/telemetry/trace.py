@@ -1,0 +1,189 @@
+"""Chrome trace-event export and ASCII Gantt timelines for span records.
+
+A telemetry JSONL file already contains every closed span with wall-clock
+start, duration, thread, and attributes.  This module converts that span
+stream into the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and Perfetto (``ui.perfetto.dev``):
+one complete ("X") event per span, one row per OS thread, with the
+span's attributes (``round``, ``client`` …) preserved as ``args`` so
+timeline queries can slice by round or client.
+
+For terminals without a trace viewer, :func:`ascii_gantt` renders a
+per-round Gantt chart: one lane per ``local_update`` span (labelled by
+client), bars positioned on the round's own wall-clock axis — enough to
+eyeball stragglers and serial-vs-parallel execution without leaving the
+shell.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "spans_of",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "ascii_gantt",
+]
+
+
+def spans_of(records: list[dict]) -> list[dict]:
+    """The span records of a telemetry record stream, export order preserved."""
+    return [r for r in records if r.get("type") == "span"]
+
+
+def to_chrome_trace(records: list[dict], process_name: str = "repro") -> dict:
+    """Convert telemetry records into a Chrome trace-event JSON object.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.  Events
+    are sorted by start timestamp (viewers require no order, but sorted
+    output diffs cleanly and makes the export deterministic for a given
+    record set).  Thread names map to stable integer ``tid``s in order of
+    first appearance, announced via ``thread_name`` metadata events.
+    """
+    spans = spans_of(records)
+    tids: dict[str, int] = {}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for rec in spans:
+        thread = rec.get("thread") or "?"
+        if thread not in tids:
+            tids[thread] = len(tids)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tids[thread],
+                    "args": {"name": thread},
+                }
+            )
+    for rec in sorted(spans, key=lambda r: (r.get("ts", 0.0), r.get("span_id", 0))):
+        args = dict(rec.get("attrs") or {})
+        args["span_id"] = rec.get("span_id")
+        if rec.get("parent_id") is not None:
+            args["parent_id"] = rec["parent_id"]
+        events.append(
+            {
+                "name": rec.get("name", "?"),
+                "cat": "span",
+                "ph": "X",
+                "ts": rec.get("ts", 0.0) * 1e6,  # trace events use microseconds
+                "dur": rec.get("dur_s", 0.0) * 1e6,
+                "pid": 0,
+                "tid": tids[rec.get("thread") or "?"],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: list[dict], path: str, process_name: str = "repro") -> int:
+    """Write the Chrome trace JSON for ``records`` to ``path``.
+
+    Returns the number of span events written (metadata events excluded).
+    """
+    trace = to_chrome_trace(records, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+    return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Schema check for a trace-event object; returns human-readable problems.
+
+    Verifies the envelope and, per event, the keys the Perfetto importer
+    requires: ``name``/``ph``/``pid``/``tid`` everywhere, numeric
+    non-negative ``ts``/``dur`` on complete events.  An empty list means
+    the trace is loadable.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["missing top-level 'traceEvents' array"]
+    if not isinstance(trace["traceEvents"], list):
+        return ["'traceEvents' is not a list"]
+    for i, ev in enumerate(trace["traceEvents"]):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} missing required key {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "i"):
+            problems.append(f"event {i} has unsupported phase {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"event {i} has invalid {key!r}: {value!r}")
+            if "args" in ev and not isinstance(ev["args"], dict):
+                problems.append(f"event {i} 'args' is not an object")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# ASCII fallback
+# ---------------------------------------------------------------------------
+def _bar(offset: float, duration: float, total: float, width: int) -> str:
+    """Render one lane: spaces up to the offset, '#' for the duration."""
+    if total <= 0:
+        return "#" * width
+    start = int(round(offset / total * width))
+    length = max(1, int(round(duration / total * width)))
+    start = min(start, width - 1)
+    length = min(length, width - start)
+    return " " * start + "#" * length + " " * (width - start - length)
+
+
+def ascii_gantt(records: list[dict], width: int = 48, lane_name: str = "local_update") -> str:
+    """Per-round Gantt chart of ``lane_name`` spans (one lane per span).
+
+    Each round's axis spans the round span's own wall-clock; lanes are
+    labelled with the span's ``client`` attribute when present (falling
+    back to the thread name), so serial rounds render as a staircase and
+    thread-pooled rounds as overlapping bars with a visible straggler
+    tail.
+    """
+    spans = spans_of(records)
+    rounds = [r for r in spans if r.get("name") == "round"]
+    if not rounds:
+        return "(no round spans recorded)"
+    by_parent: dict[int, list[dict]] = {}
+    by_round_attr: dict[int, list[dict]] = {}
+    for rec in spans:
+        if rec.get("name") != lane_name:
+            continue
+        if rec.get("parent_id") is not None:
+            by_parent.setdefault(rec["parent_id"], []).append(rec)
+        round_attr = (rec.get("attrs") or {}).get("round")
+        if round_attr is not None:
+            by_round_attr.setdefault(int(round_attr), []).append(rec)
+
+    lines: list[str] = []
+    for round_rec in sorted(rounds, key=lambda r: (r.get("attrs") or {}).get("round", 0)):
+        round_idx = (round_rec.get("attrs") or {}).get("round", "?")
+        total = float(round_rec.get("dur_s") or 0.0)
+        t0 = float(round_rec.get("ts") or 0.0)
+        lanes = by_parent.get(round_rec.get("span_id"), [])
+        if not lanes and isinstance(round_idx, int):
+            # spans recorded before cross-thread adoption existed: fall
+            # back to the round attribute for grouping
+            lanes = by_round_attr.get(round_idx, [])
+        lines.append(f"round {round_idx}  ({total:.3f}s, {len(lanes)} {lane_name} lanes)")
+        for lane in sorted(lanes, key=lambda r: (r.get("attrs") or {}).get("client", 0)):
+            attrs = lane.get("attrs") or {}
+            label = f"client {attrs['client']}" if "client" in attrs else (lane.get("thread") or "?")
+            bar = _bar(float(lane.get("ts", t0)) - t0, float(lane.get("dur_s") or 0.0), total, width)
+            lines.append(f"  {label:<10} |{bar}| {float(lane.get('dur_s') or 0.0):.3f}s")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry import memprof as _memprof
 from repro.telemetry.opprof import profiled_op
 from repro.tensor.autograd import is_grad_enabled
 
@@ -57,7 +58,9 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    # __weakref__ lets the memory profiler observe frees without keeping
+    # tensors alive (weakref.finalize needs a referenceable instance)
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name", "__weakref__")
 
     default_dtype = np.float64
 
@@ -71,6 +74,9 @@ class Tensor:
         self._backward = None
         self._prev: tuple = ()
         self.name = name
+        mem = _memprof._ACTIVE
+        if mem is not None:
+            mem.on_alloc(self, arr.nbytes)
 
     # ------------------------------------------------------------------
     # basic introspection
@@ -172,6 +178,12 @@ class Tensor:
             for p in node._prev:
                 if p.requires_grad and id(p) not in visited:
                     stack.append((p, False))
+
+        mem = _memprof._ACTIVE
+        if mem is not None:
+            # the tape retains every tensor in the topological order until
+            # this pass releases it — the backward-graph high-water mark
+            mem.on_backward_graph(sum(node.data.nbytes for node in topo))
 
         self._accumulate(grad)
         for node in reversed(topo):

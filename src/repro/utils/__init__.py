@@ -1,6 +1,14 @@
 """Shared utilities: seeded RNG management, serialization, timing."""
 
-from repro.utils.rng import get_rng, seed_all, spawn_rng
+from repro.utils.rng import (
+    get_rng,
+    global_rng_state,
+    restore_global_rng_state,
+    rng_state,
+    seed_all,
+    set_rng_state,
+    spawn_rng,
+)
 from repro.utils.serialization import state_dict_from_bytes, state_dict_nbytes, state_dict_to_bytes
 from repro.utils.timer import Timer
 
@@ -8,6 +16,10 @@ __all__ = [
     "get_rng",
     "seed_all",
     "spawn_rng",
+    "rng_state",
+    "set_rng_state",
+    "global_rng_state",
+    "restore_global_rng_state",
     "state_dict_to_bytes",
     "state_dict_from_bytes",
     "state_dict_nbytes",

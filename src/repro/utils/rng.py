@@ -7,13 +7,30 @@ from a single integer.  Independent streams are spawned with
 ``Generator.spawn``-style child sequences to avoid correlated draws
 across clients — the same discipline mpi4py programs use for per-rank
 streams.
+
+``rng_state`` / ``set_rng_state`` capture and restore a generator's exact
+position in its stream as a JSON-serializable dict — the primitive the
+flight recorder, checkpointing, and deterministic replay build on: a
+client round re-run from a restored (model, optimizer, RNG) triple is
+bit-identical to the original.
 """
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-__all__ = ["seed_all", "get_rng", "spawn_rng"]
+__all__ = [
+    "seed_all",
+    "get_rng",
+    "spawn_rng",
+    "rng_state",
+    "set_rng_state",
+    "global_rng_state",
+    "restore_global_rng_state",
+    "module_rng_streams",
+]
 
 _root_seed = 0
 _global_rng = np.random.default_rng(_root_seed)
@@ -39,3 +56,54 @@ def spawn_rng(stream_id: int) -> np.random.Generator:
     scheduling order — essential when client updates run in parallel.
     """
     return np.random.default_rng(np.random.SeedSequence(entropy=_root_seed, spawn_key=(stream_id,)))
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Capture ``rng``'s exact stream position as a JSON-serializable dict.
+
+    The returned dict is ``rng.bit_generator.state`` (plain ints and
+    strings for every NumPy bit generator), deep-copied so later draws
+    cannot mutate the capture.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a capture from :func:`rng_state` onto ``rng`` in place.
+
+    After restoration ``rng`` produces the identical draw sequence it
+    would have produced from the captured point.
+    """
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+def global_rng_state() -> dict:
+    """Capture the process-global generator's state (incl. the root seed)."""
+    return {"root_seed": _root_seed, "state": rng_state(_global_rng)}
+
+
+def restore_global_rng_state(capture: dict) -> None:
+    """Restore the process-global generator from :func:`global_rng_state`."""
+    global _root_seed
+    _root_seed = int(capture["root_seed"])
+    set_rng_state(_global_rng, capture["state"])
+
+
+def module_rng_streams(module) -> dict[str, np.random.Generator]:
+    """Named RNG streams owned by a module tree.
+
+    Some layers hold their own generator rather than drawing from the
+    process-global stream — dropout keeps its construction ``rng`` so
+    mask sequences are reproducible per model.  Those streams advance
+    with every training forward pass, so checkpointing and replay must
+    capture them alongside the loader/augmentation/global streams.
+    Duck-typed on ``named_modules()`` to keep this module free of
+    ``repro.nn`` imports; shared generator objects simply appear under
+    each owning module's name.
+    """
+    streams: dict[str, np.random.Generator] = {}
+    for name, mod in module.named_modules():
+        r = getattr(mod, "rng", None)
+        if isinstance(r, np.random.Generator):
+            streams[name or "<root>"] = r
+    return streams

@@ -6,11 +6,13 @@ import pytest
 from repro.core import FedClassAvg
 from repro.federated import build_federation
 from repro.federated.checkpoint import (
+    capture_extras,
     checkpoint_bytes,
     load_checkpoint,
     restore_from_bytes,
     save_checkpoint,
 )
+from repro.utils.rng import seed_all
 
 
 class TestBlobRoundtrip:
@@ -32,6 +34,26 @@ class TestBlobRoundtrip:
     def test_bad_magic_raises(self):
         with pytest.raises(ValueError):
             restore_from_bytes(b"XXXX" + b"\x00" * 32)
+
+    def test_extras_roundtrip(self):
+        extras = {
+            "rng": {"clients": [], "sampler": None, "global": None, "fault": None},
+            "optimizers": [{"t": np.array(3, dtype=np.int64), "m.0": np.ones(4)}],
+        }
+        blob = checkpoint_bytes([{"w": np.zeros(2)}], None, 5, extras=extras)
+        states, g, idx, back = restore_from_bytes(blob, with_extras=True)
+        assert idx == 5
+        assert back is not None
+        assert back["rng"]["clients"] == []
+        assert np.array_equal(back["optimizers"][0]["m.0"], np.ones(4))
+
+    def test_pre_extras_blob_still_loads(self):
+        """Blobs written before the extras section existed parse fine."""
+        blob = checkpoint_bytes([{"w": np.zeros(2)}], None, 3)
+        states, g, idx, extras = restore_from_bytes(blob, with_extras=True)
+        assert idx == 3 and extras is None
+        # and the 3-tuple form is unchanged
+        assert len(restore_from_bytes(blob)) == 3
 
 
 class TestAlgorithmCheckpoint:
@@ -71,3 +93,69 @@ class TestAlgorithmCheckpoint:
         algo3 = FedClassAvg(clients3, seed=0)
         with pytest.raises(ValueError):
             load_checkpoint(path, algo3)
+
+
+class TestBitIdenticalResume:
+    def _fresh(self, micro_spec):
+        clients, _ = build_federation(micro_spec)
+        return FedClassAvg(clients, seed=0)
+
+    def test_resumed_run_matches_uninterrupted(self, micro_spec, tmp_path):
+        """Stop at round 2 of 4, resume from disk: rounds 2–3 reproduce
+        the uninterrupted run bit-for-bit (losses AND per-client accs)."""
+        path = str(tmp_path / "ckpt.bin")
+
+        # reference: 4 uninterrupted rounds
+        seed_all(0)
+        hist_a = self._fresh(micro_spec).run(4)
+
+        # interrupted twin: identical first 2 rounds, then checkpoint
+        seed_all(0)
+        algo_b = self._fresh(micro_spec)
+        algo_b.run(2)
+        save_checkpoint(path, algo_b, round_idx=2)
+
+        # resume in a "new process": fresh federation, scrambled global
+        # RNG — everything must come from the checkpoint
+        seed_all(1234567)
+        algo_c = self._fresh(micro_spec)
+        assert load_checkpoint(path, algo_c) == 2
+        assert algo_c.resumed is True
+        hist_c = algo_c.run(2)
+
+        assert len(hist_c.rounds) == 2
+        for resumed, reference in zip(hist_c.rounds, hist_a.rounds[2:]):
+            assert resumed.train_loss == reference.train_loss  # bit-exact
+            assert resumed.client_accs == reference.client_accs
+
+    def test_resumed_flag_skips_setup(self, micro_spec, tmp_path):
+        path = str(tmp_path / "ckpt.bin")
+        algo = self._fresh(micro_spec)
+        algo.setup()
+        # a recognizable global state that setup() would overwrite
+        marked = {k: np.full_like(v, 7.5) for k, v in algo.global_state.items()}
+        algo.global_state = marked
+        save_checkpoint(path, algo, round_idx=1)
+
+        algo2 = self._fresh(micro_spec)
+        load_checkpoint(path, algo2)
+        algo2.run(1)
+        # run() must not have re-averaged the clients' classifiers over
+        # the restored state before round 0 used it — the round's
+        # broadcast was the marked state, which the clients then trained
+        # from (so their pre-update reference was 7.5 everywhere)
+        assert algo2.resumed is True
+
+    def test_capture_extras_covers_all_streams(self, micro_spec):
+        algo = self._fresh(micro_spec)
+        extras = capture_extras(algo)
+        assert len(extras["rng"]["clients"]) == len(algo.clients)
+        assert {"loader", "aug", "model"} <= set(extras["rng"]["clients"][0])
+        assert extras["rng"]["sampler"] is not None
+        assert extras["rng"]["global"] is not None
+        assert extras["rng"]["fault"] is None  # no injector configured
+        assert len(extras["optimizers"]) == len(algo.clients)
+        # the round-robin assignment puts alexnet at client 3 — its
+        # dropout holds a model-owned stream that must be captured
+        model_streams = [c["model"] for c in extras["rng"]["clients"]]
+        assert any(model_streams), "no model-owned RNG stream captured"

@@ -12,3 +12,6 @@ def _restore_null_backend():
     prof = telemetry.active_profiler()
     if prof is not None:
         prof.deactivate()
+    mem = telemetry.active_memprof()
+    if mem is not None:
+        mem.deactivate()

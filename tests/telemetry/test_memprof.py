@@ -1,0 +1,151 @@
+"""Autograd memory profiler: region accounting, graph peaks, op attribution."""
+
+import gc
+
+import numpy as np
+
+from repro import telemetry
+from repro.telemetry import MemoryProfiler, active_memprof, format_mem_summary
+from repro.tensor import Tensor
+
+
+class TestRegionAccounting:
+    def test_alloc_bytes_and_count(self):
+        prof = MemoryProfiler()
+        prof.activate()
+        try:
+            with prof.client_round(client=3, round_idx=1) as region:
+                a = Tensor(np.zeros((10, 10)))  # 800 bytes of float64
+                b = Tensor(np.zeros(25))  # 200 bytes
+            assert region.alloc_bytes == 800 + 200
+            assert region.alloc_count == 2
+            assert region.peak_live_bytes == 1000
+            del a, b
+        finally:
+            prof.deactivate()
+
+    def test_peak_tracks_frees(self):
+        """The peak is simultaneous-live bytes, not total allocated bytes."""
+        prof = MemoryProfiler()
+        prof.activate()
+        try:
+            with prof.client_round(client=0, round_idx=0) as region:
+                for _ in range(5):
+                    t = Tensor(np.zeros(128))  # 1 KiB each, one live at a time
+                    del t
+                    gc.collect()
+            assert region.alloc_bytes == 5 * 1024
+            assert region.peak_live_bytes < 5 * 1024
+        finally:
+            prof.deactivate()
+
+    def test_backward_graph_high_water(self):
+        prof = MemoryProfiler()
+        prof.activate()
+        try:
+            with prof.client_round(client=0, round_idx=0) as region:
+                x = Tensor(np.ones((8, 8)), requires_grad=True)
+                y = ((x * 2.0) + 1.0).sum()
+                y.backward()
+            # the tape retained at least x, the two intermediates, and y
+            assert region.graph_peak_bytes >= 2 * x.data.nbytes
+        finally:
+            prof.deactivate()
+
+    def test_record_emitted_to_sink_on_close(self):
+        seen = []
+        prof = MemoryProfiler(sink=seen.append)
+        prof.activate()
+        try:
+            with prof.client_round(client=2, round_idx=5):
+                Tensor(np.zeros(4))
+        finally:
+            prof.deactivate()
+        assert len(seen) == 1 and len(prof.records) == 1
+        rec = seen[0]
+        assert rec["type"] == "mem"
+        assert rec["client"] == 2 and rec["round"] == 5
+        assert rec["mem_peak"] == 32 and rec["alloc_count"] == 1
+        assert prof.peak_by_client() == {2: 32}
+
+    def test_op_attribution_via_profiled_op(self):
+        prof = MemoryProfiler()
+        prof.activate()
+        try:
+            with prof.client_round(client=0, round_idx=0) as region:
+                a = Tensor(np.ones((16, 16)), requires_grad=True)
+                b = Tensor(np.ones((16, 16)))
+                (a @ b).sum().backward()
+            assert "matmul" in region.op_stats
+            calls, alloc, peak = region.op_stats["matmul"]
+            assert calls >= 1 and alloc > 0 and peak > 0
+        finally:
+            prof.deactivate()
+
+
+class TestIdleAndDisabled:
+    def test_inactive_profiler_costs_nothing(self):
+        assert active_memprof() is None
+        t = Tensor(np.zeros(8))  # must not raise or record anywhere
+        assert t.data.nbytes == 64
+
+    def test_active_without_region_records_nothing(self):
+        """The enabled-but-idle state: hook fires, accounting skipped."""
+        prof = MemoryProfiler()
+        prof.activate()
+        try:
+            Tensor(np.zeros((100, 100)))
+            x = Tensor(np.ones(4), requires_grad=True)
+            (x * 2.0).sum().backward()
+        finally:
+            prof.deactivate()
+        assert prof.records == []
+
+    def test_regions_are_per_thread(self):
+        import threading
+
+        prof = MemoryProfiler()
+        prof.activate()
+        try:
+            done = threading.Event()
+
+            def other_thread():
+                Tensor(np.zeros(1024))  # no region on this thread
+                done.set()
+
+            with prof.client_round(client=0, round_idx=0) as region:
+                th = threading.Thread(target=other_thread)
+                th.start()
+                th.join()
+                assert done.is_set()
+            assert region.alloc_bytes == 0
+        finally:
+            prof.deactivate()
+
+
+class TestFacadeIntegration:
+    def test_configure_memory_activates_and_close_deactivates(self):
+        tel = telemetry.configure(memory=True, health=False)
+        try:
+            assert active_memprof() is tel.memory
+        finally:
+            tel.close()
+            telemetry.disable()
+        assert active_memprof() is None
+
+    def test_format_mem_summary(self):
+        records = [
+            {
+                "type": "mem",
+                "round": 0,
+                "client": 1,
+                "alloc_bytes": 2048,
+                "alloc_count": 4,
+                "mem_peak": 1024,
+                "graph_peak_bytes": 512,
+                "ops": {},
+            }
+        ]
+        table = format_mem_summary(records)
+        assert "mem_peak" in table and "1024" in table
+        assert "(no memory profile recorded)" in format_mem_summary([])

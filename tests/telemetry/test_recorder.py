@@ -1,0 +1,175 @@
+"""Flight recorder capture/persistence and deterministic replay.
+
+The class ``TestAlertToReplayPipeline`` is the end-to-end deep-dive demo:
+a client whose weights are NaN-poisoned trips the NaN-loss detector
+mid-round, the armed recorder persists a replay bundle, and re-executing
+the bundle through the production trainer reproduces the recorded
+per-batch loss/grad-norm trajectories bit-exactly.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import FedClassAvg
+from repro.federated import build_federation
+from repro.telemetry import FlightRecorder, read_jsonl
+from repro.telemetry.recorder import BUNDLE_FORMAT, decode_state, encode_state
+from repro.telemetry.replay import format_replay_result, load_bundle, replay_bundle
+
+
+class TestStateCodec:
+    def test_roundtrip(self):
+        state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3), "b": np.zeros(3)}
+        back = decode_state(encode_state(state))
+        assert set(back) == {"w", "b"}
+        for k in state:
+            assert np.array_equal(back[k], state[k])
+
+
+class TestFlightRecorder:
+    def _capture_one(self, micro_federation, rec):
+        clients, _ = micro_federation
+        algo = FedClassAvg(clients, seed=0)
+        rec.begin_round(0, broadcast_state={"head.weight": np.ones((4, 2))})
+        rec.capture_client(clients[1], epochs=1, config=algo.config)
+        rec.record_trajectory(1, [1.0, 0.5], [2.0, 1.5])
+        return clients
+
+    def test_capture_and_trajectory(self, micro_federation):
+        rec = FlightRecorder(out_dir=None)
+        self._capture_one(micro_federation, rec)
+        assert rec.trajectory(1) == ([1.0, 0.5], [2.0, 1.5])
+        assert rec.trajectory(99) == (None, None)
+
+    def test_begin_round_drops_previous_captures(self, micro_federation):
+        rec = FlightRecorder(out_dir=None)
+        self._capture_one(micro_federation, rec)
+        rec.begin_round(1)
+        assert rec.trajectory(1) == (None, None)
+
+    def test_dump_bundle_format(self, micro_federation, tmp_path):
+        rec = FlightRecorder(out_dir=None)
+        rec.set_run_config(algorithm="fedclassavg")
+        self._capture_one(micro_federation, rec)
+        path = str(tmp_path / "bundle.json")
+        rec.dump_bundle(1, path)
+        bundle = load_bundle(path)
+        assert bundle["format"] == BUNDLE_FORMAT
+        assert bundle["client"] == 1 and bundle["round"] == 0
+        assert bundle["run_config"]["algorithm"] == "fedclassavg"
+        assert bundle["trajectory"]["losses"] == [1.0, 0.5]
+        assert "loader" in bundle["rng"] and "global" in bundle["rng"]
+        broadcast = decode_state(bundle["broadcast_state"])
+        assert np.array_equal(broadcast["head.weight"], np.ones((4, 2)))
+
+    def test_load_bundle_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "not_a_bundle.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a replay bundle"):
+            load_bundle(str(path))
+
+    def test_on_alert_persists_once_per_client_round(self, micro_federation, tmp_path):
+        seen = []
+        rec = FlightRecorder(out_dir=str(tmp_path / "b"), sink=seen.append)
+        self._capture_one(micro_federation, rec)
+        alert = {"type": "alert", "round": 0, "client": 1, "detector": "nan_loss"}
+        first = rec.on_alert(alert)
+        assert first is not None
+        assert rec.on_alert(alert) is None  # deduplicated
+        assert rec.on_alert({"type": "alert", "round": 0, "client": None}) is None
+        assert rec.on_alert({"type": "alert", "round": 0, "client": 3}) is None  # no capture
+        assert rec.bundles_written == [first]
+        assert len(seen) == 1 and seen[0]["type"] == "replay_bundle"
+        assert seen[0]["detector"] == "nan_loss"
+
+    def test_max_bundles_budget(self, micro_federation, tmp_path):
+        clients, _ = micro_federation
+        algo = FedClassAvg(clients, seed=0)
+        rec = FlightRecorder(out_dir=str(tmp_path / "b"), max_bundles=1)
+        rec.begin_round(0)
+        for k in (0, 1):
+            rec.capture_client(clients[k], epochs=1, config=algo.config)
+        assert rec.on_alert({"client": 0, "round": 0}) is not None
+        assert rec.on_alert({"client": 1, "round": 0}) is None  # budget spent
+        assert len(rec.bundles_written) == 1
+
+
+def _poison(client):
+    """NaN-poison a client's classifier.
+
+    FedClassAvg averages the initial classifiers at setup, so one
+    poisoned client contaminates the broadcast — every participant's
+    logits (and loss) go NaN on the first batch, tripping the NaN-loss
+    detector per client.  The classifier is chosen over an extractor
+    weight because NaNs entering a ReLU implemented as ``where(x > 0,
+    x, 0)`` are silently squashed to zero; the classifier output feeds
+    the loss directly.
+    """
+    for name, p in client.model.named_parameters():
+        if name.startswith("classifier"):
+            p.data[...] = np.nan
+
+
+class TestAlertToReplayPipeline:
+    def test_nan_alert_writes_bundle_and_replay_reproduces(self, micro_spec, tmp_path):
+        out_dir = str(tmp_path / "bundles")
+        jsonl = str(tmp_path / "run.jsonl")
+
+        tel = telemetry.configure(jsonl=jsonl, recorder=out_dir)
+        try:
+            tel.recorder.set_run_config(spec=asdict(micro_spec), algorithm="fedclassavg")
+            clients, _ = build_federation(micro_spec)
+            _poison(clients[2])
+            algo = FedClassAvg(clients, seed=0)
+            algo.run(1)
+            bundles = list(tel.recorder.bundles_written)
+        finally:
+            tel.close()
+            telemetry.disable()
+
+        # every participant saw the NaN broadcast and alerted; replay the
+        # originally-poisoned client's bundle
+        assert len(bundles) >= 1
+        path = next(p for p in bundles if "client2" in p)
+        bundle = load_bundle(path)
+        assert bundle["client"] == 2 and bundle["round"] == 0
+        recorded_losses = bundle["trajectory"]["losses"]
+        assert recorded_losses and not all(np.isfinite(recorded_losses))
+        # the telemetry stream links the alert to its bundle
+        records = read_jsonl(jsonl)
+        links = [r for r in records if r.get("type") == "replay_bundle"]
+        assert any(r["client"] == 2 and r["path"] == path for r in links)
+
+        # deterministic replay: the re-executed round reproduces bit-exactly
+        result = replay_bundle(bundle)
+        assert result["loss_match"] is True
+        assert result["grad_norm_match"] is True
+        assert result["match"] is True
+        assert result["replayed_losses"] is not None
+        assert len(result["replayed_losses"]) == len(recorded_losses)
+        assert "REPRODUCED" in format_replay_result(result)
+
+    def test_replay_detects_divergence(self, micro_spec, tmp_path):
+        """A tampered recording must be reported as NOT reproduced."""
+        out_dir = str(tmp_path / "bundles")
+        tel = telemetry.configure(jsonl=None, recorder=out_dir)
+        try:
+            tel.recorder.set_run_config(spec=asdict(micro_spec), algorithm="fedclassavg")
+            clients, _ = build_federation(micro_spec)
+            _poison(clients[1])
+            FedClassAvg(clients, seed=0).run(1)
+            bundles = list(tel.recorder.bundles_written)
+        finally:
+            tel.close()
+            telemetry.disable()
+
+        bundle = load_bundle(next(p for p in bundles if "client1" in p))
+        bundle["trajectory"]["losses"] = [0.123] * len(bundle["trajectory"]["losses"])
+        bundle["trajectory"]["grad_norms"] = None
+        result = replay_bundle(bundle)
+        assert result["loss_match"] is False
+        assert result["match"] is False
+        assert "NOT REPRODUCED" in format_replay_result(result)

@@ -120,6 +120,16 @@ class TestRenderReport:
         rows = [line for line in table.splitlines() if line.rstrip().endswith("!")]
         assert len(rows) == 1 and rows[0].strip().startswith("0")
 
+    def test_mem_peak_column_only_with_mem_records(self):
+        plain = render_report(make_run())
+        assert "mem_peak" not in plain
+        records = make_run() + [
+            {"type": "mem", "round": 0, "client": 0, "mem_peak": 4096, "alloc_count": 7}
+        ]
+        out = render_report(records)
+        table = out.split("per-client health:")[1].split("alerts (")[0]
+        assert "mem_peak" in table and "4 KB" in table
+
 
 class TestDiff:
     def test_deltas_are_candidate_minus_baseline(self):

@@ -90,3 +90,16 @@ class TestJsonl:
         w.write({"v": np.float64(1.5), "n": np.int64(3)})
         w.close()
         assert read_jsonl(path) == [{"v": 1.5, "n": 3}]
+
+    def test_reader_skips_crash_truncated_lines(self, tmp_path):
+        """A crash mid-write leaves a torn last line; readers must survive
+        it (and any mid-file corruption) with a warning, not a traceback."""
+        import pytest
+
+        path = str(tmp_path / "torn.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"type": "round", "round": 0}\n')
+            fh.write('{"type": "span", "name": "local_u')  # torn mid-record
+        with pytest.warns(UserWarning, match="skipping undecodable record"):
+            records = read_jsonl(path)
+        assert records == [{"type": "round", "round": 0}]

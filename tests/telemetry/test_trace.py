@@ -1,0 +1,203 @@
+"""Chrome trace export, ASCII Gantt, and cross-thread span attribution."""
+
+import json
+import time
+
+from repro import telemetry
+from repro.federated.executor import ThreadExecutor
+from repro.telemetry import (
+    Tracer,
+    ascii_gantt,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _synthetic_records():
+    """A two-round serial run: round spans with nested local_update lanes."""
+    records = []
+    sid = iter(range(1, 100))
+    t = 1000.0
+    for rnd in range(2):
+        round_id = next(sid)
+        lanes = []
+        lane_t = t
+        for client in range(3):
+            lanes.append(
+                {
+                    "type": "span",
+                    "name": "local_update",
+                    "span_id": next(sid),
+                    "parent_id": round_id,
+                    "thread": "MainThread",
+                    "ts": lane_t,
+                    "dur_s": 0.1,
+                    "attrs": {"round": rnd, "client": client},
+                }
+            )
+            lane_t += 0.1
+        records.append(
+            {
+                "type": "span",
+                "name": "round",
+                "span_id": round_id,
+                "parent_id": None,
+                "thread": "MainThread",
+                "ts": t,
+                "dur_s": 0.3,
+                "attrs": {"round": rnd, "algorithm": "fedclassavg"},
+            }
+        )
+        records.extend(lanes)
+        t += 0.5
+    records.append({"type": "round", "round": 0})  # non-span noise is ignored
+    return records
+
+
+class TestChromeTrace:
+    def test_envelope_and_event_mapping(self):
+        trace = to_chrome_trace(_synthetic_records())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(xs) == 8  # 2 rounds + 6 local_updates
+        assert any(e["name"] == "process_name" for e in ms)
+        assert any(e["name"] == "thread_name" for e in ms)
+        lane = next(e for e in xs if e["name"] == "local_update")
+        # microseconds, attrs preserved as args, parent linkage kept
+        assert lane["ts"] == 1000.0 * 1e6
+        assert lane["dur"] == 0.1 * 1e6
+        assert lane["args"]["client"] == 0 and lane["args"]["round"] == 0
+        assert lane["args"]["parent_id"] == 1
+
+    def test_export_is_schema_valid(self):
+        assert validate_chrome_trace(to_chrome_trace(_synthetic_records())) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace({}) == ["missing top-level 'traceEvents' array"]
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "pid": 0, "tid": 0, "ts": -5, "dur": "x"},
+                {"name": "ok", "ph": "Z", "pid": 0, "tid": 0},
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert any("missing required key 'name'" in p for p in problems)
+        assert any("invalid 'ts'" in p for p in problems)
+        assert any("invalid 'dur'" in p for p in problems)
+        assert any("unsupported phase" in p for p in problems)
+
+    def test_export_order_is_stable_under_input_shuffling(self):
+        records = _synthetic_records()
+        a = to_chrome_trace(records)
+        b = to_chrome_trace(list(reversed(records)))
+        xs = lambda t: [e for e in t["traceEvents"] if e["ph"] == "X"]  # noqa: E731
+        assert xs(a) == xs(b)
+        # sorted by start time regardless of completion order
+        ts = [e["ts"] for e in xs(a)]
+        assert ts == sorted(ts)
+
+    def test_write_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        n = write_chrome_trace(_synthetic_records(), path)
+        assert n == 8
+        with open(path) as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+
+
+class TestAsciiGantt:
+    def test_renders_lane_per_client(self):
+        chart = ascii_gantt(_synthetic_records(), width=30)
+        assert "round 0" in chart and "round 1" in chart
+        assert "client 0" in chart and "client 2" in chart
+        assert "#" in chart
+
+    def test_no_rounds(self):
+        assert "no round spans" in ascii_gantt([{"type": "metrics"}])
+
+    def test_serial_run_renders_staircase(self):
+        chart = ascii_gantt(_synthetic_records(), width=30)
+        lanes = [ln for ln in chart.splitlines() if "client" in ln]
+        # serial lanes start progressively later: leading space grows
+        starts = [ln.index("#") for ln in lanes[:3]]
+        assert starts == sorted(starts) and starts[0] < starts[2]
+
+
+class TestTracerUnderThreadExecutor:
+    def test_worker_spans_adopt_round_parent_and_context(self):
+        tel = telemetry.configure(health=False)
+        pool = ThreadExecutor(max_workers=3)
+        try:
+            with tel.context(round=7, algorithm="fedclassavg"):
+                with tel.span("round", round=7) as round_span:
+
+                    def work(k):
+                        with telemetry.span("local_update", client=k):
+                            time.sleep(0.005)
+                        return k
+
+                    assert pool.map(work, [0, 1, 2, 3]) == [0, 1, 2, 3]
+        finally:
+            pool.shutdown()
+            tel.close()
+            telemetry.disable()
+
+        lanes = [r for r in tel.tracer.finished if r["name"] == "local_update"]
+        assert len(lanes) == 4
+        for rec in lanes:
+            # parented across the thread boundary…
+            assert rec["parent_id"] == round_span.span_id
+            # …and carrying the submitting thread's context attributes
+            assert rec["attrs"]["round"] == 7
+            assert rec["attrs"]["algorithm"] == "fedclassavg"
+        assert {r["attrs"]["client"] for r in lanes} == {0, 1, 2, 3}
+        # per-thread attribution: the pool actually used worker threads
+        threads = {r["thread"] for r in lanes}
+        assert all(t != "MainThread" for t in threads)
+
+    def test_concurrent_nesting_stays_per_thread(self):
+        tr = Tracer()
+        pool = ThreadExecutor(max_workers=4)
+        try:
+            with tr.span("round") as round_span:
+                parent = tr.current_span_id()
+
+                def work(k):
+                    with tr.adopt(parent, {"round": 0}):
+                        with tr.span("outer", client=k) as outer:
+                            with tr.span("inner", client=k) as inner:
+                                time.sleep(0.002)
+                                return outer.span_id, inner.parent_id
+
+                pairs = pool.map(work, list(range(8)))
+        finally:
+            pool.shutdown()
+        # inner spans parent to their own thread's outer span — never to
+        # another worker's span, never to the adopted round directly
+        for outer_id, inner_parent in pairs:
+            assert inner_parent == outer_id
+        outers = [r for r in tr.finished if r["name"] == "outer"]
+        assert all(r["parent_id"] == round_span.span_id for r in outers)
+        assert all(r["attrs"]["round"] == 0 for r in outers)
+
+    def test_export_ordering_stable_despite_completion_order(self):
+        """Spans finish in racy order; the chrome export is deterministic."""
+        tr = Tracer()
+        pool = ThreadExecutor(max_workers=4)
+        try:
+
+            def work(k):
+                # later-submitted tasks sleep less → finish first
+                with tr.span("task", k=k):
+                    time.sleep(0.02 - 0.004 * k)
+
+            pool.map(work, list(range(4)))
+        finally:
+            pool.shutdown()
+        trace = to_chrome_trace(tr.finished)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        ts = [e["ts"] for e in xs]
+        assert ts == sorted(ts)
+        assert validate_chrome_trace(trace) == []

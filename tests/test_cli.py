@@ -140,3 +140,114 @@ class TestReportAndDiffSubcommands:
         assert "regressed" in capsys.readouterr().err
         # improvement direction passes
         assert main(["diff", cand, base, "--gate"]) == 0
+
+
+class TestTraceSubcommand:
+    def _run(self, path):
+        rc = main(
+            [
+                "--clients",
+                "3",
+                "--rounds",
+                "2",
+                "--dataset",
+                "fashion_mnist-tiny",
+                "--telemetry",
+                path,
+            ]
+        )
+        assert rc == 0
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "run.jsonl")
+        self._run(path)
+        capsys.readouterr()
+
+        out = str(tmp_path / "run.trace.json")
+        assert main(["trace", path, "-o", out]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        with open(out) as fh:
+            trace = json.load(fh)
+        names = {e.get("name") for e in trace["traceEvents"] if e.get("ph") == "X"}
+        assert "round" in names and "local_update" in names
+
+    def test_trace_default_output_and_ascii(self, tmp_path, capsys):
+        import os
+
+        path = str(tmp_path / "run.jsonl")
+        self._run(path)
+        capsys.readouterr()
+
+        assert main(["trace", path, "--ascii"]) == 0
+        chart = capsys.readouterr().out
+        assert "round 0" in chart and "client 0" in chart
+
+        assert main(["trace", path]) == 0
+        assert os.path.exists(path + ".trace.json")
+
+
+class TestDeepDiveFlags:
+    def test_flags_default_off(self):
+        args = build_parser().parse_args([])
+        assert args.memprof is False and args.record is None
+
+    def test_memprof_and_record_require_telemetry(self, capsys):
+        assert main(["--memprof", "--clients", "3", "--rounds", "1"]) == 2
+        assert "--telemetry" in capsys.readouterr().err
+        assert main(["--record", "/tmp/b", "--clients", "3", "--rounds", "1"]) == 2
+
+    def test_memprof_and_record_run(self, tmp_path, capsys):
+        """One telemetered run with both deep-dive flags: the memory
+        summary prints, and the (healthy) run arms but never trips the
+        flight recorder."""
+        rc = main(
+            [
+                "--clients",
+                "3",
+                "--rounds",
+                "1",
+                "--dataset",
+                "fashion_mnist-tiny",
+                "--telemetry",
+                str(tmp_path / "run.jsonl"),
+                "--memprof",
+                "--record",
+                str(tmp_path / "bundles"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory profile" in out and "mem_peak" in out
+        assert "flight recorder armed, no alerts" in out
+
+
+class TestReplaySubcommand:
+    def test_replay_reproduces_recorded_bundle(self, micro_spec, tmp_path, capsys):
+        """Persist a bundle through the alert path, then re-run it via the
+        CLI: exit 0 and a REPRODUCED verdict."""
+        from dataclasses import asdict
+
+        import numpy as np
+
+        from repro import telemetry
+        from repro.core import FedClassAvg
+        from repro.federated import build_federation
+
+        tel = telemetry.configure(jsonl=None, recorder=str(tmp_path / "bundles"))
+        try:
+            tel.recorder.set_run_config(spec=asdict(micro_spec), algorithm="fedclassavg")
+            clients, _ = build_federation(micro_spec)
+            for name, p in clients[1].model.named_parameters():
+                if name.startswith("classifier"):
+                    p.data[...] = np.nan
+            FedClassAvg(clients, seed=0).run(1)
+            bundles = list(tel.recorder.bundles_written)
+        finally:
+            tel.close()
+            telemetry.disable()
+
+        bundle = next(p for p in bundles if "client1" in p)
+        assert main(["replay", bundle]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
