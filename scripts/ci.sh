@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite + telemetry overhead budget.
+# CI entry point: tier-1 test suite + TCP loopback smoke + telemetry
+# overhead budget.
 #
 #   scripts/ci.sh            # full run
-#   scripts/ci.sh --fast     # tier-1 tests only (skip the overhead bench)
+#   scripts/ci.sh --fast     # tier-1 tests only (skip smoke + bench)
 #
-# The overhead benchmark re-asserts the <5% telemetry budget (null
-# backend, health monitor, and memprof+recorder enabled-but-idle) so an
-# instrumentation regression fails CI even when no functional test sees
-# it.  Runs from any working directory.
+# The TCP smoke runs the same 2-round federation through both transports
+# and requires the saved global classifiers to be byte-identical — the
+# distributed runtime's core guarantee — plus a clean shutdown with no
+# orphaned worker processes.  The overhead benchmark re-asserts the <5%
+# telemetry budget (null backend, health monitor, and memprof+recorder
+# enabled-but-idle) so an instrumentation regression fails CI even when
+# no functional test sees it.  Runs from any working directory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +22,20 @@ echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
 if [[ "${1:-}" != "--fast" ]]; then
+    echo "== tcp loopback smoke =="
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+    python -m repro.cli run --transport tcp --workers 4 --clients 8 --rounds 2 \
+        --save-global "$SMOKE_DIR/tcp.bin" > "$SMOKE_DIR/tcp.log"
+    python -m repro.cli run --transport sim --clients 8 --rounds 2 \
+        --save-global "$SMOKE_DIR/sim.bin" > "$SMOKE_DIR/sim.log"
+    cmp "$SMOKE_DIR/tcp.bin" "$SMOKE_DIR/sim.bin" \
+        || { echo "FAIL: tcp vs sim global classifier differs"; exit 1; }
+    ORPHANS="$(pgrep -f 'repro.cli worker' || true)"
+    [[ -z "$ORPHANS" ]] \
+        || { echo "FAIL: orphaned worker processes: $ORPHANS"; exit 1; }
+    echo "tcp == sim (bit-identical), no orphans"
+
     echo "== telemetry overhead budget =="
     python -m pytest -x -q benchmarks/test_telemetry_overhead.py
 fi

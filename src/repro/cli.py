@@ -8,6 +8,16 @@ Run any algorithm on any dataset/partition from a shell::
     python -m repro.cli --rounds 3 --telemetry run.jsonl
     python -m repro.cli --list
 
+``run`` is an explicit alias of the bare form and adds the transport
+switch: ``--transport tcp --workers N`` executes the same federation
+over real TCP with N worker OS processes on localhost (bit-identical
+final classifier, seeds equal).  For multi-host deployments the two
+halves run standalone::
+
+    python -m repro.cli run --transport tcp --workers 4 --rounds 2
+    python -m repro.cli serve --clients 8 --rounds 2 --port 7733
+    python -m repro.cli worker --server HOST:7733 --client-id 0 --client-id 4
+
 Prints per-round progress, the final accuracy table row, the learning
 curve, and the communication ledger.  ``--telemetry PATH`` additionally
 streams spans / per-round summaries / per-client health records + alerts
@@ -105,6 +115,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the flight recorder: on any health alert write a replay "
         "bundle to DIR (needs --telemetry)",
     )
+    p.add_argument(
+        "--transport",
+        choices=("sim", "tcp"),
+        default="sim",
+        help="communication backend: in-process SimComm (default) or real "
+        "TCP with worker OS processes (fedclassavg only)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker process count for --transport tcp (default 4)",
+    )
+    p.add_argument("--port", type=int, default=0, help="TCP server port (0 = ephemeral)")
+    p.add_argument(
+        "--round-timeout",
+        type=float,
+        default=60.0,
+        help="TCP round deadline in seconds; late uploads are dropped "
+        "and the round completes with survivors (default 60)",
+    )
+    p.add_argument(
+        "--save-global",
+        metavar="PATH",
+        default=None,
+        help="write the final global classifier state (wire format) to PATH "
+        "— the artifact the sim↔tcp bit-identity check compares",
+    )
+    return p
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro serve",
+        description="run a standalone FedClassAvg TCP server (workers join "
+        "with `repro worker --server HOST:PORT --client-id K`)",
+    )
+    p.add_argument("--host", default="0.0.0.0", help="bind address (default 0.0.0.0)")
+    p.add_argument("--port", type=int, default=7733, help="listen port (default 7733)")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--rounds", type=int, default=6)
+    p.add_argument("--dataset", choices=DATASETS, default="fashion_mnist-tiny")
+    p.add_argument("--partition", choices=("dirichlet", "skewed", "iid"), default="dirichlet")
+    p.add_argument("--sample-rate", type=float, default=1.0)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--rho", type=float, default=0.1)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--local-epochs", type=int, default=1)
+    p.add_argument("--join-timeout", type=float, default=300.0)
+    p.add_argument("--round-timeout", type=float, default=300.0)
+    p.add_argument("--telemetry", metavar="PATH", default=None)
+    p.add_argument("--save-global", metavar="PATH", default=None)
+    return p
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro worker",
+        description="run a federated worker process: dials the server, "
+        "receives the run config, and trains its clients over TCP",
+    )
+    p.add_argument(
+        "--server", required=True, metavar="HOST:PORT", help="server address to dial"
+    )
+    p.add_argument(
+        "--client-id",
+        type=int,
+        action="append",
+        required=True,
+        dest="client_ids",
+        help="client id owned by this worker (repeatable)",
+    )
+    p.add_argument("--verbose", action="store_true")
+    # chaos hooks for fault-path tests: keep failure modes reproducible
+    p.add_argument("--die-at-round", type=int, default=None, help=argparse.SUPPRESS)
+    p.add_argument("--stall-at-round", type=int, default=None, help=argparse.SUPPRESS)
+    p.add_argument("--stall-s", type=float, default=0.0, help=argparse.SUPPRESS)
     return p
 
 
@@ -229,6 +317,142 @@ def diff_main(argv: list[str]) -> int:
     return 0
 
 
+def _save_global_state(state, path: str) -> None:
+    """Persist a state dict in the wire format (the bit-identity artifact)."""
+    from repro.utils.serialization import state_dict_to_bytes
+
+    with open(path, "wb") as fh:
+        fh.write(state_dict_to_bytes(state))
+    print(f"final global classifier written to {path}")
+
+
+def serve_main(argv: list[str]) -> int:
+    from dataclasses import asdict
+
+    from repro.config import tiny_preset
+    from repro.net.server import FedTcpServer, make_run_config
+
+    args = build_serve_parser().parse_args(argv)
+    preset = tiny_preset(
+        args.dataset,
+        num_clients=args.clients,
+        rounds=args.rounds,
+        n_train=args.clients * 80,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        rho=args.rho,
+        sample_rate=args.sample_rate,
+    )
+    from repro.experiments.common import make_spec
+
+    spec = make_spec(preset, args.partition, None, args.seed)
+    tel = telemetry.configure(jsonl=args.telemetry) if args.telemetry else None
+    server = FedTcpServer(
+        args.clients,
+        args.rounds,
+        make_run_config(asdict(spec), trainer={"rho": args.rho}, local_epochs=args.local_epochs),
+        host=args.host,
+        port=args.port,
+        sample_rate=args.sample_rate,
+        seed=args.seed,
+        local_epochs=args.local_epochs,
+        join_timeout_s=args.join_timeout,
+        round_timeout_s=args.round_timeout,
+        verbose=True,
+    )
+    host, port = server.listen()
+    print(f"serving FedClassAvg on {host}:{port} — waiting for {args.clients} client(s)")
+    try:
+        result = server.run()
+    finally:
+        if tel is not None:
+            tel.close()
+            telemetry.disable()
+    mean, std = result.history.final_acc()
+    print(f"final accuracy: {mean:.4f} ± {std:.4f}")
+    print(f"communication: {format_bytes(result.cost.total_bytes)} total (socket-measured)")
+    if args.save_global:
+        _save_global_state(result.global_state, args.save_global)
+    return 0
+
+
+def worker_main(argv: list[str]) -> int:
+    from repro.net.worker import WorkerOptions, run_worker
+
+    args = build_worker_parser().parse_args(argv)
+    host, sep, port = args.server.rpartition(":")
+    if not sep or not port.isdigit():
+        print(f"error: --server must be HOST:PORT, got {args.server!r}", file=sys.stderr)
+        return 2
+    options = WorkerOptions(
+        die_at_round=args.die_at_round,
+        stall_at_round=args.stall_at_round,
+        stall_s=args.stall_s,
+        verbose=args.verbose,
+    )
+    return run_worker(host, int(port), args.client_ids, options)
+
+
+def tcp_run_main(args) -> int:
+    """The --transport tcp leg of `repro run`: launcher + N worker processes."""
+    from dataclasses import asdict
+
+    from repro.experiments.common import make_spec
+    from repro.net.launcher import run_tcp_federation
+
+    if args.algorithm != "fedclassavg":
+        print("error: --transport tcp currently supports --algorithm fedclassavg", file=sys.stderr)
+        return 2
+    preset = tiny_preset(
+        args.dataset,
+        num_clients=args.clients,
+        rounds=args.rounds,
+        n_train=args.clients * 80,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        rho=args.rho,
+        sample_rate=args.sample_rate,
+    )
+    spec = make_spec(preset, args.partition, args.homogeneous, args.seed)
+    tel = telemetry.configure(jsonl=args.telemetry) if args.telemetry else None
+    try:
+        result, exit_codes = run_tcp_federation(
+            asdict(spec),
+            rounds=args.rounds,
+            workers=args.workers,
+            trainer={"rho": args.rho},
+            share_all_weights=args.share_weights,
+            sample_rate=args.sample_rate,
+            seed=args.seed,
+            port=args.port,
+            round_timeout_s=args.round_timeout,
+        )
+    finally:
+        if tel is not None:
+            tel.close()
+            telemetry.disable()
+    history, cost = result.history, result.cost
+    bad = [c for c in exit_codes if c != 0]
+    mean, std = history.final_acc()
+    print(
+        f"\nfedclassavg on {args.dataset} ({args.partition}, {args.clients} clients, "
+        f"tcp x{args.workers} workers)"
+    )
+    print(ascii_curves({"fedclassavg": history.mean_curve}, height=10, width=50))
+    print(f"final accuracy: {mean:.4f} ± {std:.4f}  (best round: {history.best_acc():.4f})")
+    print(
+        f"communication: {format_bytes(cost.total_bytes)} total (socket-measured), "
+        f"{format_bytes(cost.per_client_round_bytes(args.clients))} per client-round"
+    )
+    if bad:
+        print(f"warning: {len(bad)} worker(s) exited non-zero: {exit_codes}", file=sys.stderr)
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    if args.save_global:
+        _save_global_state(result.global_state, args.save_global)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "report":
@@ -239,6 +463,12 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "replay":
         return replay_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
+    if argv and argv[0] == "run":  # explicit alias of the bare form
+        argv = argv[1:]
 
     args = build_parser().parse_args(argv)
     if args.list:
@@ -249,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.algorithm in ("fedavg", "fedprox") and args.homogeneous is None:
         print(f"error: --algorithm {args.algorithm} requires --homogeneous ARCH", file=sys.stderr)
         return 2
+    if args.transport == "tcp":
+        return tcp_run_main(args)
 
     preset = tiny_preset(
         args.dataset,
@@ -288,7 +520,7 @@ def main(argv: list[str] | None = None) -> int:
             spec=asdict(spec), algorithm=args.algorithm, local_epochs=1
         )
     try:
-        history, cost = run_algorithm(
+        history, cost, algo = run_algorithm(
             args.algorithm,
             preset,
             partition=args.partition,
@@ -297,6 +529,7 @@ def main(argv: list[str] | None = None) -> int:
             share_weights=args.share_weights,
             seed=args.seed,
             fedclassavg_kwargs=fca_kwargs,
+            return_algo=True,
         )
     finally:
         if tel is not None:
@@ -333,6 +566,12 @@ def main(argv: list[str] | None = None) -> int:
         f"communication: {format_bytes(cost.total_bytes)} total, "
         f"{format_bytes(cost.per_client_round_bytes(args.clients))} per client-round"
     )
+    if args.save_global:
+        state = getattr(algo, "global_state", None)
+        if state is None:
+            print(f"warning: {args.algorithm} has no global state to save", file=sys.stderr)
+        else:
+            _save_global_state(state, args.save_global)
     return 0
 
 

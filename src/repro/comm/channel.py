@@ -40,9 +40,11 @@ def payload_nbytes(obj) -> int:
     """Wire size of a message payload.
 
     State dicts (str → ndarray mappings) are cast to fp32 and use the
-    compact binary format; anything else is measured as its pickle.
+    compact binary format; anything else is measured as its pickle.  An
+    empty dict is a (degenerate) state dict and measures as the wire
+    format's fixed header, not as a pickle.
     """
-    if isinstance(obj, dict) and obj and all(
+    if isinstance(obj, dict) and all(
         isinstance(k, str) and isinstance(v, np.ndarray) for k, v in obj.items()
     ):
         return len(state_dict_to_bytes(to_wire(obj)))

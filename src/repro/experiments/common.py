@@ -99,11 +99,15 @@ def run_algorithm(
     share_weights: bool = False,
     seed: int = 0,
     fedclassavg_kwargs: dict | None = None,
-) -> tuple[RunHistory, object]:
+    return_algo: bool = False,
+) -> tuple[RunHistory, object] | tuple[RunHistory, object, object]:
     """Build a fresh federation and run one algorithm on it.
 
-    Returns ``(history, cost_model)``.  ``name`` is one of 'baseline',
-    'fedproto', 'ktpfl', 'fedclassavg', 'fedavg', 'fedprox'.
+    Returns ``(history, cost_model)`` — or ``(history, cost_model,
+    algorithm)`` with ``return_algo=True``, for callers that need
+    post-run algorithm state such as the final global classifier.
+    ``name`` is one of 'baseline', 'fedproto', 'ktpfl', 'fedclassavg',
+    'fedavg', 'fedprox'.
     """
     rounds = rounds if rounds is not None else preset.rounds
     spec = make_spec(preset, partition, homogeneous_arch, seed)
@@ -138,4 +142,6 @@ def run_algorithm(
         raise KeyError(f"unknown algorithm {name!r}")
 
     history = algo.run(rounds)
+    if return_algo:
+        return history, algo.comm.cost, algo
     return history, algo.comm.cost

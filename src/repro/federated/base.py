@@ -17,6 +17,7 @@ from repro.comm import CostModel, SimComm
 from repro.federated.client import FederatedClient
 from repro.federated.history import RoundMetrics, RunHistory
 from repro.federated.sampler import ClientSampler
+from repro.net.transport import Transport
 
 __all__ = ["FederatedAlgorithm"]
 
@@ -33,8 +34,11 @@ class FederatedAlgorithm:
     local_epochs:
         E in Algorithm 1 — local epochs per communication round.
     comm:
-        Optional shared communicator; a fresh one (size = clients+1) is
-        created otherwise.  Rank 0 is the server.
+        Optional shared communicator — anything satisfying the
+        :class:`repro.net.Transport` interface (rank 0 is the server);
+        a fresh in-process :class:`SimComm` (size = clients+1) is
+        created otherwise.  The loop talks only to the interface, which
+        is what keeps the in-process and TCP backends interchangeable.
     """
 
     name = "base"
@@ -46,14 +50,14 @@ class FederatedAlgorithm:
         clients: list[FederatedClient],
         sample_rate: float = 1.0,
         local_epochs: int | None = None,
-        comm: SimComm | None = None,
+        comm: Transport | None = None,
         seed: int = 0,
     ):
         if not clients:
             raise ValueError("need at least one client")
         self.clients = clients
         self.local_epochs = local_epochs if local_epochs is not None else self.default_local_epochs
-        self.comm = comm or SimComm(len(clients) + 1, CostModel())
+        self.comm: Transport = comm or SimComm(len(clients) + 1, CostModel())
         self.sampler = ClientSampler(len(clients), sample_rate, seed=seed)
         self.seed = seed
         #: set by fault-tolerant subclasses to the clients whose uploads

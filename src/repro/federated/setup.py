@@ -50,11 +50,20 @@ class FederationSpec:
         return {}
 
 
-def build_federation(spec: FederationSpec) -> tuple[list[FederatedClient], dict]:
+def build_federation(
+    spec: FederationSpec, client_ids: list[int] | None = None
+) -> tuple[list[FederatedClient], dict]:
     """Construct clients per ``spec``.
 
     Returns ``(clients, info)`` where ``info`` carries the raw datasets,
     partition indices, and architecture list for analysis code.
+
+    ``client_ids`` restricts construction to those clients (returned in
+    the given order).  Every per-client random stream is keyed by
+    ``(spec.seed, k)`` — never by build order — so a client built alone
+    in a worker process is bit-identical to the same client built as
+    part of the full federation, which is what lets the TCP runtime
+    shard clients across processes without breaking determinism.
     """
     train, test = load_dataset(spec.dataset, n_train=spec.n_train, n_test=spec.n_test, seed=spec.seed)
     parts = partition_dataset(
@@ -68,8 +77,16 @@ def build_federation(spec: FederationSpec) -> tuple[list[FederatedClient], dict]
     else:
         archs = heterogeneous_assignment(spec.num_clients)
 
+    if client_ids is None:
+        build_ids = list(range(spec.num_clients))
+    else:
+        build_ids = [int(k) for k in client_ids]
+        for k in build_ids:
+            if not 0 <= k < spec.num_clients:
+                raise ValueError(f"client id {k} out of range [0, {spec.num_clients})")
+
     clients: list[FederatedClient] = []
-    for k in range(spec.num_clients):
+    for k in build_ids:
         model_rng = np.random.default_rng(np.random.SeedSequence(entropy=spec.seed, spawn_key=(0xD0D, k)))
         overrides = spec.model_overrides.get(archs[k], {}) if spec.model_overrides else {}
         per_client_overrides = spec.model_overrides.get(k, {}) if spec.model_overrides else {}

@@ -1,0 +1,95 @@
+"""repro.net — the real-TCP federated runtime.
+
+The paper ran FedClassAvg as 20 MPI ranks across 15 GPU nodes; this
+package runs the same protocol over actual sockets and OS processes
+while keeping the in-process :class:`repro.comm.SimComm` as the default
+backend behind a shared :class:`Transport` interface:
+
+* :mod:`repro.net.protocol` — length-prefixed CRC-checked binary
+  framing over the existing state-dict wire format;
+* :mod:`repro.net.transport` — the :class:`Transport` interface both
+  backends satisfy, plus the server-side :class:`TcpTransport`
+  (accept loop, reader threads, liveness, ordered collection);
+* :mod:`repro.net.server` — the FedClassAvg round server
+  (deterministic client-id-ordered aggregation, survivor semantics,
+  ``client_lost`` health alerts);
+* :mod:`repro.net.worker` — a client process owning its models/data and
+  running the production ``local_update``;
+* :mod:`repro.net.launcher` — N workers over localhost for
+  single-machine runs (``repro run --transport tcp --workers N``);
+* :mod:`repro.net.retry` — deadlines, jittered exponential backoff,
+  heartbeats.
+
+Determinism is the bar: with equal seeds, a TCP run's final global
+classifier is bit-identical to the SimComm run's.
+
+The heavyweight modules (server/worker/launcher pull in the full
+federated stack) load lazily so ``repro.federated`` can import the
+:class:`Transport` interface without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    BadMagic,
+    ChecksumMismatch,
+    ConnectionClosed,
+    FrameTooLarge,
+    Message,
+    MsgType,
+    ProtocolError,
+    Truncated,
+    VersionMismatch,
+)
+from repro.net.retry import Deadline, Heartbeat, RetryPolicy, backoff_delays, call_with_retries
+from repro.net.transport import Connection, TcpTransport, Transport, WorkerLink
+
+__all__ = [
+    "Transport",
+    "Connection",
+    "TcpTransport",
+    "WorkerLink",
+    "Message",
+    "MsgType",
+    "ProtocolError",
+    "BadMagic",
+    "VersionMismatch",
+    "FrameTooLarge",
+    "ChecksumMismatch",
+    "Truncated",
+    "ConnectionClosed",
+    "MAX_FRAME_BYTES",
+    "RetryPolicy",
+    "Deadline",
+    "Heartbeat",
+    "backoff_delays",
+    "call_with_retries",
+    # lazy (pull in the full federated stack):
+    "FedTcpServer",
+    "ServerResult",
+    "make_run_config",
+    "run_worker",
+    "WorkerOptions",
+    "run_tcp_federation",
+    "assign_clients",
+]
+
+_LAZY = {
+    "FedTcpServer": "repro.net.server",
+    "ServerResult": "repro.net.server",
+    "make_run_config": "repro.net.server",
+    "run_worker": "repro.net.worker",
+    "WorkerOptions": "repro.net.worker",
+    "run_tcp_federation": "repro.net.launcher",
+    "assign_clients": "repro.net.launcher",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

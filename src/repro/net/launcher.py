@@ -1,0 +1,161 @@
+"""Single-machine launcher: one TCP server + N worker OS processes.
+
+``run_tcp_federation`` is what ``python -m repro.cli run --transport tcp
+--workers N`` executes: it binds the server on localhost, forks ``N``
+real worker processes (``python -m repro.cli worker --server host:port
+--client-id …`` — the same entry point a multi-host deployment runs by
+hand), drives the rounds, and then reaps every child so no orphaned
+process or port outlives the run, even when a worker was deliberately
+killed mid-round.
+
+Client ids are assigned to workers round-robin (worker ``i`` owns every
+``k`` with ``k % N == i``), so heterogeneous architectures spread evenly
+across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.comm.cost import CostModel
+from repro.net.server import FedTcpServer, ServerResult, make_run_config
+
+__all__ = ["assign_clients", "launch_workers", "reap_workers", "run_tcp_federation"]
+
+
+def assign_clients(num_clients: int, num_workers: int) -> list[list[int]]:
+    """Round-robin client→worker assignment; drops empty workers."""
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    groups = [
+        [k for k in range(num_clients) if k % num_workers == i]
+        for i in range(num_workers)
+    ]
+    return [g for g in groups if g]
+
+def _worker_env() -> dict:
+    """Child env with ``repro``'s parent directory on PYTHONPATH.
+
+    The launcher may run from any CWD (pytest tmpdirs, CI checkouts);
+    the children must import the same ``repro`` we are running.
+    """
+    import repro
+
+    env = dict(os.environ)
+    pkg_parent = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = pkg_parent + (os.pathsep + existing if existing else "")
+    return env
+
+
+def launch_workers(
+    host: str,
+    port: int,
+    assignment: list[list[int]],
+    chaos: dict[int, list[str]] | None = None,
+    verbose: bool = False,
+) -> list[subprocess.Popen]:
+    """Spawn one ``repro.cli worker`` process per assignment group.
+
+    ``chaos`` maps a worker index to extra CLI flags (the failure hooks
+    — e.g. ``{1: ["--die-at-round", "1"]}``) for fault-path tests.
+    """
+    procs = []
+    env = _worker_env()
+    for i, ids in enumerate(assignment):
+        cmd = [sys.executable, "-m", "repro.cli", "worker", "--server", f"{host}:{port}"]
+        for k in ids:
+            cmd += ["--client-id", str(k)]
+        if verbose:
+            cmd.append("--verbose")
+        cmd += (chaos or {}).get(i, [])
+        procs.append(
+            subprocess.Popen(
+                cmd,
+                env=env,
+                stdout=None if verbose else subprocess.DEVNULL,
+                stderr=None if verbose else subprocess.DEVNULL,
+            )
+        )
+    return procs
+
+
+def reap_workers(procs: list[subprocess.Popen], timeout_s: float = 10.0) -> list[int | None]:
+    """Wait for every worker; escalate to terminate/kill. Returns exit codes."""
+    codes: list[int | None] = []
+    for p in procs:
+        try:
+            codes.append(p.wait(timeout=timeout_s))
+            continue
+        except subprocess.TimeoutExpired:
+            p.terminate()
+        try:
+            codes.append(p.wait(timeout=2.0))
+        except subprocess.TimeoutExpired:
+            p.kill()
+            codes.append(p.wait(timeout=2.0))
+    return codes
+
+
+def run_tcp_federation(
+    spec_dict: dict,
+    rounds: int,
+    workers: int,
+    trainer: dict | None = None,
+    local_epochs: int = 1,
+    share_all_weights: bool = False,
+    sample_rate: float = 1.0,
+    seed: int = 0,
+    eval_every: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    join_timeout_s: float = 60.0,
+    round_timeout_s: float = 60.0,
+    liveness_timeout_s: float = 15.0,
+    heartbeat_s: float = 0.5,
+    cost_model: CostModel | None = None,
+    chaos: dict[int, list[str]] | None = None,
+    verbose: bool = False,
+) -> tuple[ServerResult, list[int | None]]:
+    """Run a full FedClassAvg federation over localhost TCP.
+
+    Returns ``(server_result, worker_exit_codes)``.  The server runs in
+    this process (so history/cost/global-state come back as objects);
+    the workers are real OS processes and are always reaped before
+    returning — crash, chaos hook, or clean BYE alike.
+    """
+    num_clients = int(spec_dict["num_clients"])
+    config = make_run_config(
+        spec_dict,
+        trainer=trainer,
+        local_epochs=local_epochs,
+        share_all_weights=share_all_weights,
+        heartbeat_s=heartbeat_s,
+    )
+    server = FedTcpServer(
+        num_clients,
+        rounds,
+        config,
+        host=host,
+        port=port,
+        sample_rate=sample_rate,
+        seed=seed,
+        eval_every=eval_every,
+        local_epochs=local_epochs,
+        join_timeout_s=join_timeout_s,
+        round_timeout_s=round_timeout_s,
+        liveness_timeout_s=liveness_timeout_s,
+        cost_model=cost_model,
+        verbose=verbose,
+    )
+    bound_host, bound_port = server.listen()
+    procs = launch_workers(
+        bound_host, bound_port, assign_clients(num_clients, workers), chaos=chaos, verbose=verbose
+    )
+    try:
+        result = server.run()
+    finally:
+        exit_codes = reap_workers(procs)
+    return result, exit_codes

@@ -1,0 +1,236 @@
+"""Length-prefixed binary wire protocol for the TCP federated runtime.
+
+A frame on the wire is::
+
+    magic     4 bytes   b"RPN1"
+    version   1 byte    protocol version (reject mismatches)
+    type      1 byte    :class:`MsgType`
+    reserved  2 bytes   zero (future flags)
+    length    4 bytes   <I payload byte count
+    crc32     4 bytes   <I zlib.crc32 of the payload
+    payload   N bytes
+
+The payload itself is ``<I json_length> + json_meta + state_blob`` where
+``json_meta`` is a UTF-8 JSON object (round index, client id, losses,
+…) and ``state_blob`` — optional, possibly empty — is a state dict in
+the existing :func:`repro.utils.serialization.state_dict_to_bytes`
+format.  Exactly the bytes the paper's Table 5 cares about (the ~22 KB
+classifier vs a ~43.7 MB full model) plus a fixed few-dozen-byte frame
+header, so socket-measured costs are honest.
+
+Corrupt input raises typed errors (all subclasses of
+:class:`ProtocolError`, itself a ``ValueError``): bad magic, version
+mismatch, oversized frame, checksum mismatch, truncation.  A server
+must be able to drop a bad peer without dying.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import json
+import socket
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.serialization import state_dict_from_bytes, state_dict_to_bytes
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "MAX_FRAME_BYTES",
+    "MsgType",
+    "Message",
+    "ProtocolError",
+    "BadMagic",
+    "VersionMismatch",
+    "FrameTooLarge",
+    "ChecksumMismatch",
+    "Truncated",
+    "ConnectionClosed",
+    "encode_message",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "recv_message",
+    "send_message",
+]
+
+MAGIC = b"RPN1"
+VERSION = 1
+_HEADER = struct.Struct("<4sBBHII")  # magic, version, type, reserved, length, crc32
+#: default ceiling on a single frame — far above any classifier payload
+#: (~22 KB) yet low enough that a corrupt length field cannot OOM the peer
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class MsgType(enum.IntEnum):
+    """Message types of the federated wire protocol."""
+
+    HELLO = 1  # worker → server: {"client_ids": [...]}
+    CONFIG = 2  # server → worker: the run config (spec, trainer, seeds)
+    ROUND_START = 3  # server → worker: {"round", "sampled", "evaluated"}
+    CLASSIFIER = 4  # server → worker: global classifier for one client
+    CLIENT_UPDATE = 5  # worker → server: trained classifier (+ init at round -1)
+    EVAL = 6  # worker → server: {"round", "accs": {client: acc}}
+    HEARTBEAT = 7  # worker → server: liveness beacon
+    BYE = 8  # either direction: orderly shutdown
+    ERROR = 9  # either direction: {"message": ...}
+
+
+class ProtocolError(ValueError):
+    """Base class for wire-protocol violations."""
+
+
+class BadMagic(ProtocolError):
+    """Frame did not start with the protocol magic."""
+
+
+class VersionMismatch(ProtocolError):
+    """Peer speaks a different protocol version."""
+
+
+class FrameTooLarge(ProtocolError):
+    """Declared payload length exceeds the configured ceiling."""
+
+
+class ChecksumMismatch(ProtocolError):
+    """Payload CRC32 does not match the header."""
+
+
+class Truncated(ProtocolError):
+    """Stream ended mid-frame."""
+
+
+class ConnectionClosed(ConnectionError):
+    """Peer closed the connection cleanly between frames."""
+
+
+@dataclass
+class Message:
+    """One decoded protocol message: type + JSON meta + optional state dict."""
+
+    type: MsgType
+    meta: dict = field(default_factory=dict)
+    state: dict[str, np.ndarray] | None = None
+
+    def __repr__(self) -> str:  # compact: states can be huge
+        state = f", state[{len(self.state)}]" if self.state is not None else ""
+        return f"Message({self.type.name}, {self.meta}{state})"
+
+
+def encode_message(msg: Message, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize ``msg`` into one complete frame (header + payload)."""
+    meta_b = json.dumps(msg.meta, separators=(",", ":")).encode()
+    state_b = state_dict_to_bytes(msg.state) if msg.state is not None else b""
+    payload = struct.pack("<I", len(meta_b)) + meta_b + state_b
+    if len(payload) > max_frame:
+        raise FrameTooLarge(f"payload of {len(payload)} bytes exceeds cap {max_frame}")
+    header = _HEADER.pack(
+        MAGIC, VERSION, int(msg.type), 0, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    )
+    return header + payload
+
+
+def decode_payload(msg_type: int, payload: bytes) -> Message:
+    """Decode a verified payload into a :class:`Message`."""
+    try:
+        mtype = MsgType(msg_type)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type {msg_type}") from exc
+    if len(payload) < 4:
+        raise Truncated("payload too short for meta length prefix")
+    (meta_len,) = struct.unpack_from("<I", payload)
+    if 4 + meta_len > len(payload):
+        raise Truncated(
+            f"meta length {meta_len} overruns payload of {len(payload)} bytes"
+        )
+    try:
+        meta = json.loads(payload[4 : 4 + meta_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable message meta: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("message meta must be a JSON object")
+    state_b = payload[4 + meta_len :]
+    state = state_dict_from_bytes(state_b) if state_b else None
+    return Message(mtype, meta, state)
+
+
+def _parse_header(header: bytes, max_frame: int) -> tuple[int, int, int]:
+    magic, version, msg_type, _reserved, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise BadMagic(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise VersionMismatch(f"peer speaks protocol v{version}, we speak v{VERSION}")
+    if length > max_frame:
+        raise FrameTooLarge(f"declared payload of {length} bytes exceeds cap {max_frame}")
+    return msg_type, length, crc
+
+
+def read_frame(stream: io.RawIOBase, max_frame: int = MAX_FRAME_BYTES) -> Message:
+    """Read one frame from a blocking file-like ``stream`` (``read(n)``)."""
+
+    def _exact(n: int, what: str, *, start: bool = False) -> bytes:
+        chunks = b""
+        while len(chunks) < n:
+            got = stream.read(n - len(chunks))
+            if not got:
+                if start and not chunks:
+                    raise ConnectionClosed("stream closed between frames")
+                raise Truncated(f"stream ended mid-{what}")
+            chunks += got
+        return chunks
+
+    header = _exact(_HEADER.size, "header", start=True)
+    msg_type, length, crc = _parse_header(header, max_frame)
+    payload = _exact(length, "payload")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ChecksumMismatch("payload CRC32 mismatch (corrupt frame)")
+    return decode_payload(msg_type, payload)
+
+
+def write_frame(stream, msg: Message, max_frame: int = MAX_FRAME_BYTES) -> int:
+    """Write ``msg`` as one frame to a file-like ``stream``; returns byte count."""
+    frame = encode_message(msg, max_frame)
+    stream.write(frame)
+    return len(frame)
+
+
+def send_message(sock: socket.socket, msg: Message, max_frame: int = MAX_FRAME_BYTES) -> int:
+    """Send one frame over a socket; returns the frame's byte count."""
+    frame = encode_message(msg, max_frame)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_message(
+    sock: socket.socket, max_frame: int = MAX_FRAME_BYTES
+) -> tuple[Message, int]:
+    """Receive one frame from a socket; returns ``(message, frame_bytes)``.
+
+    Honors the socket's configured timeout (``socket.timeout`` — an
+    ``OSError`` — propagates to the caller, who owns retry policy).
+    Raises :class:`ConnectionClosed` on clean EOF between frames and
+    :class:`Truncated` on EOF mid-frame.
+    """
+
+    def _exact(n: int, what: str, *, start: bool = False) -> bytes:
+        chunks = b""
+        while len(chunks) < n:
+            got = sock.recv(n - len(chunks))
+            if not got:
+                if start and not chunks:
+                    raise ConnectionClosed("peer closed the connection")
+                raise Truncated(f"connection ended mid-{what}")
+            chunks += got
+        return chunks
+
+    header = _exact(_HEADER.size, "header", start=True)
+    msg_type, length, crc = _parse_header(header, max_frame)
+    payload = _exact(length, "payload")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ChecksumMismatch("payload CRC32 mismatch (corrupt frame)")
+    return decode_payload(msg_type, payload), _HEADER.size + length

@@ -1,0 +1,147 @@
+"""Robustness primitives: deadlines, exponential backoff, heartbeats.
+
+A real federation's failure modes are mundane — a worker that has not
+connected yet, a TCP connect racing the server's ``listen``, a round
+whose slowest upload never arrives.  The policies here make those
+recoverable (bounded retries with jittered exponential backoff) or at
+least bounded (deadlines), and :class:`Heartbeat` keeps an otherwise
+silent connection observably alive while a worker grinds through local
+epochs.
+
+Every retry and timeout increments the ``net.retries`` /
+``net.timeouts`` telemetry counters so ``repro report`` can show how
+rough the network actually was.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = ["RetryPolicy", "Deadline", "backoff_delays", "call_with_retries", "Heartbeat"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry policy with jittered exponential backoff.
+
+    ``attempts`` is the total call budget (first try included); delays
+    between attempts grow as ``base_delay_s * multiplier**i`` capped at
+    ``max_delay_s``, each scaled by a uniform jitter factor in
+    ``[1 - jitter, 1 + jitter]`` so a fleet of workers retrying the same
+    dead server does not thunder in lockstep.  ``timeout_s`` is the
+    per-attempt operation timeout callers apply to the underlying I/O.
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    timeout_s: float = 10.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+def backoff_delays(policy: RetryPolicy, rng: np.random.Generator | None = None):
+    """Yield the ``attempts - 1`` sleep durations between attempts."""
+    rng = rng or np.random.default_rng()
+    for i in range(policy.attempts - 1):
+        delay = min(policy.base_delay_s * policy.multiplier**i, policy.max_delay_s)
+        scale = 1.0 + policy.jitter * (2.0 * float(rng.random()) - 1.0)
+        yield delay * scale
+
+
+def call_with_retries(
+    fn,
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    rng: np.random.Generator | None = None,
+    on_retry=None,
+    describe: str = "operation",
+):
+    """Call ``fn()`` under ``policy``; re-raise the last error when spent.
+
+    ``retry_on`` lists the exception types worth retrying (default: any
+    ``OSError`` — refused connections, resets, socket timeouts).
+    ``on_retry(attempt, exc, delay)`` is invoked before each backoff
+    sleep.  Exceptions outside ``retry_on`` propagate immediately.
+    """
+    delays = backoff_delays(policy, rng)
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            delay = next(delays, None)
+            if delay is None:
+                break
+            telemetry.counter("net.retries").inc()
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            time.sleep(delay)
+    raise ConnectionError(
+        f"{describe} failed after {policy.attempts} attempt(s): {last}"
+    ) from last
+
+
+class Deadline:
+    """A wall-clock budget that many waits can draw down together.
+
+    ``remaining()`` never goes negative and ``expired`` flips exactly
+    once — the idiom a gather loop needs: block on a queue for
+    ``min(poll, deadline.remaining())`` and stop when the budget is gone.
+    """
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+        self._t0 = time.monotonic()
+
+    def remaining(self) -> float:
+        return max(0.0, self.seconds - (time.monotonic() - self._t0))
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:
+        return f"Deadline({self.remaining():.3f}s of {self.seconds:.3f}s left)"
+
+
+class Heartbeat(threading.Thread):
+    """Daemon thread invoking ``beat()`` every ``interval_s`` until stopped.
+
+    The worker's main thread blocks for seconds at a time inside
+    ``local_update``; this thread keeps HEARTBEAT frames flowing so the
+    server's liveness check can tell "slow" from "dead".  Beat failures
+    stop the thread quietly — the main loop will hit the same broken
+    socket and handle it properly.
+    """
+
+    def __init__(self, beat, interval_s: float = 1.0, name: str = "net-heartbeat"):
+        super().__init__(name=name, daemon=True)
+        self._beat = beat
+        self.interval_s = interval_s
+        # NB: must not be named _stop — Thread.join() calls a private
+        # _stop() method internally
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            try:
+                self._beat()
+            except Exception:
+                return
+
+    def stop(self) -> None:
+        self._halt.set()

@@ -1,0 +1,330 @@
+"""The FedClassAvg round server over real TCP.
+
+Runs Algorithm 1's server side against live worker processes: broadcast
+the global classifier to the round's sampled clients, collect their
+trained classifiers **ordered by client id** (determinism is the bar —
+with equal seeds the final global classifier must be bit-identical to an
+in-process :class:`repro.comm.SimComm` run), aggregate with the
+production :func:`repro.federated.aggregation.weighted_average_state`,
+and account every transfer's actual socket bytes on the shared
+:class:`repro.comm.CostModel` so Table 5 numbers come from the wire.
+
+Failure semantics match what :class:`repro.federated.faults.FaultInjector`
+established for the simulation: a worker that dies mid-round (or a
+client whose upload misses the round deadline) is simply absent from the
+aggregation — the round completes with the survivors, the reported mean
+train loss covers survivors only, and the health monitor receives a
+``client_lost`` (death) or ``client_timeout`` (deadline miss) alert so
+the flight recorder can trip.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.comm.cost import CostModel
+from repro.federated.aggregation import weighted_average_state
+from repro.federated.history import RoundMetrics, RunHistory
+from repro.federated.sampler import ClientSampler
+from repro.net.protocol import MsgType
+from repro.net.retry import Deadline
+from repro.net.transport import TcpTransport, WorkerLink
+
+__all__ = ["ServerResult", "FedTcpServer", "make_run_config"]
+
+
+def make_run_config(
+    spec_dict: dict,
+    trainer: dict | None = None,
+    local_epochs: int = 1,
+    share_all_weights: bool = False,
+    heartbeat_s: float = 0.5,
+    algorithm: str = "fedclassavg",
+) -> dict:
+    """The CONFIG payload a worker needs to reconstruct its clients.
+
+    ``spec_dict`` is ``dataclasses.asdict(FederationSpec)``; ``trainer``
+    holds :class:`repro.federated.trainer.LocalUpdateConfig` kwargs.
+    Everything must be JSON-serializable — it crosses the wire.
+    """
+    return {
+        "algorithm": algorithm,
+        "spec": dict(spec_dict),
+        "trainer": dict(trainer or {}),
+        "local_epochs": int(local_epochs),
+        "share_all_weights": bool(share_all_weights),
+        "heartbeat_s": float(heartbeat_s),
+    }
+
+
+class ServerResult:
+    """Outcome of a TCP run: history + ledger + final global classifier."""
+
+    def __init__(
+        self,
+        history: RunHistory,
+        cost: CostModel,
+        global_state: dict[str, np.ndarray],
+        round_log: list[dict],
+        lost_clients: list[dict] | None = None,
+    ):
+        self.history = history
+        self.cost = cost
+        self.global_state = global_state
+        #: per-round dicts: sampled / survivors / losses / lost / timed_out
+        self.round_log = round_log
+        #: every client whose worker died: {round, client, reason}
+        self.lost_clients = list(lost_clients or [])
+
+
+class FedTcpServer:
+    """Server-side FedClassAvg round loop over a :class:`TcpTransport`.
+
+    Mirrors :meth:`repro.federated.base.FederatedAlgorithm.run`'s
+    bookkeeping (health-monitor round lifecycle, per-round telemetry
+    records, :class:`RunHistory` rows) so a TCP run's telemetry file is
+    directly comparable — ``repro diff simrun.jsonl tcprun.jsonl`` —
+    with an in-process run's.
+    """
+
+    name = "fedclassavg"
+
+    def __init__(
+        self,
+        num_clients: int,
+        rounds: int,
+        run_config: dict,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        eval_every: int = 1,
+        local_epochs: int = 1,
+        join_timeout_s: float = 60.0,
+        round_timeout_s: float = 60.0,
+        liveness_timeout_s: float = 15.0,
+        cost_model: CostModel | None = None,
+        verbose: bool = False,
+    ):
+        self.num_clients = num_clients
+        self.rounds = rounds
+        self.sampler = ClientSampler(num_clients, sample_rate, seed=seed)
+        self.eval_every = eval_every
+        self.local_epochs = local_epochs
+        self.join_timeout_s = join_timeout_s
+        self.round_timeout_s = round_timeout_s
+        self.verbose = verbose
+        self.transport = TcpTransport(
+            num_clients,
+            config=run_config,
+            host=host,
+            port=port,
+            cost_model=cost_model,
+            liveness_timeout_s=liveness_timeout_s,
+            on_worker_lost=self._on_worker_lost,
+        )
+        self.global_state: dict[str, np.ndarray] | None = None
+        self.data_sizes: dict[int, int] = {}
+        self.lost_clients: list[dict] = []
+        self._current_round = -1
+
+    # -- lifecycle ------------------------------------------------------
+    def listen(self) -> tuple[str, int]:
+        """Bind the transport; returns (host, port) workers should dial."""
+        return self.transport.listen()
+
+    # -- failure reaction ----------------------------------------------
+    def _on_worker_lost(self, link: WorkerLink, reason: str) -> None:
+        """Reader-thread callback: a worker connection died for good."""
+        monitor = telemetry.get_telemetry().health
+        for k in link.client_ids:
+            self.lost_clients.append(
+                {"round": self._current_round, "client": k, "reason": reason}
+            )
+            telemetry.counter("net.clients_lost").inc()
+            if monitor is not None:
+                monitor.emit_alert(
+                    "client_lost",
+                    f"client {k}'s worker ({link.addr}) died mid-run: {reason}",
+                    client=k,
+                    severity="critical",
+                    round_idx=self._current_round,
+                    reason=reason,
+                )
+
+    # -- the run ---------------------------------------------------------
+    def run(self) -> ServerResult:
+        """Join workers, init the global classifier, run every round."""
+        if self.transport.port == 0 or self.transport._listener is None:
+            self.listen()
+        try:
+            return self._run_rounds()
+        finally:
+            self.transport.close()
+
+    def _run_rounds(self) -> ServerResult:
+        tp = self.transport
+        tp.wait_for_workers(self.join_timeout_s)
+        self._init_global_state()
+        tel = telemetry.get_telemetry()
+        monitor = tel.health
+        cost = tp.cost
+        history = RunHistory(self.name)
+        round_log: list[dict] = []
+        last_accs: list[float] = [0.0] * self.num_clients
+        ever_evaluated = False
+
+        for t in range(self.rounds):
+            if not tp.live_links():
+                print(f"[net] all workers lost — stopping after round {t - 1}")
+                break
+            self._current_round = t
+            sampled = self.sampler.sample(t)
+            evaluated = (t + 1) % self.eval_every == 0 or t == self.rounds - 1
+            if monitor is not None:
+                monitor.begin_round(t, sampled)
+            if tel.enabled:
+                tel.current_round = t
+                up0, down0 = cost.uplink_bytes(), cost.downlink_bytes()
+                comm0 = cost.total_time_s
+                wall0 = time.perf_counter()
+
+            with tel.context(round=t, algorithm=self.name):
+                with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
+                    updates, compute_s = self._one_round(t, sampled, evaluated)
+            survivors = sorted(updates)
+
+            # deadline misses by still-live workers: the FaultInjector's
+            # "upload never arrived" case without a death
+            timed_out = [
+                k for k in sampled if k not in updates and tp.client_is_live(k)
+            ]
+            for k in timed_out:
+                if monitor is not None:
+                    monitor.emit_alert(
+                        "client_timeout",
+                        f"client {k} missed the round-{t} deadline "
+                        f"({self.round_timeout_s:.1f}s); aggregating without it",
+                        client=k,
+                        severity="warning",
+                        round_idx=t,
+                    )
+
+            if survivors:
+                states = [updates[k][1] for k in survivors]
+                weights = [self.data_sizes[k] for k in survivors]
+                self.global_state = weighted_average_state(states, weights)
+            losses = {k: updates[k][0].get("loss") for k in survivors}
+            survivor_losses = [v for v in losses.values() if v is not None]
+            train_loss = float(np.mean(survivor_losses)) if survivor_losses else 0.0
+
+            if evaluated:
+                accs_map = tp.collect_evals(t, Deadline(self.round_timeout_s))
+                for k, acc in accs_map.items():
+                    last_accs[k] = acc
+                ever_evaluated = True
+            accs = list(last_accs) if ever_evaluated else []
+
+            round_bytes = cost.end_round(participants=len(sampled))
+            if tel.enabled:
+                tel.record_round(
+                    round=t,
+                    algorithm=self.name,
+                    wall_s=time.perf_counter() - wall0,
+                    compute_s=compute_s,
+                    comm_s=cost.total_time_s - comm0,
+                    bytes=round_bytes,
+                    bytes_up=cost.uplink_bytes() - up0,
+                    bytes_down=cost.downlink_bytes() - down0,
+                    participants=len(sampled),
+                    survivors=len(survivors),
+                    train_loss=train_loss,
+                    evaluated=evaluated,
+                    mean_acc=float(np.mean(accs)) if accs else None,
+                )
+            if monitor is not None:
+                monitor.end_round(t, survivors=survivors, accs=accs if evaluated else None)
+            history.append(
+                RoundMetrics(
+                    round_idx=t,
+                    client_accs=accs,
+                    comm_bytes=round_bytes,
+                    local_epochs=self.local_epochs,
+                    train_loss=train_loss,
+                    evaluated=evaluated,
+                )
+            )
+            round_log.append(
+                {
+                    "round": t,
+                    "sampled": sampled,
+                    "survivors": survivors,
+                    "timed_out": timed_out,
+                    "losses": losses,
+                    "bytes": round_bytes,
+                }
+            )
+            if self.verbose:
+                m = history.rounds[-1]
+                print(
+                    f"[net] round {t + 1}/{self.rounds} "
+                    f"acc={m.mean_acc:.4f} survivors={len(survivors)}/{len(sampled)} "
+                    f"bytes={round_bytes}"
+                )
+
+        assert self.global_state is not None
+        return ServerResult(history, cost, self.global_state, round_log, self.lost_clients)
+
+    # -- round internals -------------------------------------------------
+    def _init_global_state(self) -> None:
+        """t=0 init: weighted average of every client's initial classifier.
+
+        Workers report each owned client's initial classifier (and
+        ``|D_k|``) as a round ``-1`` CLIENT_UPDATE right after CONFIG;
+        aggregating them in client-id order reproduces
+        ``FedClassAvg.setup()`` bit-for-bit.
+        """
+        everyone = list(range(self.num_clients))
+        got = self.transport.collect_updates(-1, everyone, Deadline(self.join_timeout_s))
+        missing = sorted(set(everyone) - set(got))
+        if missing:
+            raise TimeoutError(
+                f"clients {missing} never reported their initial classifier"
+            )
+        for k, (meta, _state) in got.items():
+            self.data_sizes[k] = int(meta["data_size"])
+        states = [got[k][1] for k in everyone]
+        weights = [self.data_sizes[k] for k in everyone]
+        self.global_state = weighted_average_state(states, weights)
+
+    def _one_round(
+        self, t: int, sampled: list[int], evaluated: bool
+    ) -> tuple[dict[int, tuple[dict, dict]], float]:
+        """Broadcast, then gather this round's updates; returns (updates, compute_s)."""
+        assert self.global_state is not None
+        tp = self.transport
+        tp.broadcast_control(
+            MsgType.ROUND_START,
+            {"round": t, "sampled": sampled, "evaluated": evaluated},
+        )
+        for k in sampled:
+            try:
+                tp.send_to_client(k, MsgType.CLASSIFIER, {"round": t}, self.global_state)
+            except ConnectionError:
+                continue  # worker died; loss already recorded via on_worker_lost
+        updates = tp.collect_updates(t, sampled, Deadline(self.round_timeout_s))
+        monitor = telemetry.get_telemetry().health
+        compute_s = 0.0
+        for k, (meta, _state) in sorted(updates.items()):
+            compute_s += float(meta.get("duration_s") or 0.0)
+            if monitor is not None:
+                monitor.observe_client(
+                    k,
+                    loss=meta.get("loss"),
+                    duration_s=meta.get("duration_s"),
+                    batches=meta.get("batches"),
+                )
+        return updates, compute_s

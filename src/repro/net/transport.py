@@ -1,0 +1,537 @@
+"""Transport interface + TCP server-side transport.
+
+Three layers live here:
+
+* :class:`Transport` — the structural interface the federated round
+  loops are written against.  Rank 0 is the server and client ``k`` is
+  rank ``k + 1``, exactly the MPI convention :class:`repro.comm.SimComm`
+  established; ``SimComm`` satisfies this protocol unchanged, and
+  :class:`TcpTransport` satisfies it over real sockets, which is what
+  makes the SimComm ↔ TCP equivalence guarantee a typed statement
+  rather than a comment.
+* :class:`Connection` — one framed, thread-safe, byte-counted socket
+  (used by both the server's per-worker links and the worker's single
+  link back to the server).  Every frame is measured as it crosses the
+  wire and fed to telemetry (``net.bytes_tx`` / ``net.bytes_rx``).
+* :class:`TcpTransport` — the server side: accept loop, per-connection
+  reader threads, worker registry keyed by owned client ids,
+  heartbeat-based liveness, and deadline-bounded collection of client
+  updates **ordered by client id** so aggregation stays deterministic.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro import telemetry
+from repro.comm.cost import CostModel
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    Message,
+    MsgType,
+    ProtocolError,
+    Truncated,
+    recv_message,
+    send_message,
+)
+from repro.net.retry import Deadline
+
+__all__ = ["Transport", "Connection", "WorkerLink", "TcpTransport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a federated round loop may assume about its communicator.
+
+    ``size`` counts ranks (server + clients); ``cost`` is the shared
+    byte/time ledger every transfer is recorded on.  The four message
+    operations follow mpi4py semantics: lowercase object send/recv plus
+    root-based ``bcast`` / ``gather``.  Both the in-process
+    :class:`repro.comm.SimComm` and the socket-backed
+    :class:`TcpTransport` satisfy this protocol (checkable via
+    ``isinstance`` — the protocol is runtime-checkable).
+    """
+
+    size: int
+    cost: CostModel
+
+    def send(self, obj, src: int, dst: int, tag: int = 0) -> None: ...
+
+    def recv(self, dst: int, src: int | None = None, tag: int | None = None): ...
+
+    def bcast(self, obj, root: int = 0, ranks: list[int] | None = None): ...
+
+    def gather(self, objs: dict[int, object], root: int = 0) -> list: ...
+
+
+class Connection:
+    """One framed protocol connection over a TCP socket.
+
+    Sends are serialized by a lock (the worker's heartbeat thread and
+    main loop share the socket); receives are owned by a single reader.
+    Frame byte counts accumulate locally and on the global telemetry
+    counters, and every operation runs inside a ``net.send`` /
+    ``net.recv`` span so cross-process timelines line up in
+    ``repro trace``.
+    """
+
+    def __init__(self, sock: socket.socket, max_frame: int = MAX_FRAME_BYTES):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = sock
+        self.max_frame = max_frame
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, msg: Message) -> int:
+        """Send one frame; returns its byte count."""
+        with self._send_lock:
+            with telemetry.span("net.send", type=msg.type.name):
+                n = send_message(self.sock, msg, self.max_frame)
+        self.bytes_tx += n
+        telemetry.counter("net.bytes_tx").inc(n)
+        return n
+
+    def recv(self, timeout: float | None = None) -> tuple[Message, int]:
+        """Receive one frame (blocking up to ``timeout``); returns (msg, bytes).
+
+        ``socket.timeout`` propagates — the caller owns retry policy.
+        """
+        self.sock.settimeout(timeout)
+        with telemetry.span("net.recv"):
+            msg, n = recv_message(self.sock, self.max_frame)
+        self.bytes_rx += n
+        telemetry.counter("net.bytes_rx").inc(n)
+        return msg, n
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class WorkerLink:
+    """Server-side registry entry for one connected worker process."""
+
+    def __init__(self, conn: Connection, addr):
+        self.conn = conn
+        self.addr = addr
+        self.client_ids: list[int] = []
+        self.alive = True
+        self.said_bye = False
+        self.last_seen = time.monotonic()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"WorkerLink({self.addr}, clients={self.client_ids}, {state})"
+
+
+class TcpTransport:
+    """Server side of the TCP runtime: registry, liveness, ordered gather.
+
+    Satisfies :class:`Transport` (rank 0 = this server, rank ``k + 1`` =
+    client ``k``), and adds the deadline/liveness-aware operations the
+    real round loop needs (:meth:`collect_updates`,
+    :meth:`collect_evals`) that an in-process simulation never would.
+
+    ``config`` is the run configuration sent to each worker in the
+    CONFIG reply to its HELLO — the worker builds its data partition and
+    models from it, so multi-host deployment needs nothing but the
+    server address.  ``on_worker_lost(link)`` fires (from the reader
+    thread that noticed) exactly once per worker death.
+    """
+
+    server_rank = 0
+
+    def __init__(
+        self,
+        num_clients: int,
+        config: dict | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cost_model: CostModel | None = None,
+        max_frame: int = MAX_FRAME_BYTES,
+        liveness_timeout_s: float = 15.0,
+        on_worker_lost=None,
+    ):
+        if num_clients < 1:
+            raise ValueError("transport needs at least one client")
+        self.num_clients = num_clients
+        self.size = num_clients + 1
+        self.cost = cost_model or CostModel()
+        self.config = dict(config or {})
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.liveness_timeout_s = liveness_timeout_s
+        self.on_worker_lost = on_worker_lost
+        self._listener: socket.socket | None = None
+        self._lock = threading.Lock()
+        self._registered = threading.Condition(self._lock)
+        self._links: list[WorkerLink] = []
+        self._owner: dict[int, WorkerLink] = {}  # client id → live link
+        self._updates: queue.Queue = queue.Queue()  # (client_id, meta, state)
+        self._evals: queue.Queue = queue.Queue()  # (link, meta)
+        self._threads: list[threading.Thread] = []
+        self._closing = False
+
+    # -- rank helpers ---------------------------------------------------
+    def rank_of(self, client_id: int) -> int:
+        return client_id + 1
+
+    def client_of(self, rank: int) -> int:
+        return rank - 1
+
+    # -- lifecycle ------------------------------------------------------
+    def listen(self) -> tuple[str, int]:
+        """Bind + listen; returns the bound (host, port). Accepts in a thread."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.num_clients + 8)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        t = threading.Thread(target=self._accept_loop, name="net-accept", daemon=True)
+        t.start()
+        self._threads.append(t)
+        return self.host, self.port
+
+    def wait_for_workers(self, timeout_s: float = 60.0) -> None:
+        """Block until every client id has a registered live owner."""
+        deadline = Deadline(timeout_s)
+        with self._registered:
+            while len(self._owner) < self.num_clients:
+                if not self._registered.wait(timeout=min(0.25, deadline.remaining() + 1e-3)):
+                    if deadline.expired:
+                        missing = sorted(set(range(self.num_clients)) - set(self._owner))
+                        raise TimeoutError(
+                            f"workers for clients {missing} never joined "
+                            f"within {timeout_s:.1f}s"
+                        )
+
+    def close(self) -> None:
+        """Send BYE to live workers, close every socket, stop all threads."""
+        self._closing = True
+        for link in list(self._links):
+            if link.alive:
+                try:
+                    link.conn.send(Message(MsgType.BYE))
+                except OSError:
+                    pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for link in list(self._links):
+            link.conn.close()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    # -- registry -------------------------------------------------------
+    @property
+    def links(self) -> list[WorkerLink]:
+        with self._lock:
+            return list(self._links)
+
+    def live_links(self) -> list[WorkerLink]:
+        with self._lock:
+            return [l for l in self._links if l.alive]
+
+    def owner_of(self, client_id: int) -> WorkerLink | None:
+        with self._lock:
+            return self._owner.get(client_id)
+
+    def client_is_live(self, client_id: int) -> bool:
+        link = self.owner_of(client_id)
+        return link is not None and link.alive
+
+    # -- sending --------------------------------------------------------
+    def send_to_client(
+        self, client_id: int, msg_type: MsgType, meta: dict | None = None, state=None
+    ) -> int:
+        """Send one message addressed to ``client_id``'s owning worker.
+
+        The transfer is recorded on the cost ledger as
+        (server rank → client rank) with the frame's actual socket size.
+        """
+        link = self.owner_of(client_id)
+        if link is None or not link.alive:
+            raise ConnectionError(f"client {client_id} has no live worker")
+        meta = dict(meta or {})
+        meta.setdefault("client", client_id)
+        try:
+            n = link.conn.send(Message(msg_type, meta, state))
+        except OSError as exc:
+            self._mark_dead(link, f"send failed: {exc}")
+            raise ConnectionError(f"worker for client {client_id} is gone") from exc
+        self.cost.record(self.server_rank, self.rank_of(client_id), n)
+        return n
+
+    def broadcast_control(self, msg_type: MsgType, meta: dict | None = None) -> None:
+        """Send a control message to every live worker (one frame each).
+
+        Control frames are accounted against the worker's lowest-id
+        client rank — they are per-worker, not per-client, traffic.
+        """
+        for link in self.live_links():
+            try:
+                n = link.conn.send(Message(msg_type, dict(meta or {})))
+            except OSError as exc:
+                self._mark_dead(link, f"send failed: {exc}")
+                continue
+            if link.client_ids:
+                self.cost.record(self.server_rank, self.rank_of(min(link.client_ids)), n)
+
+    # -- Transport protocol surface ------------------------------------
+    def send(self, obj, src: int, dst: int, tag: int = 0) -> None:
+        """Rank-addressed state-dict send (Transport-interface parity).
+
+        ``src`` must be the server rank — a TCP server cannot forge
+        client-to-client traffic the way an in-process mailbox can.
+        """
+        if src != self.server_rank:
+            raise ValueError("TcpTransport can only send from the server rank")
+        self.send_to_client(self.client_of(dst), MsgType.CLASSIFIER, {"tag": tag}, obj)
+
+    def recv(self, dst: int, src: int | None = None, tag: int | None = None):
+        """Pop the next matching CLIENT_UPDATE state (Transport parity).
+
+        Raises ``LookupError`` when nothing matching is queued, mirroring
+        ``SimComm.recv``'s non-blocking contract.
+        """
+        if dst != self.server_rank:
+            raise ValueError("TcpTransport can only receive at the server rank")
+        stash = []
+        try:
+            while True:
+                try:
+                    client_id, meta, state = self._updates.get_nowait()
+                except queue.Empty:
+                    raise LookupError(
+                        f"no queued update for rank {dst} from {src} tag {tag}"
+                    ) from None
+                if (src is None or self.rank_of(client_id) == src) and (
+                    tag is None or meta.get("tag", 0) == tag
+                ):
+                    return state
+                stash.append((client_id, meta, state))
+        finally:
+            for item in stash:
+                self._updates.put(item)
+
+    def bcast(self, obj, root: int = 0, ranks: list[int] | None = None):
+        """Broadcast a state dict to ``ranks`` (default: every client)."""
+        if root != self.server_rank:
+            raise ValueError("TcpTransport broadcasts originate at the server rank")
+        targets = ranks if ranks is not None else list(range(1, self.size))
+        bytes0 = self.cost.total_bytes
+        with telemetry.span("broadcast", root=root, targets=len(targets)) as sp:
+            for dst in targets:
+                if dst != root:
+                    self.send(obj, root, dst)
+            sp.set(nbytes=self.cost.total_bytes - bytes0)
+        return [obj for dst in targets if dst != root]
+
+    def gather(self, objs: dict[int, object], root: int = 0) -> list:
+        """Gather one update per rank in ``objs`` (ordered by rank).
+
+        The in-process ``SimComm.gather`` takes the payloads because the
+        caller *is* every rank at once; here the payloads already sit in
+        flight from real workers, so only the rank set matters.  Blocks
+        up to the liveness timeout.
+        """
+        if root != self.server_rank:
+            raise ValueError("TcpTransport gathers at the server rank")
+        expected = sorted(self.client_of(r) for r in objs)
+        got = self.collect_updates(None, expected, Deadline(self.liveness_timeout_s))
+        return [got[k][1] for k in sorted(got)]
+
+    # -- collection (the real round loop's receive path) ----------------
+    def collect_updates(
+        self, round_idx: int | None, expected: list[int], deadline: Deadline
+    ) -> dict[int, tuple[dict, dict]]:
+        """Collect CLIENT_UPDATEs for ``expected`` clients until done/dead/late.
+
+        Returns ``{client_id: (meta, state)}`` containing every update
+        that arrived from ``expected`` for ``round_idx`` (``None``
+        matches any round) before (a) all live expected clients
+        reported, or (b) the deadline expired, or (c) every missing
+        client's worker died.  Updates for other rounds are discarded as
+        stale (``net.stale_drops``); a deadline expiry bumps
+        ``net.timeouts``.  Iteration never blocks past the deadline, so
+        a dead-and-silent worker costs at most ``deadline.seconds``.
+        """
+        got: dict[int, tuple[dict, dict]] = {}
+        expected_set = set(expected)
+
+        def take(client_id: int, meta: dict, state: dict) -> None:
+            if (
+                (round_idx is not None and meta.get("round") != round_idx)
+                or client_id not in expected_set
+                or client_id in got
+            ):
+                telemetry.counter("net.stale_drops").inc()
+            else:
+                got[client_id] = (meta, state)
+
+        with telemetry.span(
+            "net.round_barrier", round=round_idx, expected=len(expected_set)
+        ):
+            while True:
+                # drain everything already queued before judging liveness —
+                # an update uploaded moments before its worker died counts
+                while True:
+                    try:
+                        take(*self._updates.get_nowait())
+                    except queue.Empty:
+                        break
+                self._reap_stale_links()
+                missing_live = [
+                    k for k in expected_set if k not in got and self.client_is_live(k)
+                ]
+                if not missing_live:
+                    break
+                if deadline.expired:
+                    telemetry.counter("net.timeouts").inc()
+                    break
+                try:
+                    take(
+                        *self._updates.get(
+                            timeout=min(0.05, max(deadline.remaining(), 1e-3))
+                        )
+                    )
+                except queue.Empty:
+                    continue
+        return got
+
+    def collect_evals(self, round_idx: int, deadline: Deadline) -> dict[int, float]:
+        """Collect per-client accuracies from every live worker's EVAL."""
+        accs: dict[int, float] = {}
+        reported: set[int] = set()
+        while True:
+            self._reap_stale_links()
+            waiting = [
+                l for l in self.live_links() if l.client_ids and id(l) not in reported
+            ]
+            if not waiting or deadline.expired:
+                break
+            try:
+                link, meta = self._evals.get(
+                    timeout=min(0.05, max(deadline.remaining(), 1e-3))
+                )
+            except queue.Empty:
+                continue
+            if meta.get("round") != round_idx:
+                telemetry.counter("net.stale_drops").inc()
+                continue
+            reported.add(id(link))
+            for k, acc in meta.get("accs", {}).items():
+                accs[int(k)] = float(acc)
+        return accs
+
+    # -- internals ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            link = WorkerLink(Connection(sock, self.max_frame), addr)
+            t = threading.Thread(
+                target=self._reader_loop, args=(link,), name=f"net-reader-{addr}", daemon=True
+            )
+            with self._lock:
+                self._links.append(link)
+                self._threads.append(t)
+            t.start()
+
+    def _register(self, link: WorkerLink, client_ids: list[int]) -> None:
+        ids = sorted(int(k) for k in client_ids)
+        if not ids:
+            raise ProtocolError("HELLO carried no client ids")
+        for k in ids:
+            if not 0 <= k < self.num_clients:
+                raise ProtocolError(f"client id {k} out of range [0, {self.num_clients})")
+        with self._registered:
+            for k in ids:
+                current = self._owner.get(k)
+                if current is not None and current.alive:
+                    raise ProtocolError(f"client {k} already owned by a live worker")
+            link.client_ids = ids
+            for k in ids:
+                self._owner[k] = link
+            self._registered.notify_all()
+
+    def _mark_dead(self, link: WorkerLink, reason: str) -> None:
+        with self._lock:
+            if not link.alive:
+                return
+            link.alive = False
+        link.conn.close()
+        telemetry.counter("net.workers_lost").inc()
+        if not link.said_bye and not self._closing and self.on_worker_lost is not None:
+            self.on_worker_lost(link, reason)
+
+    def _reap_stale_links(self) -> None:
+        """Declare workers dead when their heartbeat has gone silent."""
+        now = time.monotonic()
+        for link in self.live_links():
+            if link.client_ids and now - link.last_seen > self.liveness_timeout_s:
+                self._mark_dead(
+                    link, f"no frames for {now - link.last_seen:.1f}s (liveness timeout)"
+                )
+
+    def _reader_loop(self, link: WorkerLink) -> None:
+        try:
+            while link.alive and not self._closing:
+                try:
+                    msg, n = link.conn.recv(timeout=1.0)
+                except TimeoutError:
+                    continue  # socket.timeout — just re-check liveness/closing
+                link.last_seen = time.monotonic()
+                if msg.type == MsgType.HELLO:
+                    self._register(link, msg.meta.get("client_ids", []))
+                    link.conn.send(Message(MsgType.CONFIG, self.config))
+                elif msg.type == MsgType.CLIENT_UPDATE:
+                    # per-client traffic: attribute to the reporting client's rank
+                    client_id = int(msg.meta["client"])
+                    self.cost.record(self.rank_of(client_id), self.server_rank, n)
+                    self._updates.put((client_id, msg.meta, msg.state or {}))
+                elif msg.type == MsgType.EVAL:
+                    # per-worker traffic: attribute to the lowest owned rank
+                    if link.client_ids:
+                        self.cost.record(self.rank_of(min(link.client_ids)), self.server_rank, n)
+                    self._evals.put((link, msg.meta))
+                elif msg.type == MsgType.HEARTBEAT:
+                    if link.client_ids:
+                        self.cost.record(self.rank_of(min(link.client_ids)), self.server_rank, n)
+                elif msg.type == MsgType.BYE:
+                    link.said_bye = True
+                    self._mark_dead(link, "worker said BYE")
+                    return
+                else:
+                    raise ProtocolError(f"unexpected {msg.type.name} from worker")
+        except (ConnectionClosed, Truncated, ProtocolError, OSError) as exc:
+            if not self._closing:
+                try:
+                    link.conn.send(
+                        Message(MsgType.ERROR, {"message": f"dropping connection: {exc}"})
+                    )
+                except OSError:
+                    pass
+            self._mark_dead(link, str(exc))

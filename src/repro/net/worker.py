@@ -1,0 +1,226 @@
+"""Worker process: owns its clients' models + data, runs real local updates.
+
+A worker dials the server (with jittered-backoff retries — it may start
+before the server's ``listen``), introduces itself with HELLO, and
+receives the full run configuration in CONFIG.  From that it rebuilds
+*only its own* clients via :func:`repro.federated.setup.build_federation`
+— every per-client random stream is keyed by ``(seed, client_id)``, so
+the clients it constructs are bit-identical to the ones an in-process
+run would hold — then reports each client's initial classifier and
+``|D_k|`` and enters the round loop:
+
+ROUND_START tells it which clients were sampled this round; each
+CLASSIFIER frame carries the global classifier for one owned client, and
+the worker loads it, runs the production
+:func:`repro.federated.trainer.local_update`, and replies with a
+CLIENT_UPDATE.  On evaluation rounds it evaluates **all** owned clients
+(after training, matching ``evaluate_all``'s timing in the simulated
+loop) and reports accuracies in one EVAL frame.  A daemon heartbeat
+thread keeps frames flowing while the main thread grinds through local
+epochs, so the server can tell slow from dead.
+
+``die_at_round`` / ``stall_at_round`` are deliberate failure hooks used
+by the fault-path tests and chaos runs: SIGKILL yourself mid-round, or
+go silent past the server's round deadline while staying alive.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import time
+
+import numpy as np
+
+from repro.federated.setup import FederationSpec, build_federation
+from repro.federated.trainer import LocalUpdateConfig, local_update
+from repro.net.protocol import ConnectionClosed, Message, MsgType
+from repro.net.retry import Heartbeat, RetryPolicy, call_with_retries
+from repro.net.transport import Connection
+
+__all__ = ["WorkerOptions", "connect_to_server", "run_worker"]
+
+
+class WorkerOptions:
+    """Knobs for one worker process (failure hooks included)."""
+
+    def __init__(
+        self,
+        connect_policy: RetryPolicy | None = None,
+        idle_timeout_s: float = 120.0,
+        die_at_round: int | None = None,
+        stall_at_round: int | None = None,
+        stall_s: float = 0.0,
+        verbose: bool = False,
+    ):
+        #: how long/hard to retry the initial TCP connect
+        self.connect_policy = connect_policy or RetryPolicy(
+            attempts=20, base_delay_s=0.05, max_delay_s=1.0, timeout_s=5.0
+        )
+        #: max quiet time on the socket before the worker gives up
+        self.idle_timeout_s = idle_timeout_s
+        #: SIGKILL yourself upon receiving this round's first CLASSIFIER
+        self.die_at_round = die_at_round
+        #: sleep ``stall_s`` before replying to this round (stay alive)
+        self.stall_at_round = stall_at_round
+        self.stall_s = stall_s
+        self.verbose = verbose
+
+
+def connect_to_server(host: str, port: int, policy: RetryPolicy) -> Connection:
+    """Dial the server under the retry policy; returns a framed connection."""
+
+    def _dial() -> Connection:
+        sock = socket.create_connection((host, port), timeout=policy.timeout_s)
+        return Connection(sock)
+
+    return call_with_retries(
+        _dial, policy, retry_on=(OSError,), describe=f"connect to {host}:{port}"
+    )
+
+
+def _spec_from_wire(spec_dict: dict) -> FederationSpec:
+    """Rebuild a FederationSpec from its JSON round-trip.
+
+    JSON stringifies dict keys, so per-client ``model_overrides`` keyed
+    by int client id come back keyed by ``"3"`` — restore them.
+    """
+    spec_dict = dict(spec_dict)
+    overrides = spec_dict.get("model_overrides") or {}
+    spec_dict["model_overrides"] = {
+        (int(k) if isinstance(k, str) and k.lstrip("-").isdigit() else k): v
+        for k, v in overrides.items()
+    }
+    return FederationSpec(**spec_dict)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    client_ids: list[int],
+    options: WorkerOptions | None = None,
+) -> int:
+    """Run one worker to completion; returns a process exit code.
+
+    0 — clean BYE from the server; 1 — protocol/connection failure.
+    """
+    opts = options or WorkerOptions()
+    client_ids = sorted(int(k) for k in client_ids)
+    log = (lambda *a: print(f"[worker {client_ids}]", *a)) if opts.verbose else (lambda *a: None)
+
+    conn = connect_to_server(host, port, opts.connect_policy)
+    heartbeat: Heartbeat | None = None
+    try:
+        conn.send(Message(MsgType.HELLO, {"client_ids": client_ids}))
+        config, _ = conn.recv(timeout=opts.connect_policy.timeout_s)
+        if config.type == MsgType.ERROR:
+            raise ConnectionError(f"server rejected us: {config.meta.get('message')}")
+        if config.type != MsgType.CONFIG:
+            raise ConnectionError(f"expected CONFIG, got {config.type.name}")
+        cfg = config.meta
+        if cfg.get("algorithm") != "fedclassavg":
+            raise ConnectionError(f"unsupported algorithm {cfg.get('algorithm')!r}")
+
+        spec = _spec_from_wire(cfg["spec"])
+        trainer_cfg = LocalUpdateConfig(**cfg.get("trainer", {}))
+        local_epochs = int(cfg.get("local_epochs", 1))
+        share_all = bool(cfg.get("share_all_weights", False))
+        clients, _info = build_federation(spec, client_ids=client_ids)
+        by_id = {c.client_id: c for c in clients}
+        log(f"built {len(by_id)} client(s) from spec seed={spec.seed}")
+
+        def payload_of(client):
+            return client.model.state_dict() if share_all else client.model.classifier_state()
+
+        def load_payload(client, state):
+            if share_all:
+                client.model.load_state_dict(state)
+            else:
+                client.model.load_classifier_state(state)
+
+        # initial classifier report: the server's setup() input
+        for k in client_ids:
+            conn.send(
+                Message(
+                    MsgType.CLIENT_UPDATE,
+                    {"client": k, "round": -1, "data_size": by_id[k].data_size},
+                    payload_of(by_id[k]),
+                )
+            )
+
+        heartbeat = Heartbeat(
+            lambda: conn.send(Message(MsgType.HEARTBEAT)),
+            interval_s=float(cfg.get("heartbeat_s", 0.5)),
+        )
+        heartbeat.start()
+
+        round_meta: dict = {}
+        pending: set[int] = set()
+        while True:
+            try:
+                msg, _ = conn.recv(timeout=opts.idle_timeout_s)
+            except TimeoutError:
+                raise ConnectionError(
+                    f"server silent for {opts.idle_timeout_s:.0f}s — giving up"
+                ) from None
+            if msg.type == MsgType.BYE:
+                log("server said BYE")
+                return 0
+            if msg.type == MsgType.ERROR:
+                raise ConnectionError(f"server error: {msg.meta.get('message')}")
+            if msg.type == MsgType.ROUND_START:
+                round_meta = msg.meta
+                pending = set(round_meta.get("sampled", [])) & set(client_ids)
+                log(f"round {round_meta.get('round')}: {sorted(pending)} sampled here")
+                if not pending and round_meta.get("evaluated"):
+                    _send_eval(conn, by_id, round_meta)
+                continue
+            if msg.type == MsgType.CLASSIFIER:
+                t = int(msg.meta["round"])
+                k = int(msg.meta["client"])
+                client = by_id[k]
+                if opts.die_at_round is not None and t == opts.die_at_round:
+                    log(f"chaos hook: SIGKILLing self at round {t}")
+                    os.kill(os.getpid(), signal.SIGKILL)
+                assert msg.state is not None, "CLASSIFIER frame without a state dict"
+                load_payload(client, msg.state)
+                reference = {name: v.copy() for name, v in msg.state.items()}
+                t0 = time.perf_counter()
+                loss = local_update(client, local_epochs, trainer_cfg, reference)
+                duration = time.perf_counter() - t0
+                if opts.stall_at_round is not None and t == opts.stall_at_round:
+                    log(f"chaos hook: stalling {opts.stall_s:.1f}s at round {t}")
+                    time.sleep(opts.stall_s)
+                conn.send(
+                    Message(
+                        MsgType.CLIENT_UPDATE,
+                        {
+                            "client": k,
+                            "round": t,
+                            "data_size": client.data_size,
+                            "loss": loss,
+                            "duration_s": duration,
+                        },
+                        payload_of(client),
+                    )
+                )
+                pending.discard(k)
+                if not pending and round_meta.get("evaluated"):
+                    _send_eval(conn, by_id, round_meta)
+                continue
+            raise ConnectionError(f"unexpected {msg.type.name} from server")
+    except (ConnectionClosed, ConnectionError, OSError) as exc:
+        log(f"terminating: {exc}")
+        return 1
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        conn.close()
+
+
+def _send_eval(conn: Connection, by_id: dict, round_meta: dict) -> None:
+    """Evaluate every owned client and report one EVAL frame."""
+    accs = {k: float(c.evaluate()) for k, c in sorted(by_id.items())}
+    assert all(np.isfinite(list(accs.values()))), "non-finite accuracy"
+    conn.send(Message(MsgType.EVAL, {"round": round_meta.get("round"), "accs": accs}))

@@ -438,6 +438,41 @@ class HealthMonitor:
         self._emit_alerts(pending)
         return pending
 
+    def emit_alert(
+        self,
+        detector: str,
+        message: str,
+        client: int | None = None,
+        severity: str = "critical",
+        round_idx: int | None = None,
+        **extra,
+    ) -> Alert:
+        """Emit an alert originating outside the detector pipeline.
+
+        Infrastructure layers (e.g. the TCP runtime's liveness tracker)
+        observe failures the observation stream never carries — a worker
+        process dying mid-round arrives as a closed socket, not as a
+        field on an observation.  This records such an event as a
+        first-class alert: appended to :attr:`alerts`, streamed to the
+        sink, counted against the client, and fed to ``on_alert`` (so
+        the flight recorder can trip).  ``round_idx`` defaults to the
+        currently open round.
+        """
+        with self._lock:
+            alert: Alert = {
+                "type": "alert",
+                "round": self._round if round_idx is None else round_idx,
+                "client": client,
+                "detector": detector,
+                "severity": severity,
+                "message": message,
+                **extra,
+            }
+            if client is not None:
+                self._client(client).alert_count += 1
+        self._emit_alerts([alert])
+        return alert
+
     # -- summaries ------------------------------------------------------
     def client_ids(self) -> list[int]:
         with self._lock:

@@ -40,23 +40,70 @@ def state_dict_to_bytes(state: dict[str, np.ndarray]) -> bytes:
     return buf.getvalue()
 
 
+def _read_exact(buf: io.BytesIO, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes or raise a clear ``ValueError``.
+
+    ``BytesIO.read`` silently returns short on truncated input, which
+    would surface downstream as a confusing ``struct.error`` or a
+    silently short ``frombuffer`` — unacceptable for data arriving off a
+    socket, where truncation is a normal failure mode.
+    """
+    if n < 0:
+        raise ValueError(f"corrupt state dict: negative length for {what}")
+    data = buf.read(n)
+    if len(data) != n:
+        raise ValueError(
+            f"truncated state dict: expected {n} bytes for {what}, got {len(data)}"
+        )
+    return data
+
+
 def state_dict_from_bytes(blob: bytes) -> dict[str, np.ndarray]:
-    """Inverse of :func:`state_dict_to_bytes`."""
+    """Inverse of :func:`state_dict_to_bytes`.
+
+    Raises ``ValueError`` (never ``struct.error`` or a silent short
+    array) on truncated or corrupt input — every length field is
+    validated before use and the payload size is cross-checked against
+    ``dtype``/``shape`` so bit-flipped headers cannot smuggle in a
+    misshapen array.
+    """
     buf = io.BytesIO(blob)
-    if buf.read(4) != _MAGIC:
-        raise ValueError("not a serialized state dict")
-    (count,) = struct.unpack("<I", buf.read(4))
+    if _read_exact(buf, 4, "magic") != _MAGIC:
+        raise ValueError("not a serialized state dict (bad magic)")
+    (count,) = struct.unpack("<I", _read_exact(buf, 4, "entry count"))
     out: dict[str, np.ndarray] = {}
-    for _ in range(count):
-        (nlen,) = struct.unpack("<I", buf.read(4))
-        name = buf.read(nlen).decode()
-        (dlen,) = struct.unpack("<I", buf.read(4))
-        dtype = np.dtype(buf.read(dlen).decode())
-        (ndim,) = struct.unpack("<I", buf.read(4))
-        shape = struct.unpack(f"<{ndim}q", buf.read(8 * ndim)) if ndim else ()
-        (nbytes,) = struct.unpack("<Q", buf.read(8))
-        arr = np.frombuffer(buf.read(nbytes), dtype=dtype).reshape(shape).copy()
-        out[name] = arr
+    for i in range(count):
+        (nlen,) = struct.unpack("<I", _read_exact(buf, 4, f"entry {i} name length"))
+        try:
+            name = _read_exact(buf, nlen, f"entry {i} name").decode()
+        except UnicodeDecodeError as exc:
+            raise ValueError(f"corrupt state dict: entry {i} name is not UTF-8") from exc
+        (dlen,) = struct.unpack("<I", _read_exact(buf, 4, f"entry {i} dtype length"))
+        dtype_raw = _read_exact(buf, dlen, f"entry {i} dtype")
+        try:
+            dtype = np.dtype(dtype_raw.decode())
+        except (UnicodeDecodeError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt state dict: entry {i} has invalid dtype {dtype_raw!r}"
+            ) from exc
+        if dtype.hasobject:
+            raise ValueError(f"corrupt state dict: entry {i} has object dtype")
+        (ndim,) = struct.unpack("<I", _read_exact(buf, 4, f"entry {i} ndim"))
+        shape_raw = _read_exact(buf, 8 * ndim, f"entry {i} shape")
+        shape = struct.unpack(f"<{ndim}q", shape_raw) if ndim else ()
+        if any(d < 0 for d in shape):
+            raise ValueError(f"corrupt state dict: entry {i} has negative dimension")
+        (nbytes,) = struct.unpack("<Q", _read_exact(buf, 8, f"entry {i} payload size"))
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize  # prod(()) == 1
+        if nbytes != expected:
+            raise ValueError(
+                f"corrupt state dict: entry {i} payload is {nbytes} bytes but "
+                f"dtype {dtype.str} with shape {tuple(shape)} needs {expected}"
+            )
+        data = _read_exact(buf, nbytes, f"entry {i} payload")
+        out[name] = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+    if buf.read(1):
+        raise ValueError("corrupt state dict: trailing bytes after last entry")
     return out
 
 

@@ -123,3 +123,16 @@ class TestWireFormat:
     def test_payload_nbytes_pickle_fallback(self):
         assert payload_nbytes([1, 2, 3]) > 0
         assert payload_nbytes("text") > 0
+
+    def test_empty_dict_measured_as_wire_format(self):
+        """{} is a degenerate state dict: wire header, not a pickle."""
+        from repro.utils import state_dict_to_bytes
+
+        assert payload_nbytes({}) == len(state_dict_to_bytes({}))
+
+    def test_non_state_dict_mapping_still_pickled(self):
+        import pickle
+
+        # int keys / non-array values are not state dicts
+        obj = {1: [2, 3]}
+        assert payload_nbytes(obj) == len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))

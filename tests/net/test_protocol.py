@@ -1,0 +1,153 @@
+"""Wire protocol: framing round-trips and corrupt-input rejection."""
+
+import io
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import (
+    _HEADER,
+    MAGIC,
+    BadMagic,
+    ChecksumMismatch,
+    ConnectionClosed,
+    FrameTooLarge,
+    Message,
+    MsgType,
+    ProtocolError,
+    Truncated,
+    VersionMismatch,
+    decode_payload,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+
+
+def roundtrip(msg: Message, max_frame: int | None = None) -> Message:
+    frame = encode_message(msg) if max_frame is None else encode_message(msg, max_frame)
+    return read_frame(io.BytesIO(frame))
+
+
+class TestRoundtrip:
+    def test_meta_only(self):
+        back = roundtrip(Message(MsgType.ROUND_START, {"round": 3, "sampled": [0, 2]}))
+        assert back.type is MsgType.ROUND_START
+        assert back.meta == {"round": 3, "sampled": [0, 2]}
+        assert back.state is None
+
+    def test_with_state(self):
+        state = {
+            "w": np.random.default_rng(0).normal(size=(4, 3)),
+            "b": np.arange(3, dtype=np.int64),
+        }
+        back = roundtrip(Message(MsgType.CLIENT_UPDATE, {"client": 1}, state))
+        assert back.meta == {"client": 1}
+        assert set(back.state) == {"w", "b"}
+        assert np.array_equal(back.state["w"], state["w"])
+        assert back.state["w"].dtype == np.float64  # full precision crosses the wire
+
+    def test_empty_meta(self):
+        back = roundtrip(Message(MsgType.HEARTBEAT))
+        assert back.type is MsgType.HEARTBEAT
+        assert back.meta == {}
+
+    def test_every_msg_type(self):
+        for mtype in MsgType:
+            assert roundtrip(Message(mtype, {"t": int(mtype)})).type is mtype
+
+    def test_multiple_frames_in_stream(self):
+        buf = io.BytesIO()
+        write_frame(buf, Message(MsgType.HELLO, {"client_ids": [0]}))
+        write_frame(buf, Message(MsgType.BYE))
+        buf.seek(0)
+        assert read_frame(buf).type is MsgType.HELLO
+        assert read_frame(buf).type is MsgType.BYE
+
+
+class TestCorruptInput:
+    def frame(self, msg=None) -> bytearray:
+        return bytearray(encode_message(msg or Message(MsgType.CONFIG, {"a": 1})))
+
+    def test_bad_magic(self):
+        frame = self.frame()
+        frame[0:4] = b"EVIL"
+        with pytest.raises(BadMagic):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_version_mismatch(self):
+        frame = self.frame()
+        frame[4] = 99
+        with pytest.raises(VersionMismatch):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_payload_bit_flip_fails_crc(self):
+        frame = self.frame()
+        frame[-1] ^= 0x40
+        with pytest.raises(ChecksumMismatch):
+            read_frame(io.BytesIO(bytes(frame)))
+
+    def test_truncated_mid_payload(self):
+        frame = self.frame()
+        with pytest.raises(Truncated):
+            read_frame(io.BytesIO(bytes(frame[:-3])))
+
+    def test_truncated_mid_header(self):
+        frame = self.frame()
+        with pytest.raises(Truncated):
+            read_frame(io.BytesIO(bytes(frame[:5])))
+
+    def test_clean_eof_between_frames(self):
+        with pytest.raises(ConnectionClosed):
+            read_frame(io.BytesIO(b""))
+
+    def test_oversized_declared_length(self):
+        header = _HEADER.pack(MAGIC, 1, int(MsgType.CONFIG), 0, 2**31, 0)
+        with pytest.raises(FrameTooLarge):
+            read_frame(io.BytesIO(header))
+
+    def test_encode_rejects_oversized_payload(self):
+        big = {"w": np.zeros(4096, dtype=np.float64)}
+        with pytest.raises(FrameTooLarge):
+            encode_message(Message(MsgType.CLASSIFIER, {}, big), max_frame=1024)
+
+    def test_unknown_msg_type(self):
+        payload = struct.pack("<I", 2) + b"{}"
+        with pytest.raises(ProtocolError):
+            decode_payload(200, payload)
+
+    def test_meta_length_overrun(self):
+        payload = struct.pack("<I", 9999) + b"{}"
+        with pytest.raises(Truncated):
+            decode_payload(int(MsgType.CONFIG), payload)
+
+    def test_meta_must_be_object(self):
+        meta = b"[1,2]"
+        payload = struct.pack("<I", len(meta)) + meta
+        with pytest.raises(ProtocolError):
+            decode_payload(int(MsgType.CONFIG), payload)
+
+    def test_garbage_meta_json(self):
+        meta = b"{oops"
+        payload = struct.pack("<I", len(meta)) + meta
+        with pytest.raises(ProtocolError):
+            decode_payload(int(MsgType.CONFIG), payload)
+
+    def test_every_truncation_point_is_typed(self):
+        """Any prefix of a valid frame must raise a ProtocolError subclass
+        (or ConnectionClosed for the empty prefix) — never struct.error."""
+        frame = bytes(self.frame(Message(MsgType.CLASSIFIER, {"r": 1}, {"w": np.ones(3)})))
+        for cut in range(len(frame)):
+            with pytest.raises((ProtocolError, ConnectionClosed)):
+                read_frame(io.BytesIO(frame[:cut]))
+
+    def test_corrupt_state_blob_is_protocol_error(self):
+        """CRC-valid frame with a corrupt state blob → ValueError, not crash."""
+        meta = b"{}"
+        payload = struct.pack("<I", len(meta)) + meta + b"SDCT-junk-blob"
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        header = _HEADER.pack(MAGIC, 1, int(MsgType.CLIENT_UPDATE), 0, len(payload), crc)
+        with pytest.raises(ValueError):
+            read_frame(io.BytesIO(header + payload))

@@ -1,0 +1,142 @@
+"""Retry policies, backoff schedules, deadlines, heartbeats."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.net.retry import (
+    Deadline,
+    Heartbeat,
+    RetryPolicy,
+    backoff_delays,
+    call_with_retries,
+)
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        p = RetryPolicy()
+        assert p.attempts >= 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoff:
+    def test_count_is_attempts_minus_one(self):
+        p = RetryPolicy(attempts=5, jitter=0.0)
+        assert len(list(backoff_delays(p))) == 4
+
+    def test_exponential_and_capped(self):
+        p = RetryPolicy(
+            attempts=6, base_delay_s=0.1, multiplier=2.0, max_delay_s=0.4, jitter=0.0
+        )
+        assert list(backoff_delays(p)) == pytest.approx([0.1, 0.2, 0.4, 0.4, 0.4])
+
+    def test_jitter_stays_in_band(self):
+        p = RetryPolicy(attempts=50, base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        delays = list(backoff_delays(p, np.random.default_rng(0)))
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert len(set(delays)) > 1  # actually jittered
+
+
+class TestCallWithRetries:
+    def policy(self, attempts=3):
+        return RetryPolicy(attempts=attempts, base_delay_s=0.001, jitter=0.0)
+
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionRefusedError("not up yet")
+            return "ok"
+
+        assert call_with_retries(flaky, self.policy()) == "ok"
+        assert len(calls) == 3
+
+    def test_raises_connection_error_when_budget_spent(self):
+        def dead():
+            raise ConnectionRefusedError("nope")
+
+        with pytest.raises(ConnectionError, match="3 attempt"):
+            call_with_retries(dead, self.policy(3), describe="dial")
+
+    def test_chains_last_error(self):
+        def dead():
+            raise ConnectionResetError("boom")
+
+        with pytest.raises(ConnectionError) as info:
+            call_with_retries(dead, self.policy(2))
+        assert isinstance(info.value.__cause__, ConnectionResetError)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def typo():
+            calls.append(1)
+            raise KeyError("not an OSError")
+
+        with pytest.raises(KeyError):
+            call_with_retries(typo, self.policy())
+        assert len(calls) == 1
+
+    def test_on_retry_callback(self):
+        seen = []
+
+        def dead():
+            raise TimeoutError("slow")
+
+        with pytest.raises(ConnectionError):
+            call_with_retries(
+                dead, self.policy(3), on_retry=lambda a, e, d: seen.append((a, d))
+            )
+        assert [a for a, _ in seen] == [0, 1]
+
+
+class TestDeadline:
+    def test_counts_down(self):
+        d = Deadline(10.0)
+        assert 9.0 < d.remaining() <= 10.0
+        assert not d.expired
+
+    def test_expires_and_clamps(self):
+        d = Deadline(0.0)
+        assert d.expired
+        assert d.remaining() == 0.0
+
+
+class TestHeartbeat:
+    def test_beats_until_stopped(self):
+        beats = threading.Event()
+        hb = Heartbeat(beats.set, interval_s=0.01)
+        hb.start()
+        assert beats.wait(2.0)
+        hb.stop()
+        hb.join(2.0)
+        assert not hb.is_alive()
+
+    def test_beat_failure_stops_quietly(self):
+        def broken():
+            raise BrokenPipeError("socket gone")
+
+        hb = Heartbeat(broken, interval_s=0.01)
+        hb.start()
+        hb.join(2.0)
+        assert not hb.is_alive()
+
+    def test_stop_before_first_beat(self):
+        count = []
+        hb = Heartbeat(lambda: count.append(1), interval_s=5.0)
+        hb.start()
+        hb.stop()
+        hb.join(2.0)
+        assert count == [] and not hb.is_alive()

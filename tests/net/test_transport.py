@@ -1,0 +1,248 @@
+"""Transport interface + TcpTransport against scripted in-process workers."""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm import CostModel, SimComm
+from repro.net.protocol import Message, MsgType, recv_message, send_message
+from repro.net.retry import Deadline
+from repro.net.transport import Connection, TcpTransport, Transport
+
+
+class FakeWorker:
+    """A scripted worker: dials the transport and speaks raw protocol."""
+
+    def __init__(self, host: str, port: int, client_ids: list[int]):
+        sock = socket.create_connection((host, port), timeout=5.0)
+        sock.settimeout(5.0)
+        self.sock = sock
+        self.client_ids = client_ids
+
+    def hello(self) -> dict:
+        send_message(self.sock, Message(MsgType.HELLO, {"client_ids": self.client_ids}))
+        msg, _ = recv_message(self.sock)
+        assert msg.type is MsgType.CONFIG
+        return msg.meta
+
+    def send(self, msg: Message) -> int:
+        return send_message(self.sock, msg)
+
+    def recv(self) -> Message:
+        return recv_message(self.sock)[0]
+
+    def close(self):
+        self.sock.close()
+
+
+@pytest.fixture
+def transport():
+    tp = TcpTransport(2, config={"hello": "world"}, liveness_timeout_s=30.0)
+    tp.listen()
+    yield tp
+    tp.close()
+
+
+def joined_worker(tp: TcpTransport, ids: list[int]) -> FakeWorker:
+    w = FakeWorker(tp.host, tp.port, ids)
+    w.hello()
+    return w
+
+
+class TestTransportProtocol:
+    def test_simcomm_satisfies_interface(self):
+        assert isinstance(SimComm(3), Transport)
+
+    def test_tcp_transport_satisfies_interface(self):
+        assert isinstance(TcpTransport(2), Transport)
+
+    def test_rank_convention_matches_simcomm(self):
+        tp = TcpTransport(4)
+        assert tp.size == 5  # server + 4 clients
+        assert tp.rank_of(0) == 1 and tp.client_of(3) == 2
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            TcpTransport(0)
+
+
+class TestRegistration:
+    def test_hello_registers_and_returns_config(self, transport):
+        w = FakeWorker(transport.host, transport.port, [0, 1])
+        assert w.hello() == {"hello": "world"}
+        transport.wait_for_workers(5.0)
+        assert transport.client_is_live(0) and transport.client_is_live(1)
+        w.close()
+
+    def test_wait_times_out_when_nobody_joins(self, transport):
+        with pytest.raises(TimeoutError, match="never joined"):
+            transport.wait_for_workers(0.2)
+
+    def test_duplicate_ownership_drops_second_worker(self, transport):
+        w1 = joined_worker(transport, [0])
+        w2 = FakeWorker(transport.host, transport.port, [0])
+        w2.send(Message(MsgType.HELLO, {"client_ids": [0]}))
+        msg = w2.recv()  # server rejects with ERROR, then drops the link
+        assert msg.type is MsgType.ERROR
+        assert transport.client_is_live(0)
+        w1.close()
+        w2.close()
+
+    def test_out_of_range_client_id_rejected(self, transport):
+        w = FakeWorker(transport.host, transport.port, [7])
+        w.send(Message(MsgType.HELLO, {"client_ids": [7]}))
+        assert w.recv().type is MsgType.ERROR
+        w.close()
+
+
+class TestRoundTraffic:
+    def test_collect_updates_ordered_and_accounted(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        state = {"w": np.ones(4)}
+        for k in (1, 0):  # arrive out of order
+            w.send(
+                Message(MsgType.CLIENT_UPDATE, {"client": k, "round": 0, "loss": 1.0}, state)
+            )
+        got = transport.collect_updates(0, [0, 1], Deadline(5.0))
+        assert sorted(got) == [0, 1]
+        # uplink bytes attributed per client rank
+        assert transport.cost.per_link[(1, 0)] > 0
+        assert transport.cost.per_link[(2, 0)] > 0
+        w.close()
+
+    def test_stale_round_updates_dropped(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        w.send(Message(MsgType.CLIENT_UPDATE, {"client": 0, "round": 99}, {}))
+        w.send(Message(MsgType.CLIENT_UPDATE, {"client": 0, "round": 3}, {}))
+        w.send(Message(MsgType.CLIENT_UPDATE, {"client": 1, "round": 3}, {}))
+        got = transport.collect_updates(3, [0, 1], Deadline(5.0))
+        assert sorted(got) == [0, 1]
+        assert all(meta["round"] == 3 for meta, _ in got.values())
+        w.close()
+
+    def test_deadline_expiry_returns_partial(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        w.send(Message(MsgType.CLIENT_UPDATE, {"client": 0, "round": 0}, {}))
+        t0 = time.monotonic()
+        got = transport.collect_updates(0, [0, 1], Deadline(0.3))
+        assert sorted(got) == [0]
+        assert time.monotonic() - t0 < 5.0
+        w.close()
+
+    def test_send_to_client_downlink_accounting(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        n = transport.send_to_client(1, MsgType.CLASSIFIER, {"round": 0}, {"w": np.ones(3)})
+        msg = w.recv()
+        assert msg.type is MsgType.CLASSIFIER and msg.meta["client"] == 1
+        assert transport.cost.per_link[(0, 2)] == n
+        w.close()
+
+    def test_worker_death_ends_collection_early(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        w.send(Message(MsgType.CLIENT_UPDATE, {"client": 0, "round": 0}, {}))
+        time.sleep(0.1)
+        w.close()  # dies before client 1 reports
+        got = transport.collect_updates(0, [0, 1], Deadline(10.0))
+        assert sorted(got) == [0]  # returned early, not after 10 s
+
+    def test_bye_is_clean_not_lost(self, transport):
+        lost = []
+        transport.on_worker_lost = lambda link, reason: lost.append(link)
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        w.send(Message(MsgType.BYE))
+        for _ in range(100):
+            if not transport.live_links():
+                break
+            time.sleep(0.05)
+        assert not transport.live_links()
+        assert lost == []
+        w.close()
+
+    def test_abrupt_death_fires_on_worker_lost(self, transport):
+        lost = []
+        transport.on_worker_lost = lambda link, reason: lost.append(sorted(link.client_ids))
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        w.close()
+        for _ in range(100):
+            if lost:
+                break
+            time.sleep(0.05)
+        assert lost == [[0, 1]]
+
+
+class TestTransportParityOps:
+    def test_bcast_and_gather(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        state = {"w": np.arange(3.0)}
+
+        def echo():
+            for _ in range(2):
+                msg = w.recv()
+                assert msg.type is MsgType.CLASSIFIER
+                w.send(
+                    Message(
+                        MsgType.CLIENT_UPDATE,
+                        {"client": msg.meta["client"]},
+                        msg.state,
+                    )
+                )
+
+        t = threading.Thread(target=echo, daemon=True)
+        t.start()
+        transport.bcast(state, root=0)
+        out = transport.gather({1: None, 2: None}, root=0)
+        t.join(5.0)
+        assert len(out) == 2
+        assert all(np.array_equal(s["w"], state["w"]) for s in out)
+        w.close()
+
+    def test_send_rejects_non_server_src(self, transport):
+        with pytest.raises(ValueError):
+            transport.send({}, src=1, dst=2)
+
+    def test_recv_empty_raises_lookup_error(self, transport):
+        with pytest.raises(LookupError):
+            transport.recv(0)
+
+
+class TestConnection:
+    def test_byte_counters_match_frames(self, transport):
+        w = joined_worker(transport, [0, 1])
+        transport.wait_for_workers(5.0)
+        link = transport.owner_of(0)
+        rx0 = link.conn.bytes_rx
+        n = w.send(Message(MsgType.CLIENT_UPDATE, {"client": 0, "round": 0}, {"w": np.ones(2)}))
+        transport.collect_updates(0, [0], Deadline(5.0))
+        assert link.conn.bytes_rx - rx0 == n
+        assert isinstance(link.conn, Connection)
+        w.close()
+
+    def test_liveness_timeout_reaps_silent_worker(self):
+        tp = TcpTransport(1, liveness_timeout_s=0.3)
+        tp.listen()
+        try:
+            w = joined_worker(tp, [0])
+            tp.wait_for_workers(5.0)
+            # silent worker: no heartbeat, no updates — liveness must trip
+            got = tp.collect_updates(0, [0], Deadline(10.0))
+            assert got == {}
+            assert not tp.client_is_live(0)
+            w.close()
+        finally:
+            tp.close()
+
+    def test_cost_model_injection(self):
+        cost = CostModel()
+        tp = TcpTransport(1, cost_model=cost)
+        assert tp.cost is cost

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.telemetry",
     "repro.experiments",
+    "repro.net",
 ]
 
 
