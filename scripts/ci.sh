@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite + TCP loopback smoke + telemetry
-# overhead budget.
+# CI entry point: tier-1 test suite + TCP loopback smoke + seeded
+# chaos/crash-resume smokes + telemetry overhead budget.
 #
 #   scripts/ci.sh            # full run
 #   scripts/ci.sh --fast     # tier-1 tests only (skip smoke + bench)
@@ -35,6 +35,37 @@ if [[ "${1:-}" != "--fast" ]]; then
     [[ -z "$ORPHANS" ]] \
         || { echo "FAIL: orphaned worker processes: $ORPHANS"; exit 1; }
     echo "tcp == sim (bit-identical), no orphans"
+
+    echo "== chaos soak smoke (seeded) =="
+    # seeded protocol-level fault injection must change *nothing*: every
+    # fault is recovered via rejoin + cached-update resend, so the chaos
+    # run's global classifier is bit-identical to the clean run's
+    CHAOS='{"seed": 11, "disconnect_p": 0.15, "bitflip_p": 0.1, "delay_p": 0.1, "delay_s": 0.01}'
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 2 \
+        --save-global "$SMOKE_DIR/chaos.bin" --chaos "$CHAOS" > "$SMOKE_DIR/chaos.log"
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 2 \
+        --save-global "$SMOKE_DIR/clean3.bin" > "$SMOKE_DIR/clean3.log"
+    cmp "$SMOKE_DIR/chaos.bin" "$SMOKE_DIR/clean3.bin" \
+        || { echo "FAIL: chaos run's global classifier diverged from clean"; exit 1; }
+    echo "chaos == clean (bit-identical)"
+
+    echo "== crash/resume smoke (seeded) =="
+    # round 0 run writes a checkpoint; two --resume continuations must
+    # agree exactly (restored sampler RNG + seeded worker rebuild)
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 1 \
+        --checkpoint "$SMOKE_DIR/server.ckpt" > "$SMOKE_DIR/half.log"
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 3 \
+        --resume "$SMOKE_DIR/server.ckpt" --save-global "$SMOKE_DIR/resumed1.bin" \
+        > "$SMOKE_DIR/resumed1.log"
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 3 \
+        --resume "$SMOKE_DIR/server.ckpt" --save-global "$SMOKE_DIR/resumed2.bin" \
+        > "$SMOKE_DIR/resumed2.log"
+    cmp "$SMOKE_DIR/resumed1.bin" "$SMOKE_DIR/resumed2.bin" \
+        || { echo "FAIL: two resumes of the same checkpoint diverged"; exit 1; }
+    ORPHANS="$(pgrep -f 'repro.cli worker' || true)"
+    [[ -z "$ORPHANS" ]] \
+        || { echo "FAIL: orphaned worker processes: $ORPHANS"; exit 1; }
+    echo "resume is deterministic, no orphans"
 
     echo "== telemetry overhead budget =="
     python -m pytest -x -q benchmarks/test_telemetry_overhead.py

@@ -143,7 +143,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final global classifier state (wire format) to PATH "
         "— the artifact the sim↔tcp bit-identity check compares",
     )
+    _add_fault_tolerance_args(p, with_supervise=True)
     return p
+
+
+def _add_fault_tolerance_args(p: argparse.ArgumentParser, with_supervise: bool = False) -> None:
+    """Fault-tolerance flags shared by `repro run --transport tcp` and `serve`."""
+    if with_supervise:
+        p.add_argument(
+            "--supervise",
+            action="store_true",
+            help="watch TCP workers and respawn crashed ones (they rejoin "
+            "the run) up to --max-restarts times each",
+        )
+        p.add_argument(
+            "--max-restarts",
+            type=int,
+            default=3,
+            help="per-worker respawn budget under --supervise (default 3)",
+        )
+        p.add_argument(
+            "--chaos",
+            metavar="JSON",
+            default=None,
+            help='seeded fault schedule for every worker link, e.g. '
+            '\'{"seed": 1, "disconnect_p": 0.1, "bitflip_p": 0.05}\' — '
+            "deterministic given the seed (see repro.net.chaos)",
+        )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write a server checkpoint (global classifier, round cursor, "
+        "sampler RNG, history, cost ledger) to PATH every --checkpoint-every rounds",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="rounds between server checkpoints when --checkpoint is set (default 1)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume a crashed server from a --checkpoint file; surviving "
+        "workers rejoin and the continuation is bit-identical to an "
+        "uninterrupted run",
+    )
+    p.add_argument(
+        "--quorum",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="minimum survivor fraction a round needs before aggregating "
+        "(e.g. 0.5); unset keeps the aggregate-whatever-arrived rule",
+    )
+    p.add_argument(
+        "--on-quorum-miss",
+        choices=("skip_round", "extend_deadline", "abort"),
+        default="skip_round",
+        help="what a quorum miss does (default skip_round)",
+    )
+
+
+def _quorum_from_args(args):
+    if getattr(args, "quorum", None) is None:
+        return None
+    from repro.net.server import QuorumPolicy
+
+    return QuorumPolicy(min_fraction=args.quorum, on_miss=args.on_quorum_miss)
+
+
+def _chaos_from_args(args):
+    raw = getattr(args, "chaos", None)
+    if not raw:
+        return None
+    from repro.net.chaos import ChaosConfig
+
+    return ChaosConfig.from_json(raw)
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -168,6 +246,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
     p.add_argument("--round-timeout", type=float, default=300.0)
     p.add_argument("--telemetry", metavar="PATH", default=None)
     p.add_argument("--save-global", metavar="PATH", default=None)
+    p.add_argument(
+        "--rejoin-grace",
+        type=float,
+        default=0.0,
+        help="seconds a round keeps waiting for a lost worker to rejoin "
+        "(default 0 — lost workers are written off immediately)",
+    )
+    _add_fault_tolerance_args(p)
     return p
 
 
@@ -189,7 +275,32 @@ def build_worker_parser() -> argparse.ArgumentParser:
         help="client id owned by this worker (repeatable)",
     )
     p.add_argument("--verbose", action="store_true")
+    p.add_argument(
+        "--rejoin",
+        action="store_true",
+        help="announce as a rejoining worker (respawned replacements use "
+        "this; the server re-admits instead of treating it as a late join)",
+    )
+    p.add_argument(
+        "--no-reconnect",
+        action="store_true",
+        help="exit on connection loss instead of redialing and rejoining",
+    )
+    p.add_argument(
+        "--max-rejoins",
+        type=int,
+        default=25,
+        help="give up after this many in-process rejoins (default 25)",
+    )
+    p.add_argument(
+        "--rng-seed",
+        type=int,
+        default=None,
+        help="seed for connection-retry jitter (the launcher passes the "
+        "run seed so retry timing is reproducible)",
+    )
     # chaos hooks for fault-path tests: keep failure modes reproducible
+    p.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
     p.add_argument("--die-at-round", type=int, default=None, help=argparse.SUPPRESS)
     p.add_argument("--stall-at-round", type=int, default=None, help=argparse.SUPPRESS)
     p.add_argument("--stall-s", type=float, default=0.0, help=argparse.SUPPRESS)
@@ -358,6 +469,11 @@ def serve_main(argv: list[str]) -> int:
         local_epochs=args.local_epochs,
         join_timeout_s=args.join_timeout,
         round_timeout_s=args.round_timeout,
+        quorum=_quorum_from_args(args),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        resume=args.resume,
+        rejoin_grace_s=args.rejoin_grace,
         verbose=True,
     )
     host, port = server.listen()
@@ -389,6 +505,11 @@ def worker_main(argv: list[str]) -> int:
         stall_at_round=args.stall_at_round,
         stall_s=args.stall_s,
         verbose=args.verbose,
+        rejoin=args.rejoin,
+        reconnect=not args.no_reconnect,
+        max_rejoins=args.max_rejoins,
+        chaos=_chaos_from_args(args),
+        rng_seed=args.rng_seed,
     )
     return run_worker(host, int(port), args.client_ids, options)
 
@@ -426,6 +547,13 @@ def tcp_run_main(args) -> int:
             seed=args.seed,
             port=args.port,
             round_timeout_s=args.round_timeout,
+            chaos_config=_chaos_from_args(args),
+            supervise=args.supervise,
+            max_restarts=args.max_restarts,
+            quorum=_quorum_from_args(args),
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+            resume=args.resume,
         )
     finally:
         if tel is not None:

@@ -115,3 +115,41 @@ class CostModel:
             "uplink_bytes": self.uplink_bytes(),
             "downlink_bytes": self.downlink_bytes(),
         }
+
+    # -- durable serialization (server crash-resume checkpoints) --------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every closed-round counter.
+
+        Mid-round accumulators are deliberately excluded: checkpoints are
+        taken between rounds (after :meth:`end_round`), so a restored
+        ledger always starts at a round boundary.
+        """
+        return {
+            "latency_s": self.latency_s,
+            "bandwidth_Bps": self.bandwidth_Bps,
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "total_time_s": self.total_time_s,
+            "per_link": {f"{s}->{d}": v for (s, d), v in self.per_link.items()},
+            "per_round": list(self.per_round),
+            "per_round_time_s": list(self.per_round_time_s),
+            "per_round_participants": list(self.per_round_participants),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CostModel":
+        """Inverse of :meth:`to_dict`; new transfers keep accumulating."""
+        cost = cls(
+            latency_s=float(d.get("latency_s", 0.020)),
+            bandwidth_Bps=float(d.get("bandwidth_Bps", 10e6)),
+        )
+        cost.total_bytes = int(d.get("total_bytes", 0))
+        cost.total_messages = int(d.get("total_messages", 0))
+        cost.total_time_s = float(d.get("total_time_s", 0.0))
+        for link, v in (d.get("per_link") or {}).items():
+            src, _, dst = link.partition("->")
+            cost.per_link[(int(src), int(dst))] = int(v)
+        cost.per_round = [int(v) for v in d.get("per_round", [])]
+        cost.per_round_time_s = [float(v) for v in d.get("per_round_time_s", [])]
+        cost.per_round_participants = [int(v) for v in d.get("per_round_participants", [])]
+        return cost

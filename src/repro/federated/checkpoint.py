@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import struct
 
 import numpy as np
@@ -44,10 +45,15 @@ __all__ = [
     "restore_from_bytes",
     "capture_extras",
     "restore_extras",
+    "server_checkpoint_bytes",
+    "restore_server_checkpoint",
+    "save_server_checkpoint",
+    "load_server_checkpoint",
 ]
 
 _MAGIC = b"RPCK"
 _EXTRAS_MAGIC = b"RPX1"
+_SERVER_MAGIC = b"RPSV"
 
 
 def checkpoint_bytes(
@@ -171,6 +177,66 @@ def restore_extras(algorithm, extras: dict) -> None:
         )
     for c, state in zip(algorithm.clients, optimizers):
         c.optimizer.load_state_arrays(state)
+
+
+# ---------------------------------------------------------------------------
+# server-side checkpoints (TCP runtime crash-resume)
+# ---------------------------------------------------------------------------
+# A *server* checkpoint is a different object from the in-process run
+# checkpoint above: the TCP server holds no client models (workers own
+# them), so its snapshot is the global classifier plus a JSON meta block
+# — round cursor, sampler RNG stream, RunHistory rows, CostModel
+# counters, participation bookkeeping.  Resumed against workers that
+# kept their local state (they reconnect with REJOIN on server loss),
+# the continuation is bit-identical to a run that never stopped.
+
+
+def server_checkpoint_bytes(meta: dict, global_state: dict[str, np.ndarray] | None) -> bytes:
+    """Serialize a TCP-server snapshot: JSON ``meta`` + global state blob."""
+    meta_b = json.dumps(meta).encode("utf-8")
+    gblob = state_dict_to_bytes(global_state or {})
+    buf = io.BytesIO()
+    buf.write(_SERVER_MAGIC)
+    buf.write(struct.pack("<Q", len(meta_b)))
+    buf.write(meta_b)
+    buf.write(struct.pack("<Q", len(gblob)))
+    buf.write(gblob)
+    return buf.getvalue()
+
+
+def restore_server_checkpoint(blob: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Inverse of :func:`server_checkpoint_bytes`; returns ``(meta, global_state)``."""
+    buf = io.BytesIO(blob)
+    if buf.read(4) != _SERVER_MAGIC:
+        raise ValueError("not a server checkpoint blob")
+    (mlen,) = struct.unpack("<Q", buf.read(8))
+    meta = json.loads(buf.read(mlen).decode("utf-8"))
+    if not isinstance(meta, dict):
+        raise ValueError("server checkpoint meta must be a JSON object")
+    (glen,) = struct.unpack("<Q", buf.read(8))
+    global_state = state_dict_from_bytes(buf.read(glen))
+    return meta, global_state
+
+
+def save_server_checkpoint(path: str, meta: dict, global_state) -> None:
+    """Atomically write a server checkpoint to ``path``.
+
+    Written to a sibling temp file and ``os.replace``d so a crash *during
+    the checkpoint write itself* leaves the previous checkpoint intact —
+    a torn blob would defeat the whole point of crash-resume.
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as f:
+        f.write(server_checkpoint_bytes(meta, global_state))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def load_server_checkpoint(path: str) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a server checkpoint; returns ``(meta, global_state)``."""
+    with open(path, "rb") as f:
+        return restore_server_checkpoint(f.read())
 
 
 def save_checkpoint(path: str, algorithm, round_idx: int) -> None:

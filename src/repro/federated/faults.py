@@ -28,6 +28,11 @@ class FaultInjector:
         self.failure_prob = failure_prob
         self.rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(0xFA11,)))
         self.dropped_log: list[list[int]] = []
+        #: call indices (``len(dropped_log)`` at the time) where every
+        #: sampled client failed and one survivor was forcibly kept —
+        #: chaos runs need to tell "one genuinely survived" apart from
+        #: "we rescued one so aggregation would not stall"
+        self.forced_keep_log: list[int] = []
 
     def survivors(self, sampled: list[int]) -> list[int]:
         """Return the subset of ``sampled`` whose uploads arrive."""
@@ -38,7 +43,9 @@ class FaultInjector:
         if not alive:
             # keep one deterministic survivor
             alive = [sampled[int(self.rng.integers(len(sampled)))]]
-        self.dropped_log.append([k for k in sampled if k not in alive])
+            self.forced_keep_log.append(len(self.dropped_log))
+        alive_set = set(alive)
+        self.dropped_log.append([k for k in sampled if k not in alive_set])
         return alive
 
     @property

@@ -18,7 +18,11 @@ backend behind a shared :class:`Transport` interface:
 * :mod:`repro.net.launcher` — N workers over localhost for
   single-machine runs (``repro run --transport tcp --workers N``);
 * :mod:`repro.net.retry` — deadlines, jittered exponential backoff,
-  heartbeats.
+  heartbeats;
+* :mod:`repro.net.chaos` — deterministic, seeded protocol-level fault
+  injection (refusals, disconnects, bit-flips, partitions, delays);
+* :mod:`repro.net.supervisor` — bounded-restart supervision of
+  launcher-forked workers (crashed workers respawn with ``--rejoin``).
 
 Determinism is the bar: with equal seeds, a TCP run's final global
 classifier is bit-identical to the SimComm run's.
@@ -42,7 +46,9 @@ from repro.net.protocol import (
     Truncated,
     VersionMismatch,
 )
+from repro.net.chaos import ChaosConfig, ChaosConnection, ChaosEngine
 from repro.net.retry import Deadline, Heartbeat, RetryPolicy, backoff_delays, call_with_retries
+from repro.net.supervisor import WorkerSupervisor
 from repro.net.transport import Connection, TcpTransport, Transport, WorkerLink
 
 __all__ = [
@@ -65,24 +71,36 @@ __all__ = [
     "Heartbeat",
     "backoff_delays",
     "call_with_retries",
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosConnection",
+    "WorkerSupervisor",
     # lazy (pull in the full federated stack):
     "FedTcpServer",
     "ServerResult",
     "make_run_config",
+    "QuorumPolicy",
+    "QuorumError",
+    "SimulatedCrash",
     "run_worker",
     "WorkerOptions",
     "run_tcp_federation",
     "assign_clients",
+    "worker_command",
 ]
 
 _LAZY = {
     "FedTcpServer": "repro.net.server",
     "ServerResult": "repro.net.server",
     "make_run_config": "repro.net.server",
+    "QuorumPolicy": "repro.net.server",
+    "QuorumError": "repro.net.server",
+    "SimulatedCrash": "repro.net.server",
     "run_worker": "repro.net.worker",
     "WorkerOptions": "repro.net.worker",
     "run_tcp_federation": "repro.net.launcher",
     "assign_clients": "repro.net.launcher",
+    "worker_command": "repro.net.launcher",
 }
 
 

@@ -1,0 +1,250 @@
+"""Deterministic network-fault injection for the TCP runtime.
+
+Real chaos testing kills processes and yanks cables; the problem is that
+"did recovery work?" then depends on *when* the cable was yanked, and a
+failing soak test cannot be replayed.  This layer injects faults at the
+protocol-frame level instead, and keys every fault decision on the
+**logical identity** of the frame — ``(message type, round, client,
+attempt)`` hashed into a per-key :class:`numpy.random.SeedSequence` —
+never on wall-clock time.  Two runs with the same seed see exactly the
+same faults at exactly the same points in the protocol, no matter how
+fast either machine is, which is what lets the soak test assert that a
+chaos run converges to the *bit-identical* global classifier and the
+identical lost/recovered/retry telemetry counts, three invocations in a
+row.
+
+Fault kinds (all worker-side, applied to outgoing data frames):
+
+* ``delay`` — sleep ``delay_s`` before sending (exercises deadline
+  slack without changing any protocol outcome);
+* ``bitflip`` — flip one payload bit in the encoded frame and send it;
+  the server's CRC32 check rejects it (``ChecksumMismatch`` →
+  ``net.crc_errors``) and drops the link, forcing a REJOIN;
+* ``disconnect`` — transmit half the frame, then close the socket
+  (the server sees ``Truncated`` mid-frame);
+* ``partition`` — drop the connection *and* refuse the next
+  ``partition_attempts`` reconnect attempts, modelling a transient
+  network partition in attempt-space rather than time-space (a
+  time-based window would make retry counts timing-dependent).
+
+Control frames (HELLO/REJOIN/HEARTBEAT/BYE) are never faulted: faulting
+heartbeats would couple the schedule to beat timing, and losing BYE
+would strand the worker's final chaos-count report.  Connect-time
+refusal (``connect_refuse_p``) covers the handshake path instead.
+
+Every injected fault is tallied in :attr:`ChaosEngine.counts`; workers
+report the tally in their BYE frame so the server can aggregate a
+fleet-wide chaos ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.net.protocol import MAX_FRAME_BYTES, Message, MsgType, encode_message
+from repro.net.transport import Connection
+
+__all__ = ["ChaosConfig", "ChaosEngine", "ChaosConnection"]
+
+#: frame types eligible for fault injection (data plane only)
+_FAULTABLE = frozenset({MsgType.CLIENT_UPDATE, MsgType.EVAL})
+
+# spawn-key tags: distinct fault sites must draw from distinct streams
+_KIND_SEND = 0xC4A0
+_KIND_CONNECT = 0xC4A1
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault probabilities for one worker's link to the server.
+
+    All probabilities default to zero — a default config injects
+    nothing.  ``scope`` disambiguates workers sharing a seed (the
+    launcher passes each worker's lowest client id) so their fault
+    schedules are independent yet individually reproducible.
+    """
+
+    seed: int = 0
+    connect_refuse_p: float = 0.0
+    delay_p: float = 0.0
+    delay_s: float = 0.02
+    bitflip_p: float = 0.0
+    disconnect_p: float = 0.0
+    partition_p: float = 0.0
+    partition_attempts: int = 2
+
+    def __post_init__(self):
+        for name in ("connect_refuse_p", "delay_p", "bitflip_p", "disconnect_p", "partition_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        if self.partition_attempts < 1:
+            raise ValueError("partition_attempts must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("connect_refuse_p", "delay_p", "bitflip_p", "disconnect_p", "partition_p")
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosConfig":
+        d = json.loads(text)
+        if not isinstance(d, dict):
+            raise ValueError("chaos config must be a JSON object")
+        return cls(**d)
+
+
+class ChaosEngine:
+    """Draws fault decisions from logically-keyed random streams.
+
+    Each decision site hashes ``(kind, *key, attempt)`` into a
+    ``SeedSequence`` spawn key under ``config.seed``; the per-key
+    ``attempt`` counter means a *resend* of the same logical frame draws
+    from a fresh stream — without it, a frame that faulted once would
+    fault on every retry, forever.
+    """
+
+    def __init__(self, config: ChaosConfig, scope: int = 0):
+        self.config = config
+        self.scope = int(scope)
+        self.counts: dict[str, int] = {
+            "connect_refusals": 0,
+            "delays": 0,
+            "bitflips": 0,
+            "disconnects": 0,
+            "partitions": 0,
+        }
+        self._attempts: dict[tuple, int] = {}
+        self._connect_seq = 0
+        self._partition_left = 0
+
+    def _draw(self, *key: int) -> float:
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        seq = np.random.SeedSequence(
+            entropy=self.config.seed, spawn_key=(self.scope, *key, attempt)
+        )
+        return float(np.random.default_rng(seq).random())
+
+    def check_connect(self) -> None:
+        """Gate one outbound connect attempt; raises to refuse it.
+
+        Called by the worker immediately before dialling.  An open
+        partition refuses unconditionally until its attempt budget is
+        spent; otherwise ``connect_refuse_p`` decides from the stream
+        keyed by the monotonic connect-attempt counter.
+        """
+        self._connect_seq += 1
+        if self._partition_left > 0:
+            self._partition_left -= 1
+            self.counts["connect_refusals"] += 1
+            raise ConnectionRefusedError(
+                f"chaos: partition open ({self._partition_left} refusal(s) left)"
+            )
+        if self.config.connect_refuse_p <= 0.0:
+            return
+        if self._draw(_KIND_CONNECT, self._connect_seq) < self.config.connect_refuse_p:
+            self.counts["connect_refusals"] += 1
+            raise ConnectionRefusedError("chaos: injected connect refusal")
+
+    def open_partition(self) -> None:
+        """Start refusing the next ``partition_attempts`` connects."""
+        self._partition_left = self.config.partition_attempts
+        self.counts["partitions"] += 1
+
+    def fault_for(self, msg: Message) -> str | None:
+        """Decide the fault (if any) for one outgoing frame.
+
+        Returns ``None`` or one of ``"disconnect" | "bitflip" |
+        "partition" | "delay"``.  One uniform draw per frame, cut by
+        cumulative probability thresholds in that fixed order, keyed on
+        the frame's logical identity.
+        """
+        cfg = self.config
+        if msg.type not in _FAULTABLE or not cfg.enabled:
+            return None
+        # SeedSequence spawn keys must be non-negative: offset the round
+        # (init reports use -1, "no round" is -2) and client (-1 = unset)
+        key = (
+            _KIND_SEND,
+            int(msg.type),
+            int(msg.meta.get("round", -2)) + 2,
+            int(msg.meta.get("client", -1)) + 1,
+        )
+        u = self._draw(*key)
+        edge = cfg.disconnect_p
+        if u < edge:
+            return "disconnect"
+        edge += cfg.bitflip_p
+        if u < edge:
+            return "bitflip"
+        edge += cfg.partition_p
+        if u < edge:
+            return "partition"
+        edge += cfg.delay_p
+        if u < edge:
+            return "delay"
+        return None
+
+
+class ChaosConnection(Connection):
+    """A :class:`Connection` whose sends pass through a fault schedule.
+
+    Wraps the worker's link to the server.  A ``delay`` fault sleeps
+    then sends normally; the destructive faults raise a
+    ``ConnectionError`` subclass after corrupting/truncating/dropping
+    the wire so the worker's session loop takes its normal
+    reconnect-and-REJOIN path — chaos never needs a code path recovery
+    doesn't already have.
+    """
+
+    def __init__(
+        self, sock, engine: ChaosEngine, max_frame: int = MAX_FRAME_BYTES
+    ):
+        super().__init__(sock, max_frame)
+        self.engine = engine
+
+    def send(self, msg: Message) -> int:
+        fault = self.engine.fault_for(msg)
+        if fault is None:
+            return super().send(msg)
+        if fault == "delay":
+            self.engine.counts["delays"] += 1
+            time.sleep(self.engine.config.delay_s)
+            return super().send(msg)
+        frame = encode_message(msg, self.max_frame)
+        if fault == "bitflip":
+            self.engine.counts["bitflips"] += 1
+            bad = bytearray(frame)
+            bad[-1] ^= 0x01  # last payload byte: CRC32 must catch it
+            with self._send_lock:
+                self.sock.sendall(bytes(bad))
+            self.bytes_tx += len(bad)
+            # the server drops the link on ChecksumMismatch — surface the
+            # break immediately instead of waiting for the next I/O to fail
+            self.close()
+            raise ConnectionResetError("chaos: injected payload bit-flip")
+        if fault == "disconnect":
+            self.engine.counts["disconnects"] += 1
+            half = bytes(frame[: max(1, len(frame) // 2)])
+            with self._send_lock:
+                self.sock.sendall(half)
+            self.bytes_tx += len(half)
+            self.close()
+            raise ConnectionResetError("chaos: injected mid-frame disconnect")
+        assert fault == "partition"
+        self.engine.open_partition()
+        self.close()
+        raise ConnectionResetError(
+            f"chaos: injected partition ({self.engine.config.partition_attempts} "
+            "connect refusal(s) to follow)"
+        )

@@ -20,9 +20,17 @@ import subprocess
 import sys
 
 from repro.comm.cost import CostModel
-from repro.net.server import FedTcpServer, ServerResult, make_run_config
+from repro.net.chaos import ChaosConfig
+from repro.net.server import FedTcpServer, QuorumPolicy, ServerResult, make_run_config
+from repro.net.supervisor import WorkerSupervisor
 
-__all__ = ["assign_clients", "launch_workers", "reap_workers", "run_tcp_federation"]
+__all__ = [
+    "assign_clients",
+    "worker_command",
+    "launch_workers",
+    "reap_workers",
+    "run_tcp_federation",
+]
 
 
 def assign_clients(num_clients: int, num_workers: int) -> list[list[int]]:
@@ -50,27 +58,38 @@ def _worker_env() -> dict:
     return env
 
 
+def worker_command(
+    host: str, port: int, ids: list[int], verbose: bool = False, extra: list[str] | None = None
+) -> list[str]:
+    """The ``repro.cli worker`` command line for one client group."""
+    cmd = [sys.executable, "-m", "repro.cli", "worker", "--server", f"{host}:{port}"]
+    for k in ids:
+        cmd += ["--client-id", str(k)]
+    if verbose:
+        cmd.append("--verbose")
+    cmd += list(extra or [])
+    return cmd
+
+
 def launch_workers(
     host: str,
     port: int,
     assignment: list[list[int]],
     chaos: dict[int, list[str]] | None = None,
+    common_flags: list[str] | None = None,
     verbose: bool = False,
 ) -> list[subprocess.Popen]:
     """Spawn one ``repro.cli worker`` process per assignment group.
 
     ``chaos`` maps a worker index to extra CLI flags (the failure hooks
-    — e.g. ``{1: ["--die-at-round", "1"]}``) for fault-path tests.
+    — e.g. ``{1: ["--die-at-round", "1"]}``) for fault-path tests;
+    ``common_flags`` go to every worker (chaos schedule, rng seed).
     """
     procs = []
     env = _worker_env()
     for i, ids in enumerate(assignment):
-        cmd = [sys.executable, "-m", "repro.cli", "worker", "--server", f"{host}:{port}"]
-        for k in ids:
-            cmd += ["--client-id", str(k)]
-        if verbose:
-            cmd.append("--verbose")
-        cmd += (chaos or {}).get(i, [])
+        extra = list(common_flags or []) + (chaos or {}).get(i, [])
+        cmd = worker_command(host, port, ids, verbose=verbose, extra=extra)
         procs.append(
             subprocess.Popen(
                 cmd,
@@ -117,6 +136,16 @@ def run_tcp_federation(
     heartbeat_s: float = 0.5,
     cost_model: CostModel | None = None,
     chaos: dict[int, list[str]] | None = None,
+    chaos_config: ChaosConfig | None = None,
+    supervise: bool = False,
+    max_restarts: int = 3,
+    quorum: QuorumPolicy | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 0,
+    resume: str | None = None,
+    rejoin_grace_s: float | None = None,
+    crash_after_round: int | None = None,
+    crash_in_round: int | None = None,
     verbose: bool = False,
 ) -> tuple[ServerResult, list[int | None]]:
     """Run a full FedClassAvg federation over localhost TCP.
@@ -125,6 +154,15 @@ def run_tcp_federation(
     this process (so history/cost/global-state come back as objects);
     the workers are real OS processes and are always reaped before
     returning — crash, chaos hook, or clean BYE alike.
+
+    ``supervise`` watches the workers and respawns crashed ones (with
+    ``--rejoin``, so they re-admit themselves) up to ``max_restarts``
+    times each; ``chaos_config`` hands every worker a seeded
+    protocol-level fault schedule.  Either implies a rejoin grace
+    window (``rejoin_grace_s``, default 10 s when unset) so rounds wait
+    for a recovering worker instead of writing it off.  ``workers=0``
+    spawns nothing — the caller attached externally-launched workers
+    (crash-resume flows reconnecting a surviving fleet).
     """
     num_clients = int(spec_dict["num_clients"])
     config = make_run_config(
@@ -134,6 +172,9 @@ def run_tcp_federation(
         share_all_weights=share_all_weights,
         heartbeat_s=heartbeat_s,
     )
+    faulty = chaos_config is not None and chaos_config.enabled
+    if rejoin_grace_s is None:
+        rejoin_grace_s = 10.0 if (supervise or faulty) else 0.0
     server = FedTcpServer(
         num_clients,
         rounds,
@@ -148,14 +189,47 @@ def run_tcp_federation(
         round_timeout_s=round_timeout_s,
         liveness_timeout_s=liveness_timeout_s,
         cost_model=cost_model,
+        quorum=quorum,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        rejoin_grace_s=rejoin_grace_s,
+        crash_after_round=crash_after_round,
+        crash_in_round=crash_in_round,
         verbose=verbose,
     )
     bound_host, bound_port = server.listen()
+    common_flags = ["--rng-seed", str(seed)]
+    if faulty:
+        common_flags += ["--chaos", chaos_config.to_json()]
+    assignment = assign_clients(num_clients, workers) if workers > 0 else []
     procs = launch_workers(
-        bound_host, bound_port, assign_clients(num_clients, workers), chaos=chaos, verbose=verbose
+        bound_host,
+        bound_port,
+        assignment,
+        chaos=chaos,
+        common_flags=common_flags,
+        verbose=verbose,
     )
+    supervisor = None
+    if supervise and procs:
+        supervisor = WorkerSupervisor(max_restarts=max_restarts, seed=seed, verbose=verbose)
+        env = _worker_env()
+        for proc, ids in zip(procs, assignment):
+            # respawn commands re-admit via REJOIN and deliberately drop
+            # the per-worker one-shot failure hooks (--die-at-round would
+            # just kill the replacement again)
+            respawn = worker_command(
+                bound_host, bound_port, ids, verbose=verbose,
+                extra=common_flags + ["--rejoin"],
+            )
+            supervisor.watch(proc, respawn, env=env)
+        supervisor.start()
     try:
         result = server.run()
     finally:
-        exit_codes = reap_workers(procs)
+        if supervisor is not None:
+            exit_codes = supervisor.stop()
+        else:
+            exit_codes = reap_workers(procs)
     return result, exit_codes

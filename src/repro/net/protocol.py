@@ -79,6 +79,9 @@ class MsgType(enum.IntEnum):
     HEARTBEAT = 7  # worker → server: liveness beacon
     BYE = 8  # either direction: orderly shutdown
     ERROR = 9  # either direction: {"message": ...}
+    REJOIN = 10  # worker → server: {"client_ids": [...]} — re-admission after
+    # a crash/partition; the CONFIG reply carries a "rejoin" meta section
+    # ({"round": current}) and, when available, the current global classifier
 
 
 class ProtocolError(ValueError):

@@ -20,20 +20,83 @@ the flight recorder can trip.
 
 from __future__ import annotations
 
+import math
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro import telemetry
 from repro.comm.cost import CostModel
 from repro.federated.aggregation import weighted_average_state
+from repro.federated.checkpoint import load_server_checkpoint, save_server_checkpoint
 from repro.federated.history import RoundMetrics, RunHistory
 from repro.federated.sampler import ClientSampler
 from repro.net.protocol import MsgType
 from repro.net.retry import Deadline
 from repro.net.transport import TcpTransport, WorkerLink
+from repro.utils.rng import rng_state, set_rng_state
 
-__all__ = ["ServerResult", "FedTcpServer", "make_run_config"]
+__all__ = [
+    "ServerResult",
+    "FedTcpServer",
+    "make_run_config",
+    "QuorumPolicy",
+    "QuorumError",
+    "SimulatedCrash",
+]
+
+
+class QuorumError(RuntimeError):
+    """A round missed quorum under an ``abort`` policy."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the server's crash hooks (crash-resume tests)."""
+
+
+@dataclass(frozen=True)
+class QuorumPolicy:
+    """Minimum-participation gate on each round's aggregation.
+
+    The implicit FedClassAvg rule — aggregate whatever uploads arrive —
+    becomes an explicit policy: a round needs at least
+    ``max(min_count, ceil(min_fraction * sampled))`` survivor updates.
+    On a miss, ``on_miss`` decides:
+
+    * ``"skip_round"`` — keep the previous global classifier, mark the
+      round skipped (``net.rounds_skipped`` + a ``quorum_miss`` alert),
+      and move on;
+    * ``"extend_deadline"`` — re-collect the missing clients for up to
+      ``max_extensions`` extra windows of ``extension_s`` seconds
+      (default: the round timeout) before falling back to skipping;
+    * ``"abort"`` — raise :class:`QuorumError` (a critical alert fires
+      first), for deployments where a quorum miss means the fleet is
+      broken and continuing would silently train on a sliver of data.
+
+    The default policy (``min_count=1``) matches the pre-quorum
+    behavior: any non-empty survivor set aggregates.
+    """
+
+    min_fraction: float = 0.0
+    min_count: int = 1
+    on_miss: str = "skip_round"
+    max_extensions: int = 1
+    extension_s: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.min_fraction <= 1.0:
+            raise ValueError("min_fraction must be in [0, 1]")
+        if self.min_count < 0:
+            raise ValueError("min_count must be >= 0")
+        if self.on_miss not in ("skip_round", "extend_deadline", "abort"):
+            raise ValueError(f"unknown on_miss policy {self.on_miss!r}")
+        if self.max_extensions < 0:
+            raise ValueError("max_extensions must be >= 0")
+
+    def required(self, sampled: int) -> int:
+        """Survivor updates needed for a round that sampled ``sampled``."""
+        return max(self.min_count, math.ceil(self.min_fraction * sampled))
 
 
 def make_run_config(
@@ -70,14 +133,24 @@ class ServerResult:
         global_state: dict[str, np.ndarray],
         round_log: list[dict],
         lost_clients: list[dict] | None = None,
+        recovered_clients: list[dict] | None = None,
+        permanently_lost: list[int] | None = None,
+        worker_reports: list[dict] | None = None,
     ):
         self.history = history
         self.cost = cost
         self.global_state = global_state
         #: per-round dicts: sampled / survivors / losses / lost / timed_out
         self.round_log = round_log
-        #: every client whose worker died: {round, client, reason}
+        #: every lost→ transition: {round, client, reason} (deduped — one
+        #: record per loss incident, not per round the worker stayed dead)
         self.lost_clients = list(lost_clients or [])
+        #: every recovered transition: {round, client}
+        self.recovered_clients = list(recovered_clients or [])
+        #: clients still lost when the run ended
+        self.permanently_lost = list(permanently_lost or [])
+        #: final BYE self-reports from workers (rejoins, chaos tallies)
+        self.worker_reports = list(worker_reports or [])
 
 
 class FedTcpServer:
@@ -107,6 +180,13 @@ class FedTcpServer:
         round_timeout_s: float = 60.0,
         liveness_timeout_s: float = 15.0,
         cost_model: CostModel | None = None,
+        quorum: QuorumPolicy | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
+        resume: str | None = None,
+        rejoin_grace_s: float = 0.0,
+        crash_after_round: int | None = None,
+        crash_in_round: int | None = None,
         verbose: bool = False,
     ):
         self.num_clients = num_clients
@@ -116,7 +196,28 @@ class FedTcpServer:
         self.local_epochs = local_epochs
         self.join_timeout_s = join_timeout_s
         self.round_timeout_s = round_timeout_s
+        self.quorum = quorum
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        #: crash hooks (tests): abort all sockets + raise SimulatedCrash
+        self.crash_after_round = crash_after_round
+        self.crash_in_round = crash_in_round
         self.verbose = verbose
+        self.global_state: dict[str, np.ndarray] | None = None
+        self.data_sizes: dict[int, int] = {}
+        self.lost_clients: list[dict] = []
+        self.recovered_clients: list[dict] = []
+        self._lost_now: set[int] = set()
+        self._current_round = -1
+        self._round_info: dict = {"round": -1}
+        self._start_round = 0
+        self._history = RunHistory(self.name)
+        self._round_log: list[dict] = []
+        self._last_accs: list[float] = [0.0] * num_clients
+        self._ever_evaluated = False
+
+        if resume is not None:
+            cost_model = self._restore(resume)
         self.transport = TcpTransport(
             num_clients,
             config=run_config,
@@ -125,11 +226,67 @@ class FedTcpServer:
             cost_model=cost_model,
             liveness_timeout_s=liveness_timeout_s,
             on_worker_lost=self._on_worker_lost,
+            on_worker_rejoined=self._on_worker_rejoined,
+            rejoin_state=self._rejoin_state,
+            rejoin_grace_s=rejoin_grace_s,
         )
-        self.global_state: dict[str, np.ndarray] | None = None
-        self.data_sizes: dict[int, int] = {}
-        self.lost_clients: list[dict] = []
-        self._current_round = -1
+
+    def _restore(self, path: str) -> CostModel:
+        """Load a server checkpoint; returns the restored cost ledger.
+
+        Everything the round loop's future depends on comes back: the
+        round cursor, the sampler's RNG stream (so partial-participation
+        draws continue the uninterrupted sequence), the global
+        classifier, per-client data sizes, history/round-log rows, and
+        the loss/recovery bookkeeping.  Workers reconnect with REJOIN
+        and keep their own local state — the continuation is then
+        bit-identical to a run that never crashed.
+        """
+        meta, gstate = load_server_checkpoint(path)
+        if int(meta["num_clients"]) != self.num_clients:
+            raise ValueError(
+                f"checkpoint is for {meta['num_clients']} clients, server has {self.num_clients}"
+            )
+        self._start_round = int(meta["next_round"])
+        self.global_state = gstate if gstate else None
+        set_rng_state(self.sampler.rng, meta["sampler_rng"])
+        self.data_sizes = {int(k): int(v) for k, v in meta["data_sizes"].items()}
+        self._history = RunHistory.from_dict(meta["history"])
+        self._round_log = [
+            {**r, "losses": {int(k): v for k, v in r.get("losses", {}).items()}}
+            for r in meta["round_log"]
+        ]
+        self._last_accs = [float(a) for a in meta["last_accs"]]
+        self._ever_evaluated = bool(meta["ever_evaluated"])
+        self.lost_clients = list(meta.get("lost_clients", []))
+        self.recovered_clients = list(meta.get("recovered_clients", []))
+        self._lost_now = set(meta.get("lost_now", []))
+        self._current_round = self._start_round - 1
+        # rejoining workers idle until the next ROUND_START (-2: neither
+        # the init phase nor a live round)
+        self._round_info = {"round": -2}
+        return CostModel.from_dict(meta["cost"])
+
+    def _checkpoint_meta(self, next_round: int) -> dict:
+        return {
+            "next_round": next_round,
+            "num_clients": self.num_clients,
+            "rounds": self.rounds,
+            "sampler_rng": rng_state(self.sampler.rng),
+            "data_sizes": self.data_sizes,
+            "history": self._history.to_dict(),
+            "round_log": self._round_log,
+            "last_accs": self._last_accs,
+            "ever_evaluated": self._ever_evaluated,
+            "cost": self.transport.cost.to_dict(),
+            "lost_clients": self.lost_clients,
+            "recovered_clients": self.recovered_clients,
+            "lost_now": sorted(self._lost_now),
+        }
+
+    def _rejoin_state(self) -> tuple[dict, dict | None]:
+        """What a REJOINing worker needs: current round info + global."""
+        return dict(self._round_info), self.global_state
 
     # -- lifecycle ------------------------------------------------------
     def listen(self) -> tuple[str, int]:
@@ -138,9 +295,18 @@ class FedTcpServer:
 
     # -- failure reaction ----------------------------------------------
     def _on_worker_lost(self, link: WorkerLink, reason: str) -> None:
-        """Reader-thread callback: a worker connection died for good."""
+        """Reader-thread callback: a worker connection died.
+
+        One loss record per lost→ transition: a client already counted
+        lost (its worker died and has not rejoined) is skipped when a
+        replacement worker dies too, so repeated deaths of the same
+        client's worker no longer inflate ``net.clients_lost``.
+        """
         monitor = telemetry.get_telemetry().health
         for k in link.client_ids:
+            if k in self._lost_now:
+                continue
+            self._lost_now.add(k)
             self.lost_clients.append(
                 {"round": self._current_round, "client": k, "reason": reason}
             )
@@ -155,29 +321,52 @@ class FedTcpServer:
                     reason=reason,
                 )
 
+    def _on_worker_rejoined(self, link: WorkerLink, meta: dict) -> None:
+        """Reader-thread callback: a worker re-admitted itself via REJOIN."""
+        monitor = telemetry.get_telemetry().health
+        for k in link.client_ids:
+            if k not in self._lost_now:
+                continue
+            self._lost_now.discard(k)
+            self.recovered_clients.append({"round": self._current_round, "client": k})
+            telemetry.counter("net.clients_recovered").inc()
+            if monitor is not None:
+                monitor.emit_alert(
+                    "client_recovered",
+                    f"client {k}'s worker rejoined from {link.addr} "
+                    f"(worker last saw round {meta.get('round')})",
+                    client=k,
+                    severity="info",
+                    round_idx=self._current_round,
+                )
+
     # -- the run ---------------------------------------------------------
     def run(self) -> ServerResult:
         """Join workers, init the global classifier, run every round."""
         if self.transport.port == 0 or self.transport._listener is None:
             self.listen()
         try:
-            return self._run_rounds()
+            result = self._run_rounds()
         finally:
             self.transport.close()
+        # workers hand in their BYE self-reports during close()
+        result.worker_reports = list(self.transport.worker_reports)
+        return result
 
     def _run_rounds(self) -> ServerResult:
         tp = self.transport
         tp.wait_for_workers(self.join_timeout_s)
-        self._init_global_state()
+        if self._start_round == 0:
+            self._init_global_state()
         tel = telemetry.get_telemetry()
         monitor = tel.health
         cost = tp.cost
-        history = RunHistory(self.name)
-        round_log: list[dict] = []
-        last_accs: list[float] = [0.0] * self.num_clients
-        ever_evaluated = False
+        history = self._history
+        round_log = self._round_log
+        last_accs = self._last_accs
+        ever_evaluated = self._ever_evaluated
 
-        for t in range(self.rounds):
+        for t in range(self._start_round, self.rounds):
             if not tp.live_links():
                 print(f"[net] all workers lost — stopping after round {t - 1}")
                 break
@@ -195,6 +384,7 @@ class FedTcpServer:
             with tel.context(round=t, algorithm=self.name):
                 with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
                     updates, compute_s = self._one_round(t, sampled, evaluated)
+            updates, skipped = self._apply_quorum(t, sampled, updates)
             survivors = sorted(updates)
 
             # deadline misses by still-live workers: the FaultInjector's
@@ -213,7 +403,7 @@ class FedTcpServer:
                         round_idx=t,
                     )
 
-            if survivors:
+            if survivors and not skipped:
                 states = [updates[k][1] for k in survivors]
                 weights = [self.data_sizes[k] for k in survivors]
                 self.global_state = weighted_average_state(states, weights)
@@ -243,6 +433,7 @@ class FedTcpServer:
                     survivors=len(survivors),
                     train_loss=train_loss,
                     evaluated=evaluated,
+                    skipped=skipped,
                     mean_acc=float(np.mean(accs)) if accs else None,
                 )
             if monitor is not None:
@@ -265,18 +456,41 @@ class FedTcpServer:
                     "timed_out": timed_out,
                     "losses": losses,
                     "bytes": round_bytes,
+                    "skipped": skipped,
                 }
             )
+            self._ever_evaluated = ever_evaluated
             if self.verbose:
                 m = history.rounds[-1]
                 print(
                     f"[net] round {t + 1}/{self.rounds} "
                     f"acc={m.mean_acc:.4f} survivors={len(survivors)}/{len(sampled)} "
-                    f"bytes={round_bytes}"
+                    f"bytes={round_bytes}" + (" SKIPPED" if skipped else "")
                 )
 
+            if (
+                self.checkpoint_path is not None
+                and self.checkpoint_every > 0
+                and (t + 1) % self.checkpoint_every == 0
+            ):
+                save_server_checkpoint(
+                    self.checkpoint_path, self._checkpoint_meta(t + 1), self.global_state
+                )
+            if self.crash_after_round is not None and t == self.crash_after_round:
+                tp.abort()
+                raise SimulatedCrash(f"simulated server crash after round {t}")
+
         assert self.global_state is not None
-        return ServerResult(history, cost, self.global_state, round_log, self.lost_clients)
+        return ServerResult(
+            history,
+            cost,
+            self.global_state,
+            round_log,
+            self.lost_clients,
+            recovered_clients=self.recovered_clients,
+            permanently_lost=sorted(self._lost_now),
+            worker_reports=tp.worker_reports,
+        )
 
     # -- round internals -------------------------------------------------
     def _init_global_state(self) -> None:
@@ -300,12 +514,77 @@ class FedTcpServer:
         weights = [self.data_sizes[k] for k in everyone]
         self.global_state = weighted_average_state(states, weights)
 
+    def _apply_quorum(
+        self, t: int, sampled: list[int], updates: dict[int, tuple[dict, dict]]
+    ) -> tuple[dict[int, tuple[dict, dict]], bool]:
+        """Enforce the quorum policy on a round's collected updates.
+
+        Returns ``(updates, skipped)``; may re-collect under
+        ``extend_deadline`` and raises :class:`QuorumError` under
+        ``abort``.  A missed quorum always fires a ``quorum_miss``
+        health alert and bumps ``net.quorum_misses``.
+        """
+        policy = self.quorum
+        if policy is None:
+            return updates, False
+        need = policy.required(len(sampled))
+        monitor = telemetry.get_telemetry().health
+        extensions = 0
+        while (
+            len(updates) < need
+            and policy.on_miss == "extend_deadline"
+            and extensions < policy.max_extensions
+        ):
+            extensions += 1
+            telemetry.counter("net.deadline_extensions").inc()
+            missing = [k for k in sampled if k not in updates]
+            if monitor is not None:
+                monitor.emit_alert(
+                    "quorum_miss",
+                    f"round {t} has {len(updates)}/{need} needed updates — "
+                    f"extending deadline for {missing} "
+                    f"(extension {extensions}/{policy.max_extensions})",
+                    severity="warning",
+                    round_idx=t,
+                )
+            more = self.transport.collect_updates(
+                t, missing, Deadline(policy.extension_s or self.round_timeout_s)
+            )
+            updates.update(more)
+        if len(updates) >= need:
+            return updates, False
+        telemetry.counter("net.quorum_misses").inc()
+        if policy.on_miss == "abort":
+            if monitor is not None:
+                monitor.emit_alert(
+                    "quorum_miss",
+                    f"round {t} got {len(updates)}/{need} needed updates — aborting the run",
+                    severity="critical",
+                    round_idx=t,
+                )
+            raise QuorumError(
+                f"round {t}: {len(updates)} update(s) arrived, quorum requires {need}"
+            )
+        telemetry.counter("net.rounds_skipped").inc()
+        if monitor is not None:
+            monitor.emit_alert(
+                "quorum_miss",
+                f"round {t} got {len(updates)}/{need} needed updates — "
+                "skipping aggregation (global classifier unchanged)",
+                severity="warning",
+                round_idx=t,
+            )
+        return updates, True
+
     def _one_round(
         self, t: int, sampled: list[int], evaluated: bool
     ) -> tuple[dict[int, tuple[dict, dict]], float]:
         """Broadcast, then gather this round's updates; returns (updates, compute_s)."""
         assert self.global_state is not None
         tp = self.transport
+        # publish before broadcasting: a worker that rejoins mid-round
+        # must see this round in its CONFIG reply, not the previous one
+        self._round_info = {"round": t, "sampled": sampled, "evaluated": evaluated}
         tp.broadcast_control(
             MsgType.ROUND_START,
             {"round": t, "sampled": sampled, "evaluated": evaluated},
@@ -315,6 +594,9 @@ class FedTcpServer:
                 tp.send_to_client(k, MsgType.CLASSIFIER, {"round": t}, self.global_state)
             except ConnectionError:
                 continue  # worker died; loss already recorded via on_worker_lost
+        if self.crash_in_round is not None and t == self.crash_in_round:
+            tp.abort()
+            raise SimulatedCrash(f"simulated server crash mid-round {t}")
         updates = tp.collect_updates(t, sampled, Deadline(self.round_timeout_s))
         monitor = telemetry.get_telemetry().health
         compute_s = 0.0

@@ -1,0 +1,184 @@
+"""Worker supervision: respawn crashed worker processes with bounded retries.
+
+The launcher forks N worker processes; without supervision a SIGKILLed
+worker strands its clients for the rest of the run.  The supervisor
+watches every registered process from one monitor thread and, when a
+worker exits *non-zero* (a clean exit 0 means the server said BYE — the
+run is over for that worker), respawns it from its recorded command line
+after a jittered exponential backoff, up to ``max_restarts`` times per
+slot.  Respawn commands carry ``--rejoin`` so the fresh process
+re-admits itself via the REJOIN handshake instead of HELLO (the server
+still owns its client ids on a dead link).
+
+Backoff reuses :class:`repro.net.retry.RetryPolicy`; each slot draws its
+jitter from its own ``SeedSequence(seed, spawn_key=(slot,))`` stream so
+supervised runs are reproducible when seeded and uncorrelated when not.
+
+Every respawn bumps the ``net.worker_restarts`` telemetry counter.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import threading
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.net.retry import RetryPolicy, backoff_delays
+
+__all__ = ["WorkerSupervisor"]
+
+
+class _Slot:
+    """One supervised worker: live process + how to bring it back."""
+
+    def __init__(self, proc: subprocess.Popen, cmd: list[str], env: dict | None, delays):
+        self.proc = proc
+        self.cmd = list(cmd)
+        self.env = env
+        self.delays = delays  # iterator of backoff sleeps, one per restart
+        self.restarts = 0
+        self.done = False  # exited 0, or restart budget spent
+        self.respawn_at: float | None = None  # monotonic time, None = not pending
+        self.last_code: int | None = None
+
+
+class WorkerSupervisor:
+    """Watches launcher-forked workers; respawns crashes with bounded retries.
+
+    Usage::
+
+        sup = WorkerSupervisor(max_restarts=3, seed=0)
+        for proc, cmd in zip(procs, respawn_cmds):
+            sup.watch(proc, cmd, env=env)
+        sup.start()
+        ...  # run the server
+        codes = sup.stop()
+
+    ``stop`` reaps whatever is still running (wait → terminate → kill)
+    and returns each slot's final exit code.
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        policy: RetryPolicy | None = None,
+        seed: int | None = None,
+        poll_interval_s: float = 0.1,
+        on_respawn=None,
+        verbose: bool = False,
+    ):
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.max_restarts = max_restarts
+        # attempts = restarts + 1 so backoff_delays yields one sleep per restart
+        self.policy = policy or RetryPolicy(
+            attempts=max_restarts + 1, base_delay_s=0.1, max_delay_s=2.0
+        )
+        self.seed = seed
+        self.poll_interval_s = poll_interval_s
+        self.on_respawn = on_respawn
+        self.verbose = verbose
+        self._slots: list[_Slot] = []
+        self._lock = threading.Lock()
+        self._halt = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _slot_delays(self, index: int):
+        if self.seed is None:
+            rng = np.random.default_rng()
+        else:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(0x50BE, index))
+            )
+        return backoff_delays(self.policy, rng)
+
+    def watch(self, proc: subprocess.Popen, respawn_cmd: list[str], env: dict | None = None) -> int:
+        """Register one worker process; returns its slot index."""
+        with self._lock:
+            index = len(self._slots)
+            self._slots.append(_Slot(proc, respawn_cmd, env, self._slot_delays(index)))
+        return index
+
+    @property
+    def restarts(self) -> list[int]:
+        """Per-slot respawn counts so far."""
+        with self._lock:
+            return [s.restarts for s in self._slots]
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._thread = threading.Thread(target=self._monitor, name="net-supervisor", daemon=True)
+        self._thread.start()
+
+    def _log(self, *a) -> None:
+        if self.verbose:
+            print("[supervisor]", *a)
+
+    def _monitor(self) -> None:
+        while not self._halt.wait(self.poll_interval_s):
+            now = time.monotonic()
+            with self._lock:
+                slots = list(self._slots)
+            for i, slot in enumerate(slots):
+                if slot.done:
+                    continue
+                if slot.respawn_at is not None:
+                    if now >= slot.respawn_at and not self._halt.is_set():
+                        self._respawn(i, slot)
+                    continue
+                code = slot.proc.poll()
+                if code is None:
+                    continue
+                slot.last_code = code
+                if code == 0:
+                    slot.done = True  # clean BYE — the run ended for this worker
+                    continue
+                if slot.restarts >= self.max_restarts:
+                    self._log(f"slot {i} exited {code}; restart budget spent — giving up")
+                    slot.done = True
+                    continue
+                delay = next(slot.delays, self.policy.max_delay_s)
+                self._log(f"slot {i} exited {code}; respawning in {delay:.2f}s")
+                slot.respawn_at = now + delay
+
+    def _respawn(self, index: int, slot: _Slot) -> None:
+        slot.respawn_at = None
+        slot.restarts += 1
+        telemetry.counter("net.worker_restarts").inc()
+        slot.proc = subprocess.Popen(
+            slot.cmd,
+            env=slot.env,
+            stdout=None if self.verbose else subprocess.DEVNULL,
+            stderr=None if self.verbose else subprocess.DEVNULL,
+        )
+        self._log(f"slot {index} respawned (restart {slot.restarts}/{self.max_restarts})")
+        if self.on_respawn is not None:
+            self.on_respawn(index, slot.restarts, slot.proc)
+
+    def stop(self, timeout_s: float = 10.0) -> list[int | None]:
+        """Stop monitoring, reap every live worker, return final exit codes."""
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        codes: list[int | None] = []
+        with self._lock:
+            slots = list(self._slots)
+        for slot in slots:
+            if slot.respawn_at is not None:  # died, respawn never happened
+                codes.append(slot.last_code)
+                continue
+            try:
+                codes.append(slot.proc.wait(timeout=timeout_s))
+                continue
+            except subprocess.TimeoutExpired:
+                slot.proc.terminate()
+            try:
+                codes.append(slot.proc.wait(timeout=2.0))
+            except subprocess.TimeoutExpired:
+                slot.proc.kill()
+                codes.append(slot.proc.wait(timeout=2.0))
+        return codes

@@ -33,6 +33,7 @@ from repro import telemetry
 from repro.comm.cost import CostModel
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
+    ChecksumMismatch,
     ConnectionClosed,
     Message,
     MsgType,
@@ -133,6 +134,8 @@ class WorkerLink:
         self.alive = True
         self.said_bye = False
         self.last_seen = time.monotonic()
+        #: when the link died (monotonic) — drives the rejoin grace window
+        self.died_at: float | None = None
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"
@@ -152,6 +155,19 @@ class TcpTransport:
     models from it, so multi-host deployment needs nothing but the
     server address.  ``on_worker_lost(link)`` fires (from the reader
     thread that noticed) exactly once per worker death.
+
+    **Rejoin.**  A worker that lost its connection re-admits itself with
+    a REJOIN frame; the transport re-registers its client ids (dead
+    owners are superseded — and a still-"alive" owner is first marked
+    dead so the lost → recovered event pairing stays consistent no
+    matter which thread notices the old socket's death first), replies
+    with CONFIG carrying a ``rejoin`` meta section from the
+    ``rejoin_state()`` callable (current round info + global
+    classifier), and fires ``on_worker_rejoined(link, meta)``.  With
+    ``rejoin_grace_s > 0``, :meth:`collect_updates` /
+    :meth:`collect_evals` keep waiting for a client whose worker died
+    less than that many seconds ago instead of writing the round off —
+    the window a supervisor respawn or a chaos-layer reconnect needs.
     """
 
     server_rank = 0
@@ -166,6 +182,9 @@ class TcpTransport:
         max_frame: int = MAX_FRAME_BYTES,
         liveness_timeout_s: float = 15.0,
         on_worker_lost=None,
+        on_worker_rejoined=None,
+        rejoin_state=None,
+        rejoin_grace_s: float = 0.0,
     ):
         if num_clients < 1:
             raise ValueError("transport needs at least one client")
@@ -178,6 +197,10 @@ class TcpTransport:
         self.max_frame = max_frame
         self.liveness_timeout_s = liveness_timeout_s
         self.on_worker_lost = on_worker_lost
+        self.on_worker_rejoined = on_worker_rejoined
+        #: () -> (round_info_dict, global_state | None) for REJOIN replies
+        self.rejoin_state = rejoin_state
+        self.rejoin_grace_s = rejoin_grace_s
         self._listener: socket.socket | None = None
         self._lock = threading.Lock()
         self._registered = threading.Condition(self._lock)
@@ -185,6 +208,8 @@ class TcpTransport:
         self._owner: dict[int, WorkerLink] = {}  # client id → live link
         self._updates: queue.Queue = queue.Queue()  # (client_id, meta, state)
         self._evals: queue.Queue = queue.Queue()  # (link, meta)
+        #: BYE metas — each departing worker's self-report (rejoins, chaos)
+        self.worker_reports: list[dict] = []
         self._threads: list[threading.Thread] = []
         self._closing = False
 
@@ -223,14 +248,32 @@ class TcpTransport:
                         )
 
     def close(self) -> None:
-        """Send BYE to live workers, close every socket, stop all threads."""
-        self._closing = True
+        """Send BYE to live workers, close every socket, stop all threads.
+
+        Workers acknowledge with their own BYE carrying a self-report
+        (rejoin/chaos tallies), so we leave the readers running for a
+        short beat to let those final frames land before tearing down.
+        """
+        # only registered links get a BYE: a connection accepted during
+        # teardown (the accept thread can return one last socket even
+        # after the listener fd is closed) has no reader serving it, and
+        # a BYE there would read as a handshake reply to its un-answered
+        # HELLO/REJOIN
+        had_live = False
         for link in list(self._links):
-            if link.alive:
+            if link.alive and link.client_ids:
+                had_live = True
                 try:
                     link.conn.send(Message(MsgType.BYE))
                 except OSError:
                     pass
+        if had_live:
+            deadline = Deadline(2.0)
+            while not deadline.expired and any(
+                l.alive and l.client_ids and not l.said_bye for l in self.live_links()
+            ):
+                time.sleep(0.01)
+        self._closing = True
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -240,6 +283,26 @@ class TcpTransport:
             link.conn.close()
         for t in self._threads:
             t.join(timeout=5.0)
+
+    def abort(self) -> None:
+        """Simulate a server crash: drop every socket with no goodbye.
+
+        Unlike :meth:`close` no BYE is sent — workers see the same
+        abrupt EOF a SIGKILLed server would produce, which is exactly
+        what the crash-resume tests need to exercise the worker's
+        reconnect-and-REJOIN path against a resumed server.
+        """
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for link in list(self._links):
+            link.alive = False  # no events, no BYE-ack wait on a later close()
+            link.conn.close()
+        for t in self._threads:
+            t.join(timeout=2.0)
 
     # -- registry -------------------------------------------------------
     @property
@@ -258,6 +321,32 @@ class TcpTransport:
     def client_is_live(self, client_id: int) -> bool:
         link = self.owner_of(client_id)
         return link is not None and link.alive
+
+    def _client_collectible(self, client_id: int) -> bool:
+        """Live, or dead so recently a rejoin may still deliver its data."""
+        link = self.owner_of(client_id)
+        if link is None:
+            return False
+        if link.alive:
+            return True
+        if self.rejoin_grace_s <= 0.0 or link.died_at is None:
+            return False
+        return time.monotonic() - link.died_at < self.rejoin_grace_s
+
+    def _rejoin_pending(self) -> bool:
+        """True while any client's dead owner is inside the grace window."""
+        if self.rejoin_grace_s <= 0.0:
+            return False
+        now = time.monotonic()
+        with self._lock:
+            links = set(map(id, self._owner.values()))
+            return any(
+                not l.alive
+                and l.died_at is not None
+                and now - l.died_at < self.rejoin_grace_s
+                for l in self._links
+                if id(l) in links
+            )
 
     # -- sending --------------------------------------------------------
     def send_to_client(
@@ -401,7 +490,9 @@ class TcpTransport:
                         break
                 self._reap_stale_links()
                 missing_live = [
-                    k for k in expected_set if k not in got and self.client_is_live(k)
+                    k
+                    for k in expected_set
+                    if k not in got and self._client_collectible(k)
                 ]
                 if not missing_live:
                     break
@@ -419,7 +510,12 @@ class TcpTransport:
         return got
 
     def collect_evals(self, round_idx: int, deadline: Deadline) -> dict[int, float]:
-        """Collect per-client accuracies from every live worker's EVAL."""
+        """Collect per-client accuracies from every live worker's EVAL.
+
+        A deadline expiry while workers still owe reports counts on
+        ``net.timeouts`` — the eval path's misses are as real as the
+        update path's.
+        """
         accs: dict[int, float] = {}
         reported: set[int] = set()
         while True:
@@ -427,7 +523,10 @@ class TcpTransport:
             waiting = [
                 l for l in self.live_links() if l.client_ids and id(l) not in reported
             ]
-            if not waiting or deadline.expired:
+            if not waiting and not self._rejoin_pending():
+                break
+            if deadline.expired:
+                telemetry.counter("net.timeouts").inc()
                 break
             try:
                 link, meta = self._evals.get(
@@ -460,32 +559,47 @@ class TcpTransport:
                 self._threads.append(t)
             t.start()
 
-    def _register(self, link: WorkerLink, client_ids: list[int]) -> None:
+    def _register(self, link: WorkerLink, client_ids: list[int], rejoin: bool = False) -> None:
         ids = sorted(int(k) for k in client_ids)
         if not ids:
             raise ProtocolError("HELLO carried no client ids")
         for k in ids:
             if not 0 <= k < self.num_clients:
                 raise ProtocolError(f"client id {k} out of range [0, {self.num_clients})")
+        superseded: list[WorkerLink] = []
         with self._registered:
             for k in ids:
                 current = self._owner.get(k)
-                if current is not None and current.alive:
-                    raise ProtocolError(f"client {k} already owned by a live worker")
+                if current is not None and current is not link and current.alive:
+                    if not rejoin:
+                        raise ProtocolError(f"client {k} already owned by a live worker")
+                    superseded.append(current)
             link.client_ids = ids
             for k in ids:
                 self._owner[k] = link
             self._registered.notify_all()
+        # A REJOIN can race the old socket's EOF: if the replacement frame
+        # arrives before the old reader notices the death, the old link is
+        # still "alive" here.  Mark it dead *outside* the registry lock
+        # (same non-reentrant lock) so the lost event fires before the
+        # caller fires recovered — either thread order yields exactly one
+        # lost + one recovered per incident.
+        for old in {id(l): l for l in superseded}.values():
+            self._mark_dead(old, "superseded by a rejoined worker")
 
     def _mark_dead(self, link: WorkerLink, reason: str) -> None:
         with self._lock:
             if not link.alive:
                 return
             link.alive = False
+            link.died_at = time.monotonic()
         link.conn.close()
-        telemetry.counter("net.workers_lost").inc()
-        if not link.said_bye and not self._closing and self.on_worker_lost is not None:
-            self.on_worker_lost(link, reason)
+        if not link.said_bye and not self._closing:
+            # BYE and shutdown are orderly departures, not losses — only
+            # genuine deaths count, or the counter drifts with every run
+            telemetry.counter("net.workers_lost").inc()
+            if self.on_worker_lost is not None:
+                self.on_worker_lost(link, reason)
 
     def _reap_stale_links(self) -> None:
         """Declare workers dead when their heartbeat has gone silent."""
@@ -507,6 +621,24 @@ class TcpTransport:
                 if msg.type == MsgType.HELLO:
                     self._register(link, msg.meta.get("client_ids", []))
                     link.conn.send(Message(MsgType.CONFIG, self.config))
+                elif msg.type == MsgType.REJOIN:
+                    self._register(link, msg.meta.get("client_ids", []), rejoin=True)
+                    telemetry.counter("net.rejoins").inc()
+                    # fire recovered BEFORE replying: the worker resumes
+                    # sending (and possibly faulting again) the moment the
+                    # reply lands, and the next death must strictly follow
+                    # this recovery or lost/recovered pairing goes
+                    # timing-dependent
+                    if self.on_worker_rejoined is not None:
+                        self.on_worker_rejoined(link, msg.meta)
+                    reply = dict(self.config)
+                    state = None
+                    if self.rejoin_state is not None:
+                        round_info, state = self.rejoin_state()
+                        reply["rejoin"] = dict(round_info)
+                    else:
+                        reply["rejoin"] = {"round": -1}
+                    link.conn.send(Message(MsgType.CONFIG, reply, state))
                 elif msg.type == MsgType.CLIENT_UPDATE:
                     # per-client traffic: attribute to the reporting client's rank
                     client_id = int(msg.meta["client"])
@@ -522,11 +654,16 @@ class TcpTransport:
                         self.cost.record(self.rank_of(min(link.client_ids)), self.server_rank, n)
                 elif msg.type == MsgType.BYE:
                     link.said_bye = True
+                    if msg.meta:  # final worker self-report (rejoins, chaos tallies)
+                        with self._lock:
+                            self.worker_reports.append(dict(msg.meta))
                     self._mark_dead(link, "worker said BYE")
                     return
                 else:
                     raise ProtocolError(f"unexpected {msg.type.name} from worker")
         except (ConnectionClosed, Truncated, ProtocolError, OSError) as exc:
+            if isinstance(exc, ChecksumMismatch):
+                telemetry.counter("net.crc_errors").inc()
             if not self._closing:
                 try:
                     link.conn.send(

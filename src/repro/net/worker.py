@@ -19,6 +19,23 @@ loop) and reports accuracies in one EVAL frame.  A daemon heartbeat
 thread keeps frames flowing while the main thread grinds through local
 epochs, so the server can tell slow from dead.
 
+**Fault tolerance.**  All run state that must survive a broken socket —
+built clients, the current round's metadata, every update/eval already
+produced for it — lives in a :class:`_Session` object outside the
+connection.  On a connection error the worker reconnects and re-admits
+itself with REJOIN instead of HELLO; the server's CONFIG reply carries a
+``rejoin`` section (current round, sampled set, eval flag) plus the
+current global classifier, which doubles as re-delivery of any
+ROUND_START/CLASSIFIER frames lost with the old socket.  Cached results
+are *resent*, never recomputed (recomputing would advance RNG streams a
+no-fault run never advanced — the resend cache is what makes a fully
+recovered chaos run bit-identical to a clean one); the server
+deduplicates.  A worker respawned from scratch (``rejoin=True`` on a
+fresh process, the supervisor's path) takes the same handshake and
+bootstraps its clients from the global classifier — best-effort resume:
+its feature extractors restart from init, which FedClassAvg's
+heterogeneous aggregation absorbs by design.
+
 ``die_at_round`` / ``stall_at_round`` are deliberate failure hooks used
 by the fault-path tests and chaos runs: SIGKILL yourself mid-round, or
 go silent past the server's round deadline while staying alive.
@@ -35,6 +52,7 @@ import numpy as np
 
 from repro.federated.setup import FederationSpec, build_federation
 from repro.federated.trainer import LocalUpdateConfig, local_update
+from repro.net.chaos import ChaosConfig, ChaosConnection, ChaosEngine
 from repro.net.protocol import ConnectionClosed, Message, MsgType
 from repro.net.retry import Heartbeat, RetryPolicy, call_with_retries
 from repro.net.transport import Connection
@@ -52,6 +70,11 @@ class WorkerOptions:
         die_at_round: int | None = None,
         stall_at_round: int | None = None,
         stall_s: float = 0.0,
+        rejoin: bool = False,
+        reconnect: bool = True,
+        max_rejoins: int = 25,
+        chaos: ChaosConfig | None = None,
+        rng_seed: int | None = None,
         verbose: bool = False,
     ):
         #: how long/hard to retry the initial TCP connect
@@ -65,18 +88,91 @@ class WorkerOptions:
         #: sleep ``stall_s`` before replying to this round (stay alive)
         self.stall_at_round = stall_at_round
         self.stall_s = stall_s
+        #: first handshake is REJOIN, not HELLO (respawned process)
+        self.rejoin = rejoin
+        #: reconnect + REJOIN on connection loss instead of exiting
+        self.reconnect = reconnect
+        #: reconnect budget for one worker lifetime
+        self.max_rejoins = max_rejoins
+        #: deterministic fault schedule for this worker's link (or None)
+        self.chaos = chaos
+        #: seeds connect-retry backoff jitter for reproducible runs
+        self.rng_seed = rng_seed
         self.verbose = verbose
 
 
-def connect_to_server(host: str, port: int, policy: RetryPolicy) -> Connection:
-    """Dial the server under the retry policy; returns a framed connection."""
+class _FatalWorkerError(RuntimeError):
+    """Unrecoverable condition — do not reconnect, exit non-zero."""
+
+
+class _Session:
+    """Worker run state that outlives any single connection."""
+
+    def __init__(self):
+        self.cfg: dict | None = None
+        self.by_id: dict = {}
+        self.trainer_cfg: LocalUpdateConfig | None = None
+        self.local_epochs = 1
+        self.share_all = False
+        self.current_round = -2  # last round entered (ROUND_START or rejoin)
+        self.round_meta: dict = {}
+        self.pending: set[int] = set()
+        #: this round's produced updates: client → (meta, payload); resent
+        #: verbatim after a rejoin so RNG streams never advance twice
+        self.round_updates: dict[int, tuple[dict, dict]] = {}
+        self.round_accs: dict | None = None
+        self.eval_sent = False
+        self.rejoins = 0
+        self.connect_retries = 0
+
+    def payload_of(self, client):
+        return client.model.state_dict() if self.share_all else client.model.classifier_state()
+
+    def load_payload(self, client, state):
+        if self.share_all:
+            client.model.load_state_dict(state)
+        else:
+            client.model.load_classifier_state(state)
+
+    def begin_round(self, meta: dict) -> None:
+        self.current_round = int(meta.get("round", -1))
+        self.round_meta = dict(meta)
+        self.pending = set(meta.get("sampled", [])) & set(self.by_id)
+        self.round_updates = {}
+        self.round_accs = None
+        self.eval_sent = False
+
+
+def connect_to_server(
+    host: str,
+    port: int,
+    policy: RetryPolicy,
+    rng: np.random.Generator | None = None,
+    chaos: ChaosEngine | None = None,
+    on_retry=None,
+) -> Connection:
+    """Dial the server under the retry policy; returns a framed connection.
+
+    ``rng`` seeds the backoff jitter (reproducible retries in tests);
+    ``chaos`` gates each attempt through the fault schedule and wraps
+    the socket in a :class:`ChaosConnection`.
+    """
 
     def _dial() -> Connection:
+        if chaos is not None:
+            chaos.check_connect()
         sock = socket.create_connection((host, port), timeout=policy.timeout_s)
+        if chaos is not None:
+            return ChaosConnection(sock, chaos)
         return Connection(sock)
 
     return call_with_retries(
-        _dial, policy, retry_on=(OSError,), describe=f"connect to {host}:{port}"
+        _dial,
+        policy,
+        retry_on=(OSError,),
+        rng=rng,
+        on_retry=on_retry,
+        describe=f"connect to {host}:{port}",
     )
 
 
@@ -103,51 +199,124 @@ def run_worker(
 ) -> int:
     """Run one worker to completion; returns a process exit code.
 
-    0 — clean BYE from the server; 1 — protocol/connection failure.
+    0 — clean BYE from the server; 1 — protocol/connection failure with
+    the reconnect budget spent (or reconnection disabled).
     """
     opts = options or WorkerOptions()
     client_ids = sorted(int(k) for k in client_ids)
     log = (lambda *a: print(f"[worker {client_ids}]", *a)) if opts.verbose else (lambda *a: None)
 
-    conn = connect_to_server(host, port, opts.connect_policy)
+    rng = (
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=opts.rng_seed, spawn_key=(0x3E77, min(client_ids)))
+        )
+        if opts.rng_seed is not None
+        else None
+    )
+    engine = (
+        ChaosEngine(opts.chaos, scope=min(client_ids))
+        if opts.chaos is not None and opts.chaos.enabled
+        else None
+    )
+    sess = _Session()
+    rejoining = opts.rejoin
+
+    while True:
+        def _count_retry(attempt, exc, delay):
+            sess.connect_retries += 1
+            log(f"connect attempt {attempt + 1} failed ({exc}); retrying in {delay:.2f}s")
+
+        try:
+            conn = connect_to_server(
+                host, port, opts.connect_policy, rng=rng, chaos=engine, on_retry=_count_retry
+            )
+        except ConnectionError as exc:
+            log(f"cannot reach server: {exc}")
+            return 1
+        try:
+            return _run_session(conn, sess, opts, client_ids, rejoining, engine, log)
+        except _FatalWorkerError as exc:
+            log(f"terminating: {exc}")
+            return 1
+        except (ConnectionClosed, ConnectionError, OSError) as exc:
+            can_rejoin = opts.reconnect and (sess.cfg is not None or rejoining)
+            if not can_rejoin:
+                log(f"terminating: {exc}")
+                return 1
+            if sess.rejoins >= opts.max_rejoins:
+                log(f"connection lost ({exc}) and rejoin budget spent — giving up")
+                return 1
+            sess.rejoins += 1
+            rejoining = True
+            log(f"connection lost ({exc}); rejoining ({sess.rejoins}/{opts.max_rejoins})")
+        finally:
+            conn.close()
+
+
+def _run_session(
+    conn: Connection,
+    sess: _Session,
+    opts: WorkerOptions,
+    client_ids: list[int],
+    rejoining: bool,
+    engine: ChaosEngine | None,
+    log,
+) -> int:
+    """One connection's worth of protocol; returns the exit code on BYE.
+
+    Connection errors propagate to the caller, which owns the
+    reconnect/REJOIN decision.
+    """
     heartbeat: Heartbeat | None = None
     try:
-        conn.send(Message(MsgType.HELLO, {"client_ids": client_ids}))
-        config, _ = conn.recv(timeout=opts.connect_policy.timeout_s)
-        if config.type == MsgType.ERROR:
-            raise ConnectionError(f"server rejected us: {config.meta.get('message')}")
-        if config.type != MsgType.CONFIG:
-            raise ConnectionError(f"expected CONFIG, got {config.type.name}")
-        cfg = config.meta
-        if cfg.get("algorithm") != "fedclassavg":
-            raise ConnectionError(f"unsupported algorithm {cfg.get('algorithm')!r}")
-
-        spec = _spec_from_wire(cfg["spec"])
-        trainer_cfg = LocalUpdateConfig(**cfg.get("trainer", {}))
-        local_epochs = int(cfg.get("local_epochs", 1))
-        share_all = bool(cfg.get("share_all_weights", False))
-        clients, _info = build_federation(spec, client_ids=client_ids)
-        by_id = {c.client_id: c for c in clients}
-        log(f"built {len(by_id)} client(s) from spec seed={spec.seed}")
-
-        def payload_of(client):
-            return client.model.state_dict() if share_all else client.model.classifier_state()
-
-        def load_payload(client, state):
-            if share_all:
-                client.model.load_state_dict(state)
-            else:
-                client.model.load_classifier_state(state)
-
-        # initial classifier report: the server's setup() input
-        for k in client_ids:
+        if rejoining:
             conn.send(
                 Message(
-                    MsgType.CLIENT_UPDATE,
-                    {"client": k, "round": -1, "data_size": by_id[k].data_size},
-                    payload_of(by_id[k]),
+                    MsgType.REJOIN,
+                    {"client_ids": client_ids, "round": sess.current_round},
                 )
             )
+        else:
+            conn.send(Message(MsgType.HELLO, {"client_ids": client_ids}))
+        config, _ = conn.recv(timeout=opts.connect_policy.timeout_s)
+        if config.type == MsgType.ERROR:
+            raise _FatalWorkerError(f"server rejected us: {config.meta.get('message')}")
+        if config.type == MsgType.BYE:
+            # a dying/restarting server can answer our HELLO/REJOIN with
+            # its shutdown BYE — that is a connection loss, not a verdict
+            # on this worker, so retry through the normal rejoin path
+            raise ConnectionClosed("server said BYE during handshake")
+        if config.type != MsgType.CONFIG:
+            raise _FatalWorkerError(f"expected CONFIG, got {config.type.name}")
+        cfg = config.meta
+        if cfg.get("algorithm") != "fedclassavg":
+            raise _FatalWorkerError(f"unsupported algorithm {cfg.get('algorithm')!r}")
+
+        fresh_build = not sess.by_id
+        if fresh_build:
+            spec = _spec_from_wire(cfg["spec"])
+            sess.trainer_cfg = LocalUpdateConfig(**cfg.get("trainer", {}))
+            sess.local_epochs = int(cfg.get("local_epochs", 1))
+            sess.share_all = bool(cfg.get("share_all_weights", False))
+            clients, _info = build_federation(spec, client_ids=client_ids)
+            sess.by_id = {c.client_id: c for c in clients}
+            log(f"built {len(sess.by_id)} client(s) from spec seed={spec.seed}")
+        sess.cfg = cfg
+
+        rejoin_info = cfg.get("rejoin") if rejoining else None
+        rejoin_round = int(rejoin_info.get("round", -1)) if rejoin_info is not None else None
+
+        if not rejoining or rejoin_round == -1:
+            # server is (still) in its init-collection phase: (re)send the
+            # initial classifier reports — duplicates are deduped server-side
+            for k in client_ids:
+                conn.send(
+                    Message(
+                        MsgType.CLIENT_UPDATE,
+                        {"client": k, "round": -1, "data_size": sess.by_id[k].data_size},
+                        sess.payload_of(sess.by_id[k]),
+                    )
+                )
 
         heartbeat = Heartbeat(
             lambda: conn.send(Message(MsgType.HEARTBEAT)),
@@ -155,8 +324,16 @@ def run_worker(
         )
         heartbeat.start()
 
-        round_meta: dict = {}
-        pending: set[int] = set()
+        if rejoin_info is not None and rejoin_round is not None and rejoin_round >= 0:
+            if fresh_build and config.state is not None:
+                # respawned from scratch mid-run: bootstrap every owned
+                # client from the current global classifier (best-effort
+                # resume — local feature extractors restart from init)
+                for c in sess.by_id.values():
+                    sess.load_payload(c, config.state)
+                log(f"bootstrapped {len(sess.by_id)} client(s) from round-{rejoin_round} global")
+            _enter_round(conn, sess, opts, rejoin_info, config.state, log)
+
         while True:
             try:
                 msg, _ = conn.recv(timeout=opts.idle_timeout_s)
@@ -166,61 +343,113 @@ def run_worker(
                 ) from None
             if msg.type == MsgType.BYE:
                 log("server said BYE")
+                report: dict = {
+                    "client_ids": client_ids,
+                    "rejoins": sess.rejoins,
+                    "connect_retries": sess.connect_retries,
+                }
+                if engine is not None:
+                    report["chaos"] = dict(engine.counts)
+                try:
+                    conn.send(Message(MsgType.BYE, report))
+                except OSError:
+                    pass
                 return 0
             if msg.type == MsgType.ERROR:
                 raise ConnectionError(f"server error: {msg.meta.get('message')}")
             if msg.type == MsgType.ROUND_START:
-                round_meta = msg.meta
-                pending = set(round_meta.get("sampled", [])) & set(client_ids)
-                log(f"round {round_meta.get('round')}: {sorted(pending)} sampled here")
-                if not pending and round_meta.get("evaluated"):
-                    _send_eval(conn, by_id, round_meta)
+                sess.begin_round(msg.meta)
+                log(f"round {sess.current_round}: {sorted(sess.pending)} sampled here")
+                _maybe_eval(conn, sess)
                 continue
             if msg.type == MsgType.CLASSIFIER:
                 t = int(msg.meta["round"])
                 k = int(msg.meta["client"])
-                client = by_id[k]
                 if opts.die_at_round is not None and t == opts.die_at_round:
                     log(f"chaos hook: SIGKILLing self at round {t}")
                     os.kill(os.getpid(), signal.SIGKILL)
                 assert msg.state is not None, "CLASSIFIER frame without a state dict"
-                load_payload(client, msg.state)
-                reference = {name: v.copy() for name, v in msg.state.items()}
-                t0 = time.perf_counter()
-                loss = local_update(client, local_epochs, trainer_cfg, reference)
-                duration = time.perf_counter() - t0
-                if opts.stall_at_round is not None and t == opts.stall_at_round:
-                    log(f"chaos hook: stalling {opts.stall_s:.1f}s at round {t}")
-                    time.sleep(opts.stall_s)
-                conn.send(
-                    Message(
-                        MsgType.CLIENT_UPDATE,
-                        {
-                            "client": k,
-                            "round": t,
-                            "data_size": client.data_size,
-                            "loss": loss,
-                            "duration_s": duration,
-                        },
-                        payload_of(client),
-                    )
-                )
-                pending.discard(k)
-                if not pending and round_meta.get("evaluated"):
-                    _send_eval(conn, by_id, round_meta)
+                if t != sess.current_round or k not in sess.pending:
+                    # re-delivery of work the rejoin path already did —
+                    # resend the cached result, never retrain (a second
+                    # local_update would advance RNG streams a no-fault
+                    # run never advanced)
+                    if t == sess.current_round and k in sess.round_updates:
+                        meta, payload = sess.round_updates[k]
+                        conn.send(Message(MsgType.CLIENT_UPDATE, meta, payload))
+                    continue
+                _train_and_send(conn, sess, opts, k, t, msg.state, log)
+                _maybe_eval(conn, sess)
                 continue
             raise ConnectionError(f"unexpected {msg.type.name} from server")
-    except (ConnectionClosed, ConnectionError, OSError) as exc:
-        log(f"terminating: {exc}")
-        return 1
     finally:
         if heartbeat is not None:
             heartbeat.stop()
-        conn.close()
 
 
-def _send_eval(conn: Connection, by_id: dict, round_meta: dict) -> None:
-    """Evaluate every owned client and report one EVAL frame."""
-    accs = {k: float(c.evaluate()) for k, c in sorted(by_id.items())}
-    assert all(np.isfinite(list(accs.values()))), "non-finite accuracy"
-    conn.send(Message(MsgType.EVAL, {"round": round_meta.get("round"), "accs": accs}))
+def _train_and_send(
+    conn: Connection, sess: _Session, opts: WorkerOptions, k: int, t: int, state: dict, log
+) -> None:
+    """Train client ``k`` on the round-``t`` classifier; cache + send."""
+    client = sess.by_id[k]
+    sess.load_payload(client, state)
+    reference = {name: v.copy() for name, v in state.items()}
+    t0 = time.perf_counter()
+    assert sess.trainer_cfg is not None
+    loss = local_update(client, sess.local_epochs, sess.trainer_cfg, reference)
+    duration = time.perf_counter() - t0
+    if opts.stall_at_round is not None and t == opts.stall_at_round:
+        log(f"chaos hook: stalling {opts.stall_s:.1f}s at round {t}")
+        time.sleep(opts.stall_s)
+    meta = {
+        "client": k,
+        "round": t,
+        "data_size": client.data_size,
+        "loss": loss,
+        "duration_s": duration,
+    }
+    payload = sess.payload_of(client)
+    # cache before sending: if the send faults, the rejoin path resends
+    # this exact result instead of training again
+    sess.round_updates[k] = (meta, payload)
+    sess.pending.discard(k)
+    conn.send(Message(MsgType.CLIENT_UPDATE, meta, payload))
+
+
+def _enter_round(
+    conn: Connection, sess: _Session, opts: WorkerOptions, round_info: dict, state, log
+) -> None:
+    """(Re)enter a round from a REJOIN reply's ``rejoin`` section.
+
+    The reply stands in for any ROUND_START/CLASSIFIER frames lost with
+    the old socket: already-produced results are resent verbatim, and
+    still-pending sampled clients train on the global classifier the
+    reply carried (the same bytes their lost CLASSIFIER frames held).
+    """
+    t = int(round_info.get("round", -1))
+    if t != sess.current_round:
+        sess.begin_round(round_info)
+        log(f"rejoined into round {t}: {sorted(sess.pending)} sampled here")
+    for k in sorted(sess.round_updates):
+        meta, payload = sess.round_updates[k]
+        conn.send(Message(MsgType.CLIENT_UPDATE, meta, payload))
+    if state is not None:
+        for k in [k for k in sess.round_meta.get("sampled", []) if k in sess.pending]:
+            _train_and_send(conn, sess, opts, k, t, state, log)
+    _maybe_eval(conn, sess)
+
+
+def _maybe_eval(conn: Connection, sess: _Session) -> None:
+    """Send this round's EVAL once all local training is done (idempotent).
+
+    Accuracies are computed once and cached: a resend after a faulted
+    EVAL reuses the cache rather than re-running evaluation.
+    """
+    if not sess.round_meta.get("evaluated") or sess.eval_sent or sess.pending:
+        return
+    if sess.round_accs is None:
+        accs = {k: float(c.evaluate()) for k, c in sorted(sess.by_id.items())}
+        assert all(np.isfinite(list(accs.values()))), "non-finite accuracy"
+        sess.round_accs = accs
+    conn.send(Message(MsgType.EVAL, {"round": sess.current_round, "accs": sess.round_accs}))
+    sess.eval_sent = True

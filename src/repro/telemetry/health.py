@@ -31,6 +31,17 @@ at :meth:`HealthMonitor.end_round` when the round's full picture exists.
 
 All entry points are thread-safe: ``observe_client`` is called from
 executor worker threads running ``local_update`` concurrently.
+
+The TCP runtime also routes **infrastructure alerts** through
+:meth:`HealthMonitor.emit_alert` — synthetic detector names that have no
+``Detector`` class because the signal comes from the transport, not from
+training observations: ``client_lost`` (critical — a worker link died
+mid-run), ``client_recovered`` (info — the worker rejoined and its
+clients are participating again), ``client_timeout`` (warning — an
+upload missed the round deadline), and ``quorum_miss`` (warning on a
+skipped/extended round, critical on abort).  They share the alert
+record shape, the JSONL sink, and the ``on_alert`` callback, so run
+reports show training-level and fleet-level incidents in one stream.
 """
 
 from __future__ import annotations
@@ -485,13 +496,17 @@ class HealthMonitor:
         """Aggregate health snapshot (also usable as a JSONL record)."""
         with self._lock:
             by_detector: dict[str, int] = {}
+            by_severity: dict[str, int] = {}
             for a in self.alerts:
                 by_detector[a["detector"]] = by_detector.get(a["detector"], 0) + 1
+                sev = a.get("severity", "warning")
+                by_severity[sev] = by_severity.get(sev, 0) + 1
             return {
                 "type": "health_summary",
                 "clients": len(self.clients),
                 "alerts": len(self.alerts),
                 "alerts_by_detector": by_detector,
+                "alerts_by_severity": by_severity,
             }
 
     # -- internals ------------------------------------------------------

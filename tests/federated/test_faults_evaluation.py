@@ -49,6 +49,34 @@ class TestFaultInjector:
         with pytest.raises(ValueError):
             FaultInjector(-0.1)
 
+    def test_forced_keep_logged_with_round_index(self):
+        fi = FaultInjector(0.99, seed=0)
+        rescued = []
+        for i in range(30):
+            alive = fi.survivors([4, 5, 6])
+            if len(alive) == 1 and len(fi.dropped_log[-1]) == 2:
+                # all three drew a failure; one was forcibly kept
+                rescued.append(i)
+        # p=0.99 all-fail happens essentially every round — the log must
+        # record each rescue at the round index where it happened
+        assert fi.forced_keep_log, "no forced keep in 30 rounds at p=0.99"
+        assert set(fi.forced_keep_log) <= set(rescued)
+
+    def test_forced_keep_absent_when_someone_survives(self):
+        fi = FaultInjector(0.05, seed=0)
+        for _ in range(10):
+            fi.survivors(list(range(50)))
+        # at p=0.05 a 50-client round never loses everyone
+        assert fi.forced_keep_log == []
+
+    def test_forced_keep_survivor_counts_as_not_dropped(self):
+        fi = FaultInjector(0.99, seed=0)
+        for _ in range(10):
+            alive = fi.survivors([7, 8, 9])
+            dropped = fi.dropped_log[-1]
+            assert sorted(alive + dropped) == [7, 8, 9]
+            assert not set(alive) & set(dropped)
+
     def test_fedclassavg_survives_failures(self, micro_spec):
         clients, _ = build_federation(micro_spec)
         algo = FedClassAvg(clients, seed=0, fault_injector=FaultInjector(0.5, seed=0))

@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic chaos layer (repro.net.chaos).
+
+Everything here must hold for the soak test's determinism claim to be
+meaningful: same seed → same fault decisions, independent of timing,
+resends draw fresh, and every destructive fault is detectable on the
+server side (CRC, truncation, refused connect).
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.net.chaos import ChaosConfig, ChaosConnection, ChaosEngine
+from repro.net.protocol import ChecksumMismatch, MsgType, Message, Truncated, recv_message
+
+
+class TestChaosConfig:
+    def test_default_is_disabled(self):
+        assert not ChaosConfig().enabled
+
+    def test_any_probability_enables(self):
+        assert ChaosConfig(bitflip_p=0.01).enabled
+        assert ChaosConfig(connect_refuse_p=0.01).enabled
+
+    def test_json_roundtrip(self):
+        cfg = ChaosConfig(seed=7, disconnect_p=0.1, bitflip_p=0.05, partition_attempts=3)
+        assert ChaosConfig.from_json(cfg.to_json()) == cfg
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(delay_p=1.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(bitflip_p=-0.1)
+
+    def test_rejects_bad_partition_attempts(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(partition_attempts=0)
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            ChaosConfig.from_json("[1, 2]")
+
+
+def _update(round_idx: int, client: int) -> Message:
+    return Message(
+        MsgType.CLIENT_UPDATE,
+        {"round": round_idx, "client": client, "n_k": 40, "loss": 0.5},
+        {"w": np.zeros((4, 4), dtype=np.float32)},
+    )
+
+
+class TestChaosEngine:
+    CFG = ChaosConfig(seed=3, disconnect_p=0.2, bitflip_p=0.2, partition_p=0.1, delay_p=0.2)
+
+    def frames(self):
+        return [_update(t, k) for t in range(6) for k in range(4)]
+
+    def test_same_seed_same_schedule(self):
+        a, b = ChaosEngine(self.CFG, scope=0), ChaosEngine(self.CFG, scope=0)
+        decisions = [a.fault_for(m) for m in self.frames()]
+        assert decisions == [b.fault_for(m) for m in self.frames()]
+        assert any(d is not None for d in decisions), "schedule should fire at these rates"
+
+    def test_different_scopes_differ(self):
+        a, b = ChaosEngine(self.CFG, scope=0), ChaosEngine(self.CFG, scope=1)
+        frames = self.frames()
+        assert [a.fault_for(m) for m in frames] != [b.fault_for(m) for m in frames]
+
+    def test_resend_draws_fresh_stream(self):
+        # a frame that faulted once must not fault identically forever:
+        # the per-key attempt counter gives each retry its own stream
+        eng = ChaosEngine(ChaosConfig(seed=0, disconnect_p=0.5), scope=0)
+        msg = _update(0, 0)
+        decisions = {eng.fault_for(msg) for _ in range(32)}
+        assert None in decisions and "disconnect" in decisions
+
+    def test_control_frames_never_faulted(self):
+        eng = ChaosEngine(ChaosConfig(seed=0, disconnect_p=0.99, bitflip_p=0.009), scope=0)
+        for mt in (MsgType.HELLO, MsgType.REJOIN, MsgType.HEARTBEAT, MsgType.BYE):
+            assert eng.fault_for(Message(mt, {"round": 0, "client": 0})) is None
+
+    def test_partition_refuses_exactly_budget(self):
+        eng = ChaosEngine(ChaosConfig(seed=0, partition_p=0.1, partition_attempts=2), scope=0)
+        eng.open_partition()
+        for _ in range(2):
+            with pytest.raises(ConnectionRefusedError):
+                eng.check_connect()
+        eng.check_connect()  # budget spent — connects flow again
+        assert eng.counts["connect_refusals"] == 2
+        assert eng.counts["partitions"] == 1
+
+    def test_connect_refusals_are_attempt_keyed(self):
+        cfg = ChaosConfig(seed=5, connect_refuse_p=0.5)
+        outcomes = []
+        for engine in (ChaosEngine(cfg), ChaosEngine(cfg)):
+            seq = []
+            for _ in range(16):
+                try:
+                    engine.check_connect()
+                    seq.append(True)
+                except ConnectionRefusedError:
+                    seq.append(False)
+            outcomes.append(seq)
+        assert outcomes[0] == outcomes[1]
+        assert True in outcomes[0] and False in outcomes[0]
+
+
+class TestChaosConnection:
+    def pair(self, engine):
+        # real TCP loopback pair (Connection sets TCP_NODELAY, which
+        # AF_UNIX socketpairs reject)
+        lst = socket.create_server(("127.0.0.1", 0))
+        a = socket.create_connection(lst.getsockname())
+        b, _ = lst.accept()
+        lst.close()
+        return ChaosConnection(a, engine), b
+
+    def test_bitflip_is_caught_by_crc(self):
+        eng = ChaosEngine(ChaosConfig(seed=0, bitflip_p=0.95), scope=0)
+        conn, server_sock = self.pair(eng)
+        msg = _update(0, 0)
+        assert eng.fault_for(_update(0, 0)) == "bitflip"  # peek a parallel draw
+        with pytest.raises(ConnectionResetError):
+            conn.send(msg)
+        with pytest.raises(ChecksumMismatch):
+            recv_message(server_sock)
+        assert eng.counts["bitflips"] == 1
+        server_sock.close()
+
+    def test_disconnect_truncates_mid_frame(self):
+        eng = ChaosEngine(ChaosConfig(seed=0, disconnect_p=0.95), scope=0)
+        conn, server_sock = self.pair(eng)
+        with pytest.raises(ConnectionResetError):
+            conn.send(_update(0, 0))
+        with pytest.raises(Truncated):
+            recv_message(server_sock)
+        assert eng.counts["disconnects"] == 1
+        server_sock.close()
+
+    def test_clean_frame_passes_through(self):
+        eng = ChaosEngine(ChaosConfig(seed=0, delay_p=0.0), scope=0)
+        conn, server_sock = self.pair(eng)
+        msg = _update(1, 2)
+        conn.send(msg)
+        got, _ = recv_message(server_sock)
+        assert got.type == MsgType.CLIENT_UPDATE
+        assert got.meta["round"] == 1 and got.meta["client"] == 2
+        assert np.array_equal(got.state["w"], msg.state["w"])
+        conn.close()
+        server_sock.close()
+
+    def test_delay_sends_intact(self):
+        eng = ChaosEngine(ChaosConfig(seed=0, delay_p=0.95, delay_s=0.001), scope=0)
+        conn, server_sock = self.pair(eng)
+        conn.send(_update(0, 0))
+        got, _ = recv_message(server_sock)
+        assert got.meta["client"] == 0
+        assert eng.counts["delays"] >= 1
+        conn.close()
+        server_sock.close()

@@ -1,0 +1,148 @@
+"""Quorum policies: participation math, and e2e skip/abort behavior.
+
+The e2e runs kill worker 1 (which owns client 1) at round 1 with no
+supervision and no rejoin grace, so rounds 1+ can never reach a
+``min_fraction=1.0`` quorum.  ``skip_round`` must freeze the global
+classifier at its round-0 value; ``abort`` must raise
+:class:`QuorumError` and still reap every worker process.
+"""
+
+import os
+import subprocess
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.federated import FederationSpec
+from repro.net.launcher import run_tcp_federation
+from repro.net.server import QuorumError, QuorumPolicy
+
+NUM_CLIENTS = 3
+
+
+def spec() -> FederationSpec:
+    return FederationSpec(
+        dataset="fashion_mnist-tiny",
+        num_clients=NUM_CLIENTS,
+        partition="dirichlet",
+        n_train=120,
+        n_test=90,
+        test_per_client=15,
+        batch_size=16,
+        lr=3e-3,
+        seed=0,
+    )
+
+
+class TestQuorumPolicy:
+    def test_default_matches_pre_quorum_behavior(self):
+        p = QuorumPolicy()
+        assert p.required(10) == 1
+        assert p.required(1) == 1
+
+    def test_fraction_rounds_up(self):
+        p = QuorumPolicy(min_fraction=0.5)
+        assert p.required(3) == 2  # ceil(1.5)
+        assert p.required(4) == 2
+        assert p.required(5) == 3
+
+    def test_count_floor_wins_over_small_fractions(self):
+        p = QuorumPolicy(min_fraction=0.1, min_count=3)
+        assert p.required(10) == 3
+        assert p.required(100) == 10  # ceil(0.1 * 100) beats the floor
+
+    def test_full_quorum(self):
+        assert QuorumPolicy(min_fraction=1.0).required(7) == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_fraction": -0.1},
+            {"min_fraction": 1.5},
+            {"min_count": -1},
+            {"on_miss": "retry_forever"},
+            {"max_extensions": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QuorumPolicy(**kwargs)
+
+
+def _run(policy, tmp_path, tag):
+    tel = telemetry.configure(jsonl=str(tmp_path / f"{tag}.jsonl"))
+    try:
+        result, codes = run_tcp_federation(
+            asdict(spec()),
+            rounds=3,
+            workers=2,
+            trainer={"rho": 0.1},
+            seed=0,
+            round_timeout_s=30.0,
+            liveness_timeout_s=3.0,
+            heartbeat_s=0.3,
+            chaos={1: ["--die-at-round", "1"]},  # worker 1 owns client 1
+            quorum=policy,
+            rejoin_grace_s=0.0,
+        )
+        counters = {
+            name: telemetry.counter(name).value
+            for name in ("net.quorum_misses", "net.rounds_skipped")
+        }
+        alerts = list(tel.health.alerts)
+    finally:
+        tel.close()
+        telemetry.disable()
+    return result, codes, counters, alerts
+
+
+class TestQuorumSkipRound:
+    @pytest.fixture(scope="class")
+    def skip_run(self, tmp_path_factory):
+        policy = QuorumPolicy(min_fraction=1.0, on_miss="skip_round")
+        reference, ref_codes = run_tcp_federation(
+            asdict(spec()), rounds=1, workers=2, trainer={"rho": 0.1}, seed=0
+        )
+        assert ref_codes == [0, 0]
+        tmp = tmp_path_factory.mktemp("quorum")
+        return reference, _run(policy, tmp, "skip")
+
+    def test_rounds_after_the_death_are_skipped(self, skip_run):
+        _, (result, _, _, _) = skip_run
+        assert [e["skipped"] for e in result.round_log] == [False, True, True]
+
+    def test_skipped_rounds_freeze_the_global_classifier(self, skip_run):
+        reference, (result, _, _, _) = skip_run
+        # rounds 1 and 2 were skipped: the final global must be
+        # bit-identical to a clean run that stopped after round 0
+        assert set(result.global_state) == set(reference.global_state)
+        for key in reference.global_state:
+            assert np.array_equal(
+                result.global_state[key], reference.global_state[key]
+            ), f"{key} changed despite every later round being skipped"
+
+    def test_misses_counted_and_alerted(self, skip_run):
+        _, (_, _, counters, alerts) = skip_run
+        assert counters["net.quorum_misses"] == 2
+        assert counters["net.rounds_skipped"] == 2
+        misses = [a for a in alerts if a["detector"] == "quorum_miss"]
+        assert [a["round"] for a in misses] == [1, 2]
+        assert all(a["severity"] == "warning" for a in misses)
+
+    def test_lost_client_recorded(self, skip_run):
+        _, (result, _, _, _) = skip_run
+        assert result.permanently_lost == [1]
+
+
+class TestQuorumAbort:
+    def test_abort_raises_and_reaps(self, tmp_path):
+        policy = QuorumPolicy(min_fraction=1.0, on_miss="abort")
+        with pytest.raises(QuorumError, match="quorum requires 3"):
+            _run(policy, tmp_path, "abort")
+        out = subprocess.run(
+            ["pgrep", "-f", "repro.cli worker"], capture_output=True, text=True
+        )
+        live = [p for p in out.stdout.split() if p and int(p) != os.getpid()]
+        assert live == [], f"orphaned worker processes: {live}"

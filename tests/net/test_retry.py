@@ -46,6 +46,37 @@ class TestBackoff:
         assert all(0.75 <= d <= 1.25 for d in delays)
         assert len(set(delays)) > 1  # actually jittered
 
+    def test_seeded_rng_reproduces_the_schedule(self):
+        # workers seed their retry rng from --rng-seed so a chaos run's
+        # backoff sequence (and hence its whole timeline) is replayable
+        p = RetryPolicy(attempts=8, base_delay_s=0.1, jitter=0.25)
+        a = list(backoff_delays(p, np.random.default_rng(42)))
+        b = list(backoff_delays(p, np.random.default_rng(42)))
+        c = list(backoff_delays(p, np.random.default_rng(43)))
+        assert a == b
+        assert a != c
+
+    def test_seeded_rng_flows_through_call_with_retries(self):
+        p = RetryPolicy(attempts=4, base_delay_s=0.001, jitter=0.25)
+
+        def schedule(seed):
+            seen = []
+
+            def dead():
+                raise ConnectionRefusedError("nope")
+
+            with pytest.raises(ConnectionError):
+                call_with_retries(
+                    dead,
+                    p,
+                    rng=np.random.default_rng(seed),
+                    on_retry=lambda a, e, d: seen.append(d),
+                )
+            return seen
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
 
 class TestCallWithRetries:
     def policy(self, attempts=3):
