@@ -8,10 +8,15 @@
 # The TCP smoke runs the same 2-round federation through both transports
 # and requires the saved global classifiers to be byte-identical — the
 # distributed runtime's core guarantee — plus a clean shutdown with no
-# orphaned worker processes.  The overhead benchmark re-asserts the <5%
-# telemetry budget (null backend, health monitor, and memprof+recorder
-# enabled-but-idle) so an instrumentation regression fails CI even when
-# no functional test sees it.  Runs from any working directory.
+# orphaned worker processes.  TCP runs use the default lossless delta
+# wire, so tcp==sim / chaos==clean / resume determinism all hold *with
+# the codec on*; a dedicated smoke re-runs over the full-state wire and
+# requires the same bytes, and `bench-comm` measures the wire's cost
+# (writing BENCH_comm.json) and gates against the committed trajectory.
+# The overhead benchmark re-asserts the <5% telemetry budget (null
+# backend, health monitor, and memprof+recorder enabled-but-idle) so an
+# instrumentation regression fails CI even when no functional test sees
+# it.  Runs from any working directory.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +40,22 @@ if [[ "${1:-}" != "--fast" ]]; then
     [[ -z "$ORPHANS" ]] \
         || { echo "FAIL: orphaned worker processes: $ORPHANS"; exit 1; }
     echo "tcp == sim (bit-identical), no orphans"
+
+    echo "== delta-wire smoke =="
+    # the default delta wire must be lossless: the same federation over
+    # the full-state wire ends at the bit-identical global classifier
+    python -m repro.cli run --transport tcp --workers 4 --clients 8 --rounds 2 \
+        --wire full --save-global "$SMOKE_DIR/full.bin" > "$SMOKE_DIR/full.log"
+    cmp "$SMOKE_DIR/tcp.bin" "$SMOKE_DIR/full.bin" \
+        || { echo "FAIL: delta-wire vs full-wire global classifier differs"; exit 1; }
+    echo "delta wire == full wire (bit-identical)"
+
+    echo "== comm bench (BENCH_comm.json) =="
+    # measures full vs delta steady-state bytes on a loopback federation,
+    # requires >=30% delta savings, and gates fresh delta-wire bytes
+    # against the committed trajectory's latest entry
+    python -m repro.cli bench-comm --rounds 3 --clients 4 --workers 2 \
+        --output "$SMOKE_DIR/BENCH_comm.json" --baseline BENCH_comm.json --gate
 
     echo "== chaos soak smoke (seeded) =="
     # seeded protocol-level fault injection must change *nothing*: every

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import telemetry
 from repro.analysis import ascii_curves
@@ -128,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="worker process count for --transport tcp (default 4)",
     )
+    _add_wire_arg(p)
     p.add_argument("--port", type=int, default=0, help="TCP server port (0 = ephemeral)")
     p.add_argument(
         "--round-timeout",
@@ -145,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_tolerance_args(p, with_supervise=True)
     return p
+
+
+def _wire_mode(value: str) -> str:
+    from repro.net.encoding import parse_wire_mode
+
+    try:
+        mode, _, _ = parse_wire_mode(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return mode
+
+
+def _add_wire_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--wire",
+        metavar="MODE",
+        type=_wire_mode,
+        default="delta",
+        help="TCP state-frame encoding: full (plain), delta (lossless "
+        "XOR+zlib vs the previous frame — the default; finals stay "
+        "bit-identical to full/sim), or lossy delta+quant8 / "
+        "delta+quant16 / delta+topk<ratio>",
+    )
 
 
 def _add_fault_tolerance_args(p: argparse.ArgumentParser, with_supervise: bool = False) -> None:
@@ -253,6 +278,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="seconds a round keeps waiting for a lost worker to rejoin "
         "(default 0 — lost workers are written off immediately)",
     )
+    _add_wire_arg(p)
     _add_fault_tolerance_args(p)
     return p
 
@@ -344,6 +370,168 @@ def build_diff_parser() -> argparse.ArgumentParser:
         help="also gate on the candidate producing more alerts than the baseline",
     )
     return p
+
+
+def build_bench_comm_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench-comm",
+        description="measure the wire's communication cost on a loopback TCP "
+        "federation (full vs delta encoding) and track/gate the trajectory "
+        "in a BENCH_comm.json file",
+    )
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--dataset", choices=DATASETS, default="fashion_mnist-tiny")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_comm.json",
+        help="trajectory file to append this measurement to (default BENCH_comm.json)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="committed BENCH_comm.json to compare the fresh measurement against",
+    )
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero on byte regression vs --baseline or on the delta "
+        "wire saving less than --min-savings",
+    )
+    p.add_argument(
+        "--bytes-inflate",
+        type=float,
+        default=0.15,
+        help="allowed fractional growth of steady-state delta-wire bytes vs "
+        "the baseline entry (default 0.15 — heartbeat timing adds noise)",
+    )
+    p.add_argument(
+        "--min-savings",
+        type=float,
+        default=0.30,
+        help="required fractional steady-state byte savings of delta vs full "
+        "(default 0.30)",
+    )
+    return p
+
+
+def _steady_round_bytes(per_round: list) -> float:
+    """Steady-state per-round bytes: mean over rounds after the first.
+
+    Round 0 carries init traffic (initial classifier reports) and the
+    delta wire's snapshot warm-up; the steady state is what scales with
+    round count.
+    """
+    tail = per_round[1:] if len(per_round) > 1 else per_round
+    return float(sum(tail)) / max(1, len(tail))
+
+
+def bench_comm_main(argv: list[str]) -> int:
+    import json
+    import os
+    from dataclasses import asdict
+
+    from repro.experiments.common import make_spec
+    from repro.net.launcher import run_tcp_federation
+
+    args = build_bench_comm_parser().parse_args(argv)
+    preset = tiny_preset(
+        args.dataset,
+        num_clients=args.clients,
+        rounds=args.rounds,
+        n_train=args.clients * 80,
+    )
+    spec = make_spec(preset, "dirichlet", None, args.seed)
+
+    entry: dict = {
+        "rounds": args.rounds,
+        "clients": args.clients,
+        "workers": args.workers,
+        "dataset": args.dataset,
+        "seed": args.seed,
+        "wires": {},
+    }
+    for wire in ("full", "delta"):
+        t0 = time.perf_counter()
+        result, exit_codes = run_tcp_federation(
+            asdict(spec),
+            rounds=args.rounds,
+            workers=args.workers,
+            seed=args.seed,
+            wire=wire,
+        )
+        wall_s = time.perf_counter() - t0
+        bad = [c for c in exit_codes if c != 0]
+        if bad:
+            print(f"error: {len(bad)} worker(s) exited non-zero on the {wire} wire",
+                  file=sys.stderr)
+            return 1
+        cost = result.cost
+        entry["wires"][wire] = {
+            "total_bytes": cost.total_bytes,
+            "uplink_bytes": cost.uplink_bytes(),
+            "downlink_bytes": cost.downlink_bytes(),
+            "per_round_bytes": list(cost.per_round),
+            "steady_round_bytes": _steady_round_bytes(cost.per_round),
+            "per_client_round_bytes": cost.per_client_round_bytes(args.clients),
+            "frames": cost.total_messages,
+            "wall_s": wall_s,
+            "codec": result.codec_stats,
+        }
+        print(
+            f"{wire:>5} wire: {format_bytes(cost.total_bytes)} total, "
+            f"{format_bytes(entry['wires'][wire]['steady_round_bytes'])}/round steady, "
+            f"{cost.total_messages} frames, {wall_s:.1f}s wall"
+        )
+
+    full_s = entry["wires"]["full"]["steady_round_bytes"]
+    delta_s = entry["wires"]["delta"]["steady_round_bytes"]
+    savings = 1.0 - delta_s / full_s if full_s else 0.0
+    entry["delta_savings"] = savings
+    print(f"steady-state delta savings vs full wire: {savings:.1%}")
+
+    doc = {"schema": 1, "entries": []}
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            doc = json.load(fh)
+    doc["entries"].append(entry)
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"trajectory entry written to {args.output}")
+
+    failures: list[str] = []
+    if savings < args.min_savings:
+        failures.append(
+            f"delta wire saves {savings:.1%} steady-state bytes, "
+            f"needs >= {args.min_savings:.0%}"
+        )
+    if args.baseline is not None and os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            base_entries = json.load(fh).get("entries", [])
+        if base_entries:
+            base = base_entries[-1]["wires"]["delta"]["steady_round_bytes"]
+            if delta_s > base * (1.0 + args.bytes_inflate):
+                failures.append(
+                    f"steady-state delta-wire bytes regressed: {delta_s:.0f} vs "
+                    f"baseline {base:.0f} (+{delta_s / base - 1.0:.1%} > "
+                    f"+{args.bytes_inflate:.0%} allowed)"
+                )
+            else:
+                print(
+                    f"baseline check: {delta_s:.0f} B/round vs committed "
+                    f"{base:.0f} B/round — within tolerance"
+                )
+    for f in failures:
+        print(f"bench gate: FAIL — {f}", file=sys.stderr if args.gate else sys.stdout)
+    if failures:
+        return 1 if args.gate else 0
+    print("bench gate: OK")
+    return 0
 
 
 def build_trace_parser() -> argparse.ArgumentParser:
@@ -461,7 +649,12 @@ def serve_main(argv: list[str]) -> int:
     server = FedTcpServer(
         args.clients,
         args.rounds,
-        make_run_config(asdict(spec), trainer={"rho": args.rho}, local_epochs=args.local_epochs),
+        make_run_config(
+            asdict(spec),
+            trainer={"rho": args.rho},
+            local_epochs=args.local_epochs,
+            wire=args.wire,
+        ),
         host=args.host,
         port=args.port,
         sample_rate=args.sample_rate,
@@ -554,6 +747,7 @@ def tcp_run_main(args) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
             resume=args.resume,
+            wire=args.wire,
         )
     finally:
         if tel is not None:
@@ -572,6 +766,13 @@ def tcp_run_main(args) -> int:
         f"communication: {format_bytes(cost.total_bytes)} total (socket-measured), "
         f"{format_bytes(cost.per_client_round_bytes(args.clients))} per client-round"
     )
+    cs = result.codec_stats
+    if args.wire != "full" and cs.get("frames_encoded"):
+        print(
+            f"wire codec ({args.wire}): {cs['deltas']} delta + {cs['snapshots']} snapshot "
+            f"frames down, {format_bytes(cs['raw_bytes'])} raw -> "
+            f"{format_bytes(cs['wire_bytes'])} framed"
+        )
     if bad:
         print(f"warning: {len(bad)} worker(s) exited non-zero: {exit_codes}", file=sys.stderr)
     if args.telemetry:
@@ -595,6 +796,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
+    if argv and argv[0] == "bench-comm":
+        return bench_comm_main(argv[1:])
     if argv and argv[0] == "run":  # explicit alias of the bare form
         argv = argv[1:]
 

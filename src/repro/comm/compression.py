@@ -14,6 +14,21 @@ All compressors round-trip through ``compress``/``decompress`` dicts of
 plain arrays, so they compose with the existing ``SimComm`` byte
 accounting: send ``compressor.compress(state)`` and the ledger records
 the true compressed size.
+
+**Key namespacing.**  A compressed payload must be unambiguous: every
+output key is ``"<tag>:<original name>"`` where the tag identifies the
+entry's role (``r`` = raw pass-through, ``q<dtype>``/``h`` = quantized
+tensor + header, ``v``/``i``/``s`` = top-k values/indices/shape).  The
+original name — whatever it contains, including ``.q``/``.idx``-style
+suffixes or even ``:`` — is recovered by splitting at the *first*
+``:``, so adversarial tensor names can never collide with compressor
+metadata (the old suffix scheme silently dropped a pass-through tensor
+whose real name ended in ``.idx`` or ``.hdr``).
+
+**Dtype preservation.**  Round-trips restore each tensor's exact dtype:
+quantization records the source dtype in its tag and stores ``lo`` /
+``scale`` headers in float64 (float32 headers silently perturbed
+float64 classifiers); top-k keeps values in the source dtype.
 """
 
 from __future__ import annotations
@@ -21,6 +36,21 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["NoCompression", "QuantizationCompressor", "TopKCompressor"]
+
+
+def _tagged(tag: str, name: str) -> str:
+    return f"{tag}:{name}"
+
+
+def _split_tag(key: str) -> tuple[str, str]:
+    """Split ``"<tag>:<name>"`` at the first ``:`` (names may contain ``:``)."""
+    tag, sep, name = key.partition(":")
+    if not sep:
+        raise ValueError(
+            f"compressed payload key {key!r} has no namespace tag — "
+            "was this dict really produced by compress()?"
+        )
+    return tag, name
 
 
 class NoCompression:
@@ -39,8 +69,9 @@ class QuantizationCompressor:
     """Linear quantization of float tensors to ``bits``-bit integers.
 
     Each tensor ``w`` is mapped to ``round((w - min) / scale)`` stored as
-    uint8/uint16, plus two float32 header scalars.  Decompression is
-    ``q * scale + min``; the max absolute error is ``scale / 2``.
+    uint8/uint16, plus two float64 header scalars.  Decompression is
+    ``q * scale + min`` computed in float64 then cast back to the source
+    dtype; the max absolute error is ``scale / 2``.
     """
 
     def __init__(self, bits: int = 8):
@@ -55,27 +86,32 @@ class QuantizationCompressor:
         out: dict[str, np.ndarray] = {}
         for k, v in state.items():
             if v.dtype.kind != "f":
-                out[k] = v.copy()  # integer buffers pass through
+                out[_tagged("r", k)] = v.copy()  # integer buffers pass through
                 continue
             lo = float(v.min()) if v.size else 0.0
             hi = float(v.max()) if v.size else 0.0
             scale = (hi - lo) / self._levels if hi > lo else 1.0
-            q = np.round((v - lo) / scale).astype(self._dtype)
-            out[k + ".q"] = q
-            out[k + ".hdr"] = np.array([lo, scale], dtype=np.float32)
+            q = np.round((v.astype(np.float64) - lo) / scale).astype(self._dtype)
+            # the source dtype rides in the tag ("q<f8") so the round
+            # trip restores it exactly
+            out[_tagged("q" + v.dtype.str, k)] = q
+            out[_tagged("h", k)] = np.array([lo, scale], dtype=np.float64)
         return out
 
     def decompress(self, payload: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         out: dict[str, np.ndarray] = {}
-        for k, v in payload.items():
-            if k.endswith(".hdr"):
+        for key, v in payload.items():
+            tag, name = _split_tag(key)
+            if tag == "h":
                 continue
-            if k.endswith(".q"):
-                base = k[: -len(".q")]
-                lo, scale = payload[base + ".hdr"]
-                out[base] = v.astype(np.float64) * float(scale) + float(lo)
+            if tag == "r":
+                out[name] = v.copy()
+            elif tag.startswith("q"):
+                lo, scale = payload[_tagged("h", name)].astype(np.float64)
+                dtype = np.dtype(tag[1:])
+                out[name] = (v.astype(np.float64) * float(scale) + float(lo)).astype(dtype)
             else:
-                out[k] = v.copy()
+                raise ValueError(f"unknown quantized-payload tag {tag!r} (key {key!r})")
         return out
 
 
@@ -85,7 +121,8 @@ class TopKCompressor:
     The complement is zeroed on decompression — appropriate for
     aggregation because the weighted average of sparse uploads remains an
     unbiased-ish estimate when k is large enough; the bench quantifies
-    the accuracy/bytes trade-off empirically.
+    the accuracy/bytes trade-off empirically.  Kept values stay in the
+    source dtype, so ``ratio=1.0`` round-trips bit-exactly.
     """
 
     def __init__(self, ratio: float = 0.25):
@@ -98,27 +135,29 @@ class TopKCompressor:
         out: dict[str, np.ndarray] = {}
         for key, v in state.items():
             if v.dtype.kind != "f" or v.size < 4:
-                out[key] = v.copy()
+                out[_tagged("r", key)] = v.copy()
                 continue
             flat = v.ravel()
             k = max(1, int(round(self.ratio * flat.size)))
             idx = np.argpartition(np.abs(flat), -k)[-k:].astype(np.int32)
-            out[key + ".vals"] = flat[idx].astype(np.float32)
-            out[key + ".idx"] = idx
-            out[key + ".shape"] = np.asarray(v.shape, dtype=np.int32)
+            out[_tagged("v", key)] = flat[idx].copy()
+            out[_tagged("i", key)] = idx
+            out[_tagged("s", key)] = np.asarray(v.shape, dtype=np.int32)
         return out
 
     def decompress(self, payload: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         out: dict[str, np.ndarray] = {}
         for key, v in payload.items():
-            if key.endswith((".idx", ".shape")):
+            tag, name = _split_tag(key)
+            if tag in ("i", "s"):
                 continue
-            if key.endswith(".vals"):
-                base = key[: -len(".vals")]
-                shape = tuple(payload[base + ".shape"])
-                dense = np.zeros(int(np.prod(shape)), dtype=np.float64)
-                dense[payload[base + ".idx"]] = v.astype(np.float64)
-                out[base] = dense.reshape(shape)
+            if tag == "r":
+                out[name] = v.copy()
+            elif tag == "v":
+                shape = tuple(payload[_tagged("s", name)])
+                dense = np.zeros(int(np.prod(shape)), dtype=v.dtype)
+                dense[payload[_tagged("i", name)]] = v
+                out[name] = dense.reshape(shape)
             else:
-                out[key] = v.copy()
+                raise ValueError(f"unknown top-k-payload tag {tag!r} (key {key!r})")
         return out

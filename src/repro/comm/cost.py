@@ -49,7 +49,8 @@ class CostModel:
     per_round: list = field(default_factory=list)
     #: simulated transfer seconds per closed round (parallel to per_round)
     per_round_time_s: list = field(default_factory=list)
-    #: participants per closed round, when the round loop reports them
+    #: participants per closed round, parallel to ``per_round`` —
+    #: ``None`` for rounds whose loop never reported a count
     per_round_participants: list = field(default_factory=list)
     _round_bytes: int = 0
     _round_time_s: float = 0.0
@@ -73,8 +74,12 @@ class CostModel:
         b = self._round_bytes
         self.per_round.append(b)
         self.per_round_time_s.append(self._round_time_s)
-        if participants is not None:
-            self.per_round_participants.append(int(participants))
+        # always append (None when unreported) so the participants list
+        # stays parallel to per_round — per_client_round_bytes must be
+        # able to pair each round's bytes with its participant count
+        self.per_round_participants.append(
+            int(participants) if participants is not None else None
+        )
         self._round_bytes = 0
         self._round_time_s = 0.0
         return b
@@ -95,12 +100,21 @@ class CostModel:
         (client, round) participations — so sample_rate < 1 runs
         (Fig. 7 / Table 5's 100-client regime) report what one
         participant really transfers, not a value diluted ~1/sample_rate
-        by idle clients.  Without participant data, ``num_clients``
+        by idle clients.  Only rounds that *recorded* a participant
+        count contribute to either side of the ratio — mixing
+        all-rounds bytes over recorded-rounds participations (the old
+        behavior) overstated the cost whenever some rounds went
+        unrecorded.  Without any participant data, ``num_clients``
         (full participation) is assumed.
         """
-        if self.per_round_participants:
-            participations = sum(self.per_round_participants)
-            return self.total_bytes / max(1, participations)
+        recorded = [
+            (b, p)
+            for b, p in zip(self.per_round, self.per_round_participants)
+            if p is not None
+        ]
+        if recorded:
+            participations = sum(p for _, p in recorded)
+            return sum(b for b, _ in recorded) / max(1, participations)
         if num_clients is None:
             raise ValueError("num_clients required when no participant counts were recorded")
         rounds = max(1, len(self.per_round))
@@ -151,5 +165,8 @@ class CostModel:
             cost.per_link[(int(src), int(dst))] = int(v)
         cost.per_round = [int(v) for v in d.get("per_round", [])]
         cost.per_round_time_s = [float(v) for v in d.get("per_round_time_s", [])]
-        cost.per_round_participants = [int(v) for v in d.get("per_round_participants", [])]
+        cost.per_round_participants = [
+            int(v) if v is not None else None
+            for v in d.get("per_round_participants", [])
+        ]
         return cost

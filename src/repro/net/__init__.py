@@ -6,7 +6,10 @@ while keeping the in-process :class:`repro.comm.SimComm` as the default
 backend behind a shared :class:`Transport` interface:
 
 * :mod:`repro.net.protocol` — length-prefixed CRC-checked binary
-  framing over the existing state-dict wire format;
+  framing over the existing state-dict wire format, with zero-copy
+  scatter/gather sends and flag-negotiated state encodings;
+* :mod:`repro.net.encoding` — the wire codec: lossless XOR-delta +
+  zlib state frames (default), opt-in lossy quantization/top-k modes;
 * :mod:`repro.net.transport` — the :class:`Transport` interface both
   backends satisfy, plus the server-side :class:`TcpTransport`
   (accept loop, reader threads, liveness, ordered collection);
@@ -44,9 +47,17 @@ from repro.net.protocol import (
     MsgType,
     ProtocolError,
     Truncated,
+    UnknownWireFlags,
     VersionMismatch,
 )
 from repro.net.chaos import ChaosConfig, ChaosConnection, ChaosEngine
+from repro.net.encoding import (
+    WIRE_MODES,
+    CodecStats,
+    EncodingError,
+    WireCodec,
+    parse_wire_mode,
+)
 from repro.net.retry import Deadline, Heartbeat, RetryPolicy, backoff_delays, call_with_retries
 from repro.net.supervisor import WorkerSupervisor
 from repro.net.transport import Connection, TcpTransport, Transport, WorkerLink
@@ -65,7 +76,13 @@ __all__ = [
     "ChecksumMismatch",
     "Truncated",
     "ConnectionClosed",
+    "UnknownWireFlags",
     "MAX_FRAME_BYTES",
+    "WIRE_MODES",
+    "WireCodec",
+    "CodecStats",
+    "EncodingError",
+    "parse_wire_mode",
     "RetryPolicy",
     "Deadline",
     "Heartbeat",

@@ -45,7 +45,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.net.protocol import MAX_FRAME_BYTES, Message, MsgType, encode_message
+from repro.net.protocol import MAX_FRAME_BYTES, Message, MsgType
 from repro.net.transport import Connection
 
 __all__ = ["ChaosConfig", "ChaosEngine", "ChaosConnection"]
@@ -221,12 +221,14 @@ class ChaosConnection(Connection):
             self.engine.counts["delays"] += 1
             time.sleep(self.engine.config.delay_s)
             return super().send(msg)
-        frame = encode_message(msg, self.max_frame)
         if fault == "bitflip":
             self.engine.counts["bitflips"] += 1
-            bad = bytearray(frame)
-            bad[-1] ^= 0x01  # last payload byte: CRC32 must catch it
             with self._send_lock:
+                # encode through the wire codec (under the send lock —
+                # delta encoding advances per-stream state) so the fault
+                # corrupts exactly the frame a clean send would emit
+                bad = bytearray(b"".join(self._encode_frame(msg)))
+                bad[-1] ^= 0x01  # last payload byte: CRC32 must catch it
                 self.sock.sendall(bytes(bad))
             self.bytes_tx += len(bad)
             # the server drops the link on ChecksumMismatch — surface the
@@ -235,8 +237,9 @@ class ChaosConnection(Connection):
             raise ConnectionResetError("chaos: injected payload bit-flip")
         if fault == "disconnect":
             self.engine.counts["disconnects"] += 1
-            half = bytes(frame[: max(1, len(frame) // 2)])
             with self._send_lock:
+                frame = b"".join(self._encode_frame(msg))
+                half = frame[: max(1, len(frame) // 2)]
                 self.sock.sendall(half)
             self.bytes_tx += len(half)
             self.close()

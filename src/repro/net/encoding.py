@@ -1,0 +1,329 @@
+"""Delta/compressed wire encoding for state-dict payloads.
+
+FedClassAvg's wire traffic is dominated by the same small classifier
+crossing the network over and over: the server broadcasts one global
+classifier to every sampled client each round, and successive rounds'
+classifiers differ by one aggregation step.  :class:`WireCodec`
+exploits both redundancies **losslessly**:
+
+* Each logical *stream* (one per direction/peer — ``"broadcast"`` for
+  server→worker state, ``"update:<client>"`` per client uplink)
+  remembers the last serialized state blob it sent/received.
+* When the next blob has the same byte length, the codec transmits
+  ``zlib(prev XOR next)`` — a *delta* container.  XOR of raw float bits
+  is exact (no arithmetic, no rounding): unchanged bytes become zeros,
+  which zlib collapses, and repeated broadcasts of the identical state
+  collapse to a few dozen bytes.
+* First contact, a shape change, or a rejoin (fresh connection ⇒ fresh
+  codec state on both ends) falls back to a zlib'd *snapshot* of the
+  full blob.
+
+Every container carries a sequence number and the CRC32 of the base it
+was diffed against, so encoder/decoder lockstep is verified on every
+frame — a desynchronized peer gets a typed :class:`EncodingError`,
+never silently corrupt floats.  Because decoding is driven entirely by
+the frame's flag bits, any peer with a codec can decode any mode; the
+configured mode only shapes what *this* side sends.
+
+Lossy modes (``delta+quant8`` …) compose the existing
+:class:`~repro.comm.compression.QuantizationCompressor` /
+:class:`~repro.comm.compression.TopKCompressor` *before* the delta
+stage and advertise themselves via dedicated flag bits, so a receiver
+always knows exactly what transform to invert.  The default ``delta``
+mode is bit-lossless: decoded states are byte-identical to what the
+sender serialized, which is why TCP-vs-sim / chaos / crash-resume
+determinism holds with the codec on.
+
+Both container kinds pass the payload through a **byte-shuffle filter**
+before zlib: the i-th byte of every 8-byte word is grouped with its
+peers (a transpose, trivially invertible).  Float64 values that moved
+only slightly XOR to words whose sign/exponent/high-mantissa bytes are
+zero and whose low-mantissa bytes are noise; interleaved, that pattern
+defeats zlib's 3-byte matcher, but shuffled, the near-zero byte planes
+become long runs it collapses.  This is what makes *uplink* deltas
+(client updates, where every float changes each round) compress.
+
+Container format (``flags & FLAG_CODEC``)::
+
+    magic      4 bytes  b"RPC1"
+    kind       1 byte   0 = snapshot, 1 = delta
+    seq        4 bytes  <I per-stream frame counter (encoder side)
+    base_crc   4 bytes  <I CRC32 of the base blob (0 for snapshots)
+    raw_len    4 bytes  <I decompressed (pre-shuffle) blob length
+    body       N bytes  zlib(shuffle(blob)) or zlib(shuffle(blob XOR base))
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.compression import QuantizationCompressor, TopKCompressor
+from repro.net.protocol import (
+    FLAG_CODEC,
+    FLAG_QUANT8,
+    FLAG_QUANT16,
+    FLAG_TOPK,
+    MsgType,
+    ProtocolError,
+)
+from repro.utils.serialization import (
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+    state_dict_to_chunks,
+)
+
+__all__ = [
+    "WIRE_MODES",
+    "EncodingError",
+    "CodecStats",
+    "WireCodec",
+    "parse_wire_mode",
+    "stream_key",
+]
+
+_MAGIC = b"RPC1"
+_CONTAINER = struct.Struct("<4sBIII")  # magic, kind, seq, base_crc, raw_len
+_SNAPSHOT, _DELTA = 0, 1
+#: zlib level 1: XOR deltas are mostly zero runs, which even the fastest
+#: level collapses; higher levels buy little and cost encode latency
+_ZLEVEL = 1
+
+#: canonical wire modes accepted by --wire (delta+topk takes a ratio suffix)
+WIRE_MODES = ("full", "delta", "delta+quant8", "delta+quant16", "delta+topk<r>")
+
+
+class EncodingError(ProtocolError):
+    """Corrupt or out-of-lockstep codec container."""
+
+
+#: byte-shuffle word size: float64 is the wire's dominant dtype
+_SHUFFLE_STRIDE = 8
+
+
+def _byteshuffle(data: bytes) -> bytes:
+    """Transpose ``data`` so the i-th byte of every 8-byte word is contiguous.
+
+    A pure permutation (losslessly inverted by :func:`_byteunshuffle`);
+    the tail that doesn't fill a word passes through untouched.
+    """
+    n = len(data) - len(data) % _SHUFFLE_STRIDE
+    if n == 0:
+        return data
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return arr[:n].reshape(-1, _SHUFFLE_STRIDE).T.tobytes() + data[n:]
+
+
+def _byteunshuffle(data: bytes) -> bytes:
+    n = len(data) - len(data) % _SHUFFLE_STRIDE
+    if n == 0:
+        return data
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return arr[:n].reshape(_SHUFFLE_STRIDE, -1).T.tobytes() + data[n:]
+
+
+def parse_wire_mode(mode: str):
+    """Validate a ``--wire`` mode string → ``(mode, compressor, lossy_flag)``.
+
+    Raises ``ValueError`` with the accepted grammar on junk input.
+    """
+    mode = (mode or "full").strip().lower()
+    if mode == "full":
+        return mode, None, 0
+    if mode == "delta":
+        return mode, None, 0
+    if mode == "delta+quant8":
+        return mode, QuantizationCompressor(8), FLAG_QUANT8
+    if mode == "delta+quant16":
+        return mode, QuantizationCompressor(16), FLAG_QUANT16
+    if mode.startswith("delta+topk"):
+        try:
+            ratio = float(mode[len("delta+topk") :] or 0.25)
+            return mode, TopKCompressor(ratio), FLAG_TOPK
+        except ValueError as exc:
+            raise ValueError(
+                f"bad top-k ratio in wire mode {mode!r}: {exc}"
+            ) from exc
+    raise ValueError(
+        f"unknown wire mode {mode!r}; expected one of {', '.join(WIRE_MODES)}"
+    )
+
+
+def stream_key(msg_type: MsgType, meta: dict) -> str:
+    """Logical delta stream for a frame.
+
+    Server→worker state frames share one ``"broadcast"`` stream per
+    connection — the global classifier the server sends to each of a
+    worker's clients in a round is *identical*, so the 2nd..Nth
+    broadcast per round deltas to near zero.  Worker→server updates
+    delta per client against that client's previous round.
+    """
+    if msg_type == MsgType.CLIENT_UPDATE:
+        return f"update:{meta.get('client', -1)}"
+    return "broadcast"
+
+
+@dataclass
+class CodecStats:
+    """Thread-safe encode/decode counters shared across connections."""
+
+    frames_encoded: int = 0
+    frames_decoded: int = 0
+    snapshots: int = 0
+    deltas: int = 0
+    raw_bytes: int = 0  # serialized size before the codec
+    wire_bytes: int = 0  # container size actually framed
+    encode_s: float = 0.0
+    decode_s: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def note_encode(self, kind: int, raw: int, wire: int, dt: float) -> None:
+        with self._lock:
+            self.frames_encoded += 1
+            self.snapshots += kind == _SNAPSHOT
+            self.deltas += kind == _DELTA
+            self.raw_bytes += raw
+            self.wire_bytes += wire
+            self.encode_s += dt
+
+    def note_decode(self, dt: float) -> None:
+        with self._lock:
+            self.frames_decoded += 1
+            self.decode_s += dt
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "frames_encoded": self.frames_encoded,
+                "frames_decoded": self.frames_decoded,
+                "snapshots": self.snapshots,
+                "deltas": self.deltas,
+                "raw_bytes": self.raw_bytes,
+                "wire_bytes": self.wire_bytes,
+                "encode_s": self.encode_s,
+                "decode_s": self.decode_s,
+            }
+
+
+class WireCodec:
+    """Per-connection stateful encoder/decoder for state-dict blobs.
+
+    One codec belongs to one :class:`~repro.net.transport.Connection`;
+    its per-stream base blobs mirror the peer's, and both sides start
+    fresh on every (re)connect, which keeps them in lockstep across
+    crashes and rejoins without any extra handshake.  ``mode`` only
+    affects :meth:`encode_state`; :meth:`decode_state` is driven by the
+    received frame's flag bits and handles every mode.
+    """
+
+    def __init__(self, mode: str = "full", stats: CodecStats | None = None):
+        self.mode, self._compressor, self._lossy_flag = parse_wire_mode(mode)
+        self.stats = stats or CodecStats()
+        self._tx: dict[str, bytes] = {}  # stream → last blob we encoded
+        self._rx: dict[str, bytes] = {}  # stream → last blob we decoded
+        self._seq: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def set_mode(self, mode: str) -> None:
+        """Switch the *encode* mode (e.g. after CONFIG announces the run's wire)."""
+        self.mode, self._compressor, self._lossy_flag = parse_wire_mode(mode)
+
+    # -- encode --------------------------------------------------------
+    def encode_state(
+        self, stream: str, state: dict[str, np.ndarray]
+    ) -> tuple[list, int]:
+        """Encode ``state`` for ``stream`` → ``(buffer_parts, flags)``.
+
+        ``full`` mode returns the plain zero-copy chunk list with flags
+        0 (indistinguishable from a codec-less peer).  Delta modes
+        return a single container blob and ``FLAG_CODEC`` (plus the
+        lossy-mode bit, if any).
+        """
+        if self.mode == "full":
+            return state_dict_to_chunks(state), 0
+        t0 = time.perf_counter()
+        if self._compressor is not None:
+            state = self._compressor.compress(state)
+        blob = state_dict_to_bytes(state)
+        with self._lock:
+            base = self._tx.get(stream)
+            seq = self._seq.get(stream, 0)
+            self._seq[stream] = seq + 1
+            self._tx[stream] = blob
+        if base is not None and len(base) == len(blob):
+            kind = _DELTA
+            base_crc = zlib.crc32(base) & 0xFFFFFFFF
+            xored = (
+                np.frombuffer(blob, dtype=np.uint8)
+                ^ np.frombuffer(base, dtype=np.uint8)
+            ).tobytes()
+            body = zlib.compress(_byteshuffle(xored), _ZLEVEL)
+        else:
+            kind, base_crc = _SNAPSHOT, 0
+            body = zlib.compress(_byteshuffle(blob), _ZLEVEL)
+        container = _CONTAINER.pack(_MAGIC, kind, seq, base_crc, len(blob)) + body
+        self.stats.note_encode(kind, len(blob), len(container), time.perf_counter() - t0)
+        return [container], FLAG_CODEC | self._lossy_flag
+
+    # -- decode --------------------------------------------------------
+    def decode_state(
+        self, flags: int, msg_type: MsgType, meta: dict, blob: bytes
+    ) -> dict[str, np.ndarray]:
+        """Decode a flag-encoded state blob (signature fits ``state_decoder``)."""
+        if not flags & FLAG_CODEC:
+            raise EncodingError(
+                f"state decoder invoked with non-codec flags 0x{flags:04x}"
+            )
+        t0 = time.perf_counter()
+        stream = stream_key(msg_type, meta)
+        if len(blob) < _CONTAINER.size:
+            raise EncodingError("codec container truncated before header")
+        magic, kind, seq, base_crc, raw_len = _CONTAINER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise EncodingError(f"bad codec container magic {magic!r}")
+        try:
+            raw = _byteunshuffle(zlib.decompress(blob[_CONTAINER.size :]))
+        except zlib.error as exc:
+            raise EncodingError(f"codec container body corrupt: {exc}") from exc
+        if len(raw) != raw_len:
+            raise EncodingError(
+                f"codec container declares {raw_len} raw bytes, got {len(raw)}"
+            )
+        if kind == _SNAPSHOT:
+            out = raw
+        elif kind == _DELTA:
+            with self._lock:
+                base = self._rx.get(stream)
+            if base is None or len(base) != len(raw):
+                raise EncodingError(
+                    f"delta frame for stream {stream!r} but no matching base "
+                    f"(have {len(base) if base is not None else 'none'}, "
+                    f"need {len(raw)} bytes) — peers out of lockstep"
+                )
+            if zlib.crc32(base) & 0xFFFFFFFF != base_crc:
+                raise EncodingError(
+                    f"delta base CRC mismatch on stream {stream!r} "
+                    f"(seq {seq}) — peers out of lockstep"
+                )
+            out = (
+                np.frombuffer(raw, dtype=np.uint8)
+                ^ np.frombuffer(base, dtype=np.uint8)
+            ).tobytes()
+        else:
+            raise EncodingError(f"unknown codec container kind {kind}")
+        with self._lock:
+            self._rx[stream] = out
+        state = state_dict_from_bytes(out)
+        if flags & FLAG_QUANT8:
+            state = QuantizationCompressor(8).decompress(state)
+        elif flags & FLAG_QUANT16:
+            state = QuantizationCompressor(16).decompress(state)
+        elif flags & FLAG_TOPK:
+            state = TopKCompressor().decompress(state)
+        self.stats.note_decode(time.perf_counter() - t0)
+        return state

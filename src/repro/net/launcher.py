@@ -146,6 +146,7 @@ def run_tcp_federation(
     rejoin_grace_s: float | None = None,
     crash_after_round: int | None = None,
     crash_in_round: int | None = None,
+    wire: str = "delta",
     verbose: bool = False,
 ) -> tuple[ServerResult, list[int | None]]:
     """Run a full FedClassAvg federation over localhost TCP.
@@ -163,6 +164,11 @@ def run_tcp_federation(
     for a recovering worker instead of writing it off.  ``workers=0``
     spawns nothing — the caller attached externally-launched workers
     (crash-resume flows reconnecting a surviving fleet).
+
+    ``wire`` selects the state-blob encoding for the whole run (server
+    and workers alike, via the CONFIG handshake); the default lossless
+    ``delta`` keeps finals bit-identical to a ``full``-wire or SimComm
+    run while cutting steady-state bytes.
     """
     num_clients = int(spec_dict["num_clients"])
     config = make_run_config(
@@ -171,6 +177,7 @@ def run_tcp_federation(
         local_epochs=local_epochs,
         share_all_weights=share_all_weights,
         heartbeat_s=heartbeat_s,
+        wire=wire,
     )
     faulty = chaos_config is not None and chaos_config.enabled
     if rejoin_grace_s is None:

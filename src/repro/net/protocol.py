@@ -5,7 +5,7 @@ A frame on the wire is::
     magic     4 bytes   b"RPN1"
     version   1 byte    protocol version (reject mismatches)
     type      1 byte    :class:`MsgType`
-    reserved  2 bytes   zero (future flags)
+    flags     2 bytes   <H wire-encoding flags (zero = plain state blob)
     length    4 bytes   <I payload byte count
     crc32     4 bytes   <I zlib.crc32 of the payload
     payload   N bytes
@@ -18,10 +18,26 @@ format.  Exactly the bytes the paper's Table 5 cares about (the ~22 KB
 classifier vs a ~43.7 MB full model) plus a fixed few-dozen-byte frame
 header, so socket-measured costs are honest.
 
+**Wire-encoding flags.**  The two former reserved bytes carry the
+state blob's encoding: zero means the plain ``RPSD`` format above;
+:data:`FLAG_CODEC` means a :mod:`repro.net.encoding` delta/compressed
+container (optionally with a lossy-mode bit).  Negotiation is loud by
+construction — a peer that sees a flag bit it does not understand
+raises :class:`UnknownWireFlags` before touching the payload, and a
+pre-flags peer that ignored the field would hit the container's
+non-``RPSD`` magic and fail with a typed error rather than silently
+misdecoding floats.
+
 Corrupt input raises typed errors (all subclasses of
 :class:`ProtocolError`, itself a ``ValueError``): bad magic, version
-mismatch, oversized frame, checksum mismatch, truncation.  A server
-must be able to drop a bad peer without dying.
+mismatch, unknown flags, oversized frame, checksum mismatch,
+truncation.  A server must be able to drop a bad peer without dying.
+
+Sends are zero-copy: :func:`send_message` hands
+``socket.sendmsg`` a scatter/gather list whose tensor chunks are
+``memoryview``\\ s over the arrays' own buffers
+(:func:`repro.utils.serialization.state_dict_to_chunks`), so a
+classifier is never duplicated on its way out.
 """
 
 from __future__ import annotations
@@ -36,35 +52,58 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.utils.serialization import state_dict_from_bytes, state_dict_to_bytes
+from repro.utils.serialization import (
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+    state_dict_to_chunks,
+)
 
 __all__ = [
     "MAGIC",
     "VERSION",
     "MAX_FRAME_BYTES",
+    "FLAG_CODEC",
+    "FLAG_QUANT8",
+    "FLAG_QUANT16",
+    "FLAG_TOPK",
+    "KNOWN_WIRE_FLAGS",
     "MsgType",
     "Message",
     "ProtocolError",
     "BadMagic",
     "VersionMismatch",
+    "UnknownWireFlags",
     "FrameTooLarge",
     "ChecksumMismatch",
     "Truncated",
     "ConnectionClosed",
     "encode_message",
+    "encode_frame_parts",
     "decode_payload",
     "read_frame",
     "write_frame",
     "recv_message",
     "send_message",
+    "sendall_parts",
 ]
 
 MAGIC = b"RPN1"
 VERSION = 1
-_HEADER = struct.Struct("<4sBBHII")  # magic, version, type, reserved, length, crc32
+_HEADER = struct.Struct("<4sBBHII")  # magic, version, type, flags, length, crc32
 #: default ceiling on a single frame — far above any classifier payload
 #: (~22 KB) yet low enough that a corrupt length field cannot OOM the peer
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: state blob is a repro.net.encoding container (delta/snapshot + zlib)
+FLAG_CODEC = 0x0001
+#: state was lossy-compressed with QuantizationCompressor(8) before framing
+FLAG_QUANT8 = 0x0002
+#: state was lossy-compressed with QuantizationCompressor(16) before framing
+FLAG_QUANT16 = 0x0004
+#: state was lossy-compressed with TopKCompressor before framing
+FLAG_TOPK = 0x0008
+#: every flag bit this peer understands; anything else fails loudly
+KNOWN_WIRE_FLAGS = FLAG_CODEC | FLAG_QUANT8 | FLAG_QUANT16 | FLAG_TOPK
 
 
 class MsgType(enum.IntEnum):
@@ -96,6 +135,10 @@ class VersionMismatch(ProtocolError):
     """Peer speaks a different protocol version."""
 
 
+class UnknownWireFlags(ProtocolError):
+    """Frame header carries an encoding flag bit this peer does not know."""
+
+
 class FrameTooLarge(ProtocolError):
     """Declared payload length exceeds the configured ceiling."""
 
@@ -125,25 +168,68 @@ class Message:
         return f"Message({self.type.name}, {self.meta}{state})"
 
 
-def encode_message(msg: Message, max_frame: int = MAX_FRAME_BYTES) -> bytes:
-    """Serialize ``msg`` into one complete frame (header + payload)."""
-    meta_b = json.dumps(msg.meta, separators=(",", ":")).encode()
-    state_b = state_dict_to_bytes(msg.state) if msg.state is not None else b""
-    payload = struct.pack("<I", len(meta_b)) + meta_b + state_b
-    if len(payload) > max_frame:
-        raise FrameTooLarge(f"payload of {len(payload)} bytes exceeds cap {max_frame}")
-    header = _HEADER.pack(
-        MAGIC, VERSION, int(msg.type), 0, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
-    )
-    return header + payload
+def encode_frame_parts(
+    msg_type: MsgType,
+    meta: dict,
+    state_parts: list | None = None,
+    flags: int = 0,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> list:
+    """Build one frame as a scatter/gather buffer list (header first).
+
+    ``state_parts`` is a list of bytes-like chunks forming the state
+    blob — typically :func:`state_dict_to_chunks` output (zero-copy
+    memoryviews) or a single codec-container blob.  The CRC and length
+    are computed across the chunks without joining them.
+    """
+    if flags & ~KNOWN_WIRE_FLAGS:
+        raise UnknownWireFlags(f"refusing to send unknown wire flags 0x{flags:04x}")
+    meta_b = json.dumps(meta, separators=(",", ":")).encode()
+    payload_parts: list = [struct.pack("<I", len(meta_b)) + meta_b]
+    payload_parts.extend(state_parts or [])
+    length = sum(len(p) for p in payload_parts)
+    if length > max_frame:
+        raise FrameTooLarge(f"payload of {length} bytes exceeds cap {max_frame}")
+    crc = 0
+    for p in payload_parts:
+        crc = zlib.crc32(p, crc)
+    header = _HEADER.pack(MAGIC, VERSION, int(msg_type), flags, length, crc & 0xFFFFFFFF)
+    return [header, *payload_parts]
 
 
-def decode_payload(msg_type: int, payload: bytes) -> Message:
-    """Decode a verified payload into a :class:`Message`."""
+def encode_message(
+    msg: Message,
+    max_frame: int = MAX_FRAME_BYTES,
+    flags: int = 0,
+    state_parts: list | None = None,
+) -> bytes:
+    """Serialize ``msg`` into one complete contiguous frame.
+
+    ``state_parts`` (pre-encoded blob chunks, e.g. from a
+    :class:`repro.net.encoding.WireCodec`) overrides the default plain
+    serialization of ``msg.state``; ``flags`` must describe them.
+    """
+    if state_parts is None:
+        state_parts = state_dict_to_chunks(msg.state) if msg.state is not None else []
+    return b"".join(encode_frame_parts(msg.type, msg.meta, state_parts, flags, max_frame))
+
+
+def decode_payload(
+    msg_type: int, payload: bytes, flags: int = 0, state_decoder=None
+) -> Message:
+    """Decode a verified payload into a :class:`Message`.
+
+    ``state_decoder(flags, msg_type, meta, blob)`` handles any
+    flag-encoded state blob (see :mod:`repro.net.encoding`); with
+    ``flags == 0`` the blob is the plain ``RPSD`` format.  A flagged
+    frame reaching a peer with no decoder fails loudly.
+    """
     try:
         mtype = MsgType(msg_type)
     except ValueError as exc:
         raise ProtocolError(f"unknown message type {msg_type}") from exc
+    if flags & ~KNOWN_WIRE_FLAGS:
+        raise UnknownWireFlags(f"frame carries unknown wire flags 0x{flags:04x}")
     if len(payload) < 4:
         raise Truncated("payload too short for meta length prefix")
     (meta_len,) = struct.unpack_from("<I", payload)
@@ -158,22 +244,36 @@ def decode_payload(msg_type: int, payload: bytes) -> Message:
     if not isinstance(meta, dict):
         raise ProtocolError("message meta must be a JSON object")
     state_b = payload[4 + meta_len :]
-    state = state_dict_from_bytes(state_b) if state_b else None
+    if not state_b:
+        state = None
+    elif flags == 0:
+        state = state_dict_from_bytes(state_b)
+    elif state_decoder is None:
+        raise ProtocolError(
+            f"frame carries encoded state (flags 0x{flags:04x}) but this peer "
+            "has no wire codec configured"
+        )
+    else:
+        state = state_decoder(flags, mtype, meta, state_b)
     return Message(mtype, meta, state)
 
 
-def _parse_header(header: bytes, max_frame: int) -> tuple[int, int, int]:
-    magic, version, msg_type, _reserved, length, crc = _HEADER.unpack(header)
+def _parse_header(header: bytes, max_frame: int) -> tuple[int, int, int, int]:
+    magic, version, msg_type, flags, length, crc = _HEADER.unpack(header)
     if magic != MAGIC:
         raise BadMagic(f"bad frame magic {magic!r}")
     if version != VERSION:
         raise VersionMismatch(f"peer speaks protocol v{version}, we speak v{VERSION}")
+    if flags & ~KNOWN_WIRE_FLAGS:
+        raise UnknownWireFlags(f"frame carries unknown wire flags 0x{flags:04x}")
     if length > max_frame:
         raise FrameTooLarge(f"declared payload of {length} bytes exceeds cap {max_frame}")
-    return msg_type, length, crc
+    return msg_type, flags, length, crc
 
 
-def read_frame(stream: io.RawIOBase, max_frame: int = MAX_FRAME_BYTES) -> Message:
+def read_frame(
+    stream: io.RawIOBase, max_frame: int = MAX_FRAME_BYTES, state_decoder=None
+) -> Message:
     """Read one frame from a blocking file-like ``stream`` (``read(n)``)."""
 
     def _exact(n: int, what: str, *, start: bool = False) -> bytes:
@@ -188,11 +288,11 @@ def read_frame(stream: io.RawIOBase, max_frame: int = MAX_FRAME_BYTES) -> Messag
         return chunks
 
     header = _exact(_HEADER.size, "header", start=True)
-    msg_type, length, crc = _parse_header(header, max_frame)
+    msg_type, flags, length, crc = _parse_header(header, max_frame)
     payload = _exact(length, "payload")
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise ChecksumMismatch("payload CRC32 mismatch (corrupt frame)")
-    return decode_payload(msg_type, payload)
+    return decode_payload(msg_type, payload, flags, state_decoder)
 
 
 def write_frame(stream, msg: Message, max_frame: int = MAX_FRAME_BYTES) -> int:
@@ -202,15 +302,52 @@ def write_frame(stream, msg: Message, max_frame: int = MAX_FRAME_BYTES) -> int:
     return len(frame)
 
 
-def send_message(sock: socket.socket, msg: Message, max_frame: int = MAX_FRAME_BYTES) -> int:
+def sendall_parts(sock: socket.socket, parts: list) -> int:
+    """Send a scatter/gather buffer list fully; returns total byte count.
+
+    Uses ``socket.sendmsg`` (writev) so memoryview chunks go out without
+    being copied into one contiguous frame first; short writes resume
+    mid-chunk.  Falls back to ``sendall`` of the joined bytes where
+    ``sendmsg`` is unavailable.
+    """
+    views = [memoryview(p).cast("B") for p in parts if len(p)]
+    total = sum(len(v) for v in views)
+    if not views:
+        return 0
+    if not hasattr(sock, "sendmsg"):
+        sock.sendall(b"".join(views))
+        return total
+    i = 0
+    while i < len(views):
+        # cap the iovec batch well under IOV_MAX (1024 on Linux)
+        n = sock.sendmsg(views[i : i + 64])
+        while n > 0:
+            v = views[i]
+            if n >= len(v):
+                n -= len(v)
+                i += 1
+            else:
+                views[i] = v[n:]
+                n = 0
+    return total
+
+
+def send_message(
+    sock: socket.socket,
+    msg: Message,
+    max_frame: int = MAX_FRAME_BYTES,
+    flags: int = 0,
+    state_parts: list | None = None,
+) -> int:
     """Send one frame over a socket; returns the frame's byte count."""
-    frame = encode_message(msg, max_frame)
-    sock.sendall(frame)
-    return len(frame)
+    if state_parts is None:
+        state_parts = state_dict_to_chunks(msg.state) if msg.state is not None else []
+    parts = encode_frame_parts(msg.type, msg.meta, state_parts, flags, max_frame)
+    return sendall_parts(sock, parts)
 
 
 def recv_message(
-    sock: socket.socket, max_frame: int = MAX_FRAME_BYTES
+    sock: socket.socket, max_frame: int = MAX_FRAME_BYTES, state_decoder=None
 ) -> tuple[Message, int]:
     """Receive one frame from a socket; returns ``(message, frame_bytes)``.
 
@@ -232,8 +369,8 @@ def recv_message(
         return chunks
 
     header = _exact(_HEADER.size, "header", start=True)
-    msg_type, length, crc = _parse_header(header, max_frame)
+    msg_type, flags, length, crc = _parse_header(header, max_frame)
     payload = _exact(length, "payload")
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise ChecksumMismatch("payload CRC32 mismatch (corrupt frame)")
-    return decode_payload(msg_type, payload), _HEADER.size + length
+    return decode_payload(msg_type, payload, flags, state_decoder), _HEADER.size + length

@@ -126,20 +126,43 @@ class Heartbeat(threading.Thread):
     server's liveness check can tell "slow" from "dead".  Beat failures
     stop the thread quietly — the main loop will hit the same broken
     socket and handle it properly.
+
+    ``activity`` (optional: ``() -> float``, a monotonic timestamp of
+    the last frame sent on the shared connection) piggybacks liveness on
+    round traffic: a beat is skipped whenever *any* frame went out
+    within the last interval, so heartbeats only flow while the worker
+    is genuinely silent (grinding through local epochs) and idle
+    per-message overhead stays off the wire.
     """
 
-    def __init__(self, beat, interval_s: float = 1.0, name: str = "net-heartbeat"):
+    def __init__(
+        self,
+        beat,
+        interval_s: float = 1.0,
+        name: str = "net-heartbeat",
+        activity=None,
+    ):
         super().__init__(name=name, daemon=True)
         self._beat = beat
+        self._activity = activity
         self.interval_s = interval_s
+        self.beats_sent = 0
+        self.beats_skipped = 0
         # NB: must not be named _stop — Thread.join() calls a private
         # _stop() method internally
         self._halt = threading.Event()
 
     def run(self) -> None:
         while not self._halt.wait(self.interval_s):
+            if (
+                self._activity is not None
+                and time.monotonic() - self._activity() < self.interval_s
+            ):
+                self.beats_skipped += 1
+                continue
             try:
                 self._beat()
+                self.beats_sent += 1
             except Exception:
                 return
 

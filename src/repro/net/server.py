@@ -32,6 +32,7 @@ from repro.federated.aggregation import weighted_average_state
 from repro.federated.checkpoint import load_server_checkpoint, save_server_checkpoint
 from repro.federated.history import RoundMetrics, RunHistory
 from repro.federated.sampler import ClientSampler
+from repro.net.encoding import parse_wire_mode
 from repro.net.protocol import MsgType
 from repro.net.retry import Deadline
 from repro.net.transport import TcpTransport, WorkerLink
@@ -106,13 +107,20 @@ def make_run_config(
     share_all_weights: bool = False,
     heartbeat_s: float = 0.5,
     algorithm: str = "fedclassavg",
+    wire: str = "delta",
 ) -> dict:
     """The CONFIG payload a worker needs to reconstruct its clients.
 
     ``spec_dict`` is ``dataclasses.asdict(FederationSpec)``; ``trainer``
     holds :class:`repro.federated.trainer.LocalUpdateConfig` kwargs.
     Everything must be JSON-serializable — it crosses the wire.
+
+    ``wire`` is the run's state-blob encoding (see
+    :data:`repro.net.encoding.WIRE_MODES`); both sides adopt it — the
+    server via :class:`TcpTransport`, workers when this config arrives.
+    The default lossless ``delta`` preserves the bit-identity bar.
     """
+    parse_wire_mode(wire)  # reject junk before it crosses the wire
     return {
         "algorithm": algorithm,
         "spec": dict(spec_dict),
@@ -120,6 +128,7 @@ def make_run_config(
         "local_epochs": int(local_epochs),
         "share_all_weights": bool(share_all_weights),
         "heartbeat_s": float(heartbeat_s),
+        "wire": str(wire),
     }
 
 
@@ -136,6 +145,7 @@ class ServerResult:
         recovered_clients: list[dict] | None = None,
         permanently_lost: list[int] | None = None,
         worker_reports: list[dict] | None = None,
+        codec_stats: dict | None = None,
     ):
         self.history = history
         self.cost = cost
@@ -151,6 +161,9 @@ class ServerResult:
         self.permanently_lost = list(permanently_lost or [])
         #: final BYE self-reports from workers (rejoins, chaos tallies)
         self.worker_reports = list(worker_reports or [])
+        #: server-side wire-codec tallies (frames, snapshot/delta split,
+        #: raw vs wire bytes, encode/decode seconds)
+        self.codec_stats = dict(codec_stats or {})
 
 
 class FedTcpServer:
@@ -229,6 +242,7 @@ class FedTcpServer:
             on_worker_rejoined=self._on_worker_rejoined,
             rejoin_state=self._rejoin_state,
             rejoin_grace_s=rejoin_grace_s,
+            wire=run_config.get("wire", "full"),
         )
 
     def _restore(self, path: str) -> CostModel:
@@ -351,6 +365,7 @@ class FedTcpServer:
             self.transport.close()
         # workers hand in their BYE self-reports during close()
         result.worker_reports = list(self.transport.worker_reports)
+        result.codec_stats = self.transport.codec_stats.to_dict()
         return result
 
     def _run_rounds(self) -> ServerResult:

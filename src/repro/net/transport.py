@@ -31,6 +31,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.comm.cost import CostModel
+from repro.net.encoding import CodecStats, WireCodec, stream_key
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
     ChecksumMismatch,
@@ -39,8 +40,9 @@ from repro.net.protocol import (
     MsgType,
     ProtocolError,
     Truncated,
+    encode_frame_parts,
     recv_message,
-    send_message,
+    sendall_parts,
 )
 from repro.net.retry import Deadline
 
@@ -81,22 +83,57 @@ class Connection:
     counters, and every operation runs inside a ``net.send`` /
     ``net.recv`` span so cross-process timelines line up in
     ``repro trace``.
+
+    Each connection owns one :class:`~repro.net.encoding.WireCodec`
+    whose per-stream delta bases mirror the peer's — created fresh per
+    connection, so a reconnect resets both ends to snapshot mode in
+    lockstep.  State frames go out zero-copy (``sendmsg`` over the
+    tensors' own buffers or a single codec container); inbound frames
+    decode by their flag bits regardless of the local send mode.
+    ``last_tx`` (monotonic) lets the heartbeat thread skip beats when
+    round traffic is already proving liveness.
     """
 
-    def __init__(self, sock: socket.socket, max_frame: int = MAX_FRAME_BYTES):
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame: int = MAX_FRAME_BYTES,
+        codec: WireCodec | None = None,
+    ):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.sock = sock
         self.max_frame = max_frame
+        self.codec = codec if codec is not None else WireCodec("full")
         self.bytes_tx = 0
         self.bytes_rx = 0
+        self.last_tx = time.monotonic()
         self._send_lock = threading.Lock()
         self._closed = False
+
+    def set_wire_mode(self, mode: str) -> None:
+        """Switch what this side *sends* (decode is always flag-driven)."""
+        self.codec.set_mode(mode)
+
+    def _encode_frame(self, msg: Message) -> list:
+        """Encode ``msg`` into scatter/gather parts via the wire codec.
+
+        Must run under ``_send_lock``: delta encoding advances the
+        per-stream base, so frames must hit the wire in encode order.
+        """
+        if msg.state is not None:
+            state_parts, flags = self.codec.encode_state(
+                stream_key(msg.type, msg.meta), msg.state
+            )
+        else:
+            state_parts, flags = [], 0
+        return encode_frame_parts(msg.type, msg.meta, state_parts, flags, self.max_frame)
 
     def send(self, msg: Message) -> int:
         """Send one frame; returns its byte count."""
         with self._send_lock:
             with telemetry.span("net.send", type=msg.type.name):
-                n = send_message(self.sock, msg, self.max_frame)
+                n = sendall_parts(self.sock, self._encode_frame(msg))
+            self.last_tx = time.monotonic()
         self.bytes_tx += n
         telemetry.counter("net.bytes_tx").inc(n)
         return n
@@ -108,7 +145,7 @@ class Connection:
         """
         self.sock.settimeout(timeout)
         with telemetry.span("net.recv"):
-            msg, n = recv_message(self.sock, self.max_frame)
+            msg, n = recv_message(self.sock, self.max_frame, self.codec.decode_state)
         self.bytes_rx += n
         telemetry.counter("net.bytes_rx").inc(n)
         return msg, n
@@ -185,12 +222,16 @@ class TcpTransport:
         on_worker_rejoined=None,
         rejoin_state=None,
         rejoin_grace_s: float = 0.0,
+        wire: str = "full",
     ):
         if num_clients < 1:
             raise ValueError("transport needs at least one client")
         self.num_clients = num_clients
         self.size = num_clients + 1
         self.cost = cost_model or CostModel()
+        self.wire = wire
+        #: encode/decode tallies aggregated across every worker connection
+        self.codec_stats = CodecStats()
         self.config = dict(config or {})
         self.host = host
         self.port = port
@@ -550,7 +591,10 @@ class TcpTransport:
                 sock, addr = self._listener.accept()
             except OSError:
                 return  # listener closed
-            link = WorkerLink(Connection(sock, self.max_frame), addr)
+            conn = Connection(
+                sock, self.max_frame, WireCodec(self.wire, self.codec_stats)
+            )
+            link = WorkerLink(conn, addr)
             t = threading.Thread(
                 target=self._reader_loop, args=(link,), name=f"net-reader-{addr}", daemon=True
             )

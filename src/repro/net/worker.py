@@ -291,6 +291,12 @@ def _run_session(
         cfg = config.meta
         if cfg.get("algorithm") != "fedclassavg":
             raise _FatalWorkerError(f"unsupported algorithm {cfg.get('algorithm')!r}")
+        # adopt the run's wire encoding for everything we send from here
+        # on (decode is always flag-driven, so order never matters)
+        try:
+            conn.set_wire_mode(cfg.get("wire", "full"))
+        except ValueError as exc:
+            raise _FatalWorkerError(f"server requested unusable wire mode: {exc}") from exc
 
         fresh_build = not sess.by_id
         if fresh_build:
@@ -321,6 +327,9 @@ def _run_session(
         heartbeat = Heartbeat(
             lambda: conn.send(Message(MsgType.HEARTBEAT)),
             interval_s=float(cfg.get("heartbeat_s", 0.5)),
+            # piggyback liveness on round traffic: beat only when the
+            # connection has been genuinely silent for a full interval
+            activity=lambda: conn.last_tx,
         )
         heartbeat.start()
 

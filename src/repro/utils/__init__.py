@@ -9,7 +9,12 @@ from repro.utils.rng import (
     set_rng_state,
     spawn_rng,
 )
-from repro.utils.serialization import state_dict_from_bytes, state_dict_nbytes, state_dict_to_bytes
+from repro.utils.serialization import (
+    state_dict_from_bytes,
+    state_dict_nbytes,
+    state_dict_to_bytes,
+    state_dict_to_chunks,
+)
 from repro.utils.timer import Timer
 
 __all__ = [
@@ -21,6 +26,7 @@ __all__ = [
     "global_rng_state",
     "restore_global_rng_state",
     "state_dict_to_bytes",
+    "state_dict_to_chunks",
     "state_dict_from_bytes",
     "state_dict_nbytes",
     "Timer",

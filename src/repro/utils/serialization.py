@@ -13,31 +13,58 @@ import struct
 
 import numpy as np
 
-__all__ = ["state_dict_to_bytes", "state_dict_from_bytes", "state_dict_nbytes"]
+__all__ = [
+    "state_dict_to_bytes",
+    "state_dict_to_chunks",
+    "state_dict_from_bytes",
+    "state_dict_nbytes",
+]
 
 _MAGIC = b"RPSD"
 
 
-def state_dict_to_bytes(state: dict[str, np.ndarray]) -> bytes:
-    """Serialize a name→array mapping to bytes (dtype/shape preserved)."""
-    buf = io.BytesIO()
-    buf.write(_MAGIC)
-    buf.write(struct.pack("<I", len(state)))
+def state_dict_to_chunks(state: dict[str, np.ndarray]) -> list:
+    """Serialize a name→array mapping to a list of buffers, zero-copy.
+
+    Same wire format as :func:`state_dict_to_bytes`, but each tensor's
+    payload is a ``memoryview`` over the array's own buffer instead of a
+    ``tobytes()`` copy — the list can go straight to
+    ``socket.sendmsg`` (scatter/gather writev), so a classifier never
+    gets duplicated in memory on its way to the wire.  Small header
+    fields between tensors are coalesced into single ``bytes`` chunks.
+
+    The caller must not mutate the arrays until the chunks have been
+    consumed (the views alias live tensor memory).
+    """
+    chunks: list = []
+    small = bytearray()
+    small += _MAGIC
+    small += struct.pack("<I", len(state))
     for name, arr in state.items():
         arr = np.asarray(arr)
         shape = arr.shape  # captured first: ascontiguousarray promotes 0-d to 1-d
         data = np.ascontiguousarray(arr)
         name_b = name.encode()
         dtype_b = arr.dtype.str.encode()
-        buf.write(struct.pack("<I", len(name_b)))
-        buf.write(name_b)
-        buf.write(struct.pack("<I", len(dtype_b)))
-        buf.write(dtype_b)
-        buf.write(struct.pack("<I", len(shape)))
-        buf.write(struct.pack(f"<{len(shape)}q", *shape))
-        buf.write(struct.pack("<Q", data.nbytes))
-        buf.write(data.tobytes())
-    return buf.getvalue()
+        small += struct.pack("<I", len(name_b))
+        small += name_b
+        small += struct.pack("<I", len(dtype_b))
+        small += dtype_b
+        small += struct.pack("<I", len(shape))
+        small += struct.pack(f"<{len(shape)}q", *shape)
+        small += struct.pack("<Q", data.nbytes)
+        if data.nbytes:
+            chunks.append(bytes(small))
+            small = bytearray()
+            chunks.append(memoryview(data).cast("B"))
+    if small:
+        chunks.append(bytes(small))
+    return chunks
+
+
+def state_dict_to_bytes(state: dict[str, np.ndarray]) -> bytes:
+    """Serialize a name→array mapping to bytes (dtype/shape preserved)."""
+    return b"".join(state_dict_to_chunks(state))
 
 
 def _read_exact(buf: io.BytesIO, n: int, what: str) -> bytes:
@@ -108,5 +135,5 @@ def state_dict_from_bytes(blob: bytes) -> dict[str, np.ndarray]:
 
 
 def state_dict_nbytes(state: dict[str, np.ndarray]) -> int:
-    """Exact wire size of a serialized state dict."""
-    return len(state_dict_to_bytes(state))
+    """Exact wire size of a serialized state dict (no serialization pass)."""
+    return sum(len(c) for c in state_dict_to_chunks(state))

@@ -182,3 +182,108 @@ class TestRoundTripKeyOrderAlignment:
         b = comp.decompress(comp.compress(self._mixed_state(2)))
         avg = weighted_average_state([a, b])
         assert list(avg.keys()) == list(a.keys())
+
+
+class TestRoundTripProperties:
+    """Property-style round-trips: every compressor × dtype × shape edge.
+
+    The contract: ``decompress(compress(state))`` restores the exact key
+    set, each tensor's exact dtype and shape — for float32 and float64,
+    0-d scalars, empty tensors, and adversarial names that collide with
+    the old suffix-based metadata scheme (``.idx``/``.shape``/``.q``/
+    ``.hdr``/``.vals``) or contain the ``:`` tag separator itself.
+    """
+
+    COMPRESSORS = [
+        NoCompression(),
+        QuantizationCompressor(8),
+        QuantizationCompressor(16),
+        TopKCompressor(0.5),
+        TopKCompressor(1.0),
+    ]
+
+    def _adversarial_state(self):
+        rng = np.random.default_rng(7)
+        return {
+            # names ending in the old scheme's metadata suffixes — these
+            # were silently dropped or misread before namespacing
+            "layer.idx": np.array([1, 2, 3], dtype=np.int64),
+            "layer.shape": np.array([4, 5], dtype=np.int32),
+            "buf.q": np.array(9, dtype=np.int64),
+            "w.hdr": rng.normal(size=(3, 3)).astype(np.float32),
+            "w.vals": rng.normal(size=8),
+            # a name containing the tag separator itself
+            "odd:name:with:colons": rng.normal(size=6),
+            # dtype edges
+            "f32": rng.normal(size=(2, 5)).astype(np.float32),
+            "f64": rng.normal(size=(2, 5)),
+            # shape edges
+            "scalar_f": np.array(0.5, dtype=np.float64),
+            "scalar_i": np.array(2, dtype=np.int32),
+            "empty_f": np.zeros((0, 4), dtype=np.float64),
+            "empty_f32": np.zeros(0, dtype=np.float32),
+        }
+
+    @pytest.mark.parametrize("compressor", COMPRESSORS, ids=lambda c: c.name)
+    def test_exact_keys_dtypes_shapes(self, compressor):
+        state = self._adversarial_state()
+        out = compressor.decompress(compressor.compress(state))
+        assert list(out) == list(state)
+        for k in state:
+            assert out[k].dtype == state[k].dtype, k
+            assert out[k].shape == state[k].shape, k
+
+    @pytest.mark.parametrize("compressor", COMPRESSORS, ids=lambda c: c.name)
+    def test_non_float_tensors_bit_exact(self, compressor):
+        state = self._adversarial_state()
+        out = compressor.decompress(compressor.compress(state))
+        for k, v in state.items():
+            if v.dtype.kind != "f":
+                assert np.array_equal(out[k], v), k
+
+    @pytest.mark.parametrize("bits", [8, 16])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_quantization_error_bounded_per_dtype(self, bits, dtype):
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=200).astype(dtype)
+        c = QuantizationCompressor(bits)
+        out = c.decompress(c.compress({"w": v}))["w"]
+        assert out.dtype == dtype
+        scale = (v.max() - v.min()) / ((1 << bits) - 1)
+        # float64 headers: the only error left is the quantization grid
+        # (plus the final cast for float32 inputs)
+        tol = scale / 2 + (np.finfo(dtype).eps * np.abs(v).max())
+        assert np.max(np.abs(out - v)) <= tol * 1.001
+
+    def test_quantization_float64_headers_not_perturbed(self):
+        # regression: float32 lo/scale headers used to shift float64
+        # values by ~1e-8 even at ratio-preserving settings
+        v = np.array([1.0 + 1e-12, 2.0 - 1e-12], dtype=np.float64)
+        c = QuantizationCompressor(8)
+        payload = c.compress({"w": v})
+        (hdr_key,) = [k for k in payload if k.startswith("h:")]
+        assert payload[hdr_key].dtype == np.float64
+
+    def test_topk_values_keep_source_dtype(self):
+        v = np.linspace(-1, 1, 16, dtype=np.float32)
+        payload = TopKCompressor(0.5).compress({"w": v})
+        (vals_key,) = [k for k in payload if k.startswith("v:")]
+        assert payload[vals_key].dtype == np.float32
+
+    def test_topk_ratio_one_bit_exact_both_dtypes(self):
+        rng = np.random.default_rng(5)
+        for dtype in (np.float32, np.float64):
+            v = rng.normal(size=64).astype(dtype)
+            out = TopKCompressor(1.0).decompress(TopKCompressor(1.0).compress({"w": v}))["w"]
+            assert out.dtype == dtype
+            assert np.array_equal(out, v)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError, match="tag"):
+            QuantizationCompressor(8).decompress({"z:w": np.zeros(3)})
+        with pytest.raises(ValueError, match="tag"):
+            TopKCompressor(0.5).decompress({"z:w": np.zeros(3)})
+
+    def test_untagged_key_raises(self):
+        with pytest.raises(ValueError, match="namespace"):
+            QuantizationCompressor(8).decompress({"plain_name": np.zeros(3)})

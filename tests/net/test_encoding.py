@@ -1,0 +1,332 @@
+"""Wire codec: lossless delta round-trips, lockstep errors, flag fuzz."""
+
+import io
+import socket
+import struct
+import threading
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.net.encoding import (
+    _CONTAINER,
+    _MAGIC,
+    CodecStats,
+    EncodingError,
+    WireCodec,
+    parse_wire_mode,
+    stream_key,
+)
+from repro.net.protocol import (
+    _HEADER,
+    FLAG_CODEC,
+    FLAG_QUANT8,
+    FLAG_QUANT16,
+    FLAG_TOPK,
+    KNOWN_WIRE_FLAGS,
+    MAGIC,
+    Message,
+    MsgType,
+    ProtocolError,
+    UnknownWireFlags,
+    decode_payload,
+    encode_frame_parts,
+    encode_message,
+    read_frame,
+    sendall_parts,
+)
+
+
+def _state(seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return {
+        "classifier.weight": rng.normal(size=(16, 10)) * scale,
+        "classifier.bias": rng.normal(size=10).astype(np.float32) * scale,
+        "steps": np.array(seed, dtype=np.int64),
+    }
+
+
+def _pipe(tx: WireCodec, rx: WireCodec, stream: str, state: dict) -> dict:
+    parts, flags = tx.encode_state(stream, state)
+    blob = b"".join(parts)
+    if flags == 0:
+        from repro.utils.serialization import state_dict_from_bytes
+
+        return state_dict_from_bytes(blob)
+    # decode under the (msg_type, meta) whose stream_key matches the
+    # stream the sender encoded on — exactly what Connection.recv does
+    if stream.startswith("update:"):
+        mt, meta = MsgType.CLIENT_UPDATE, {"client": int(stream.split(":", 1)[1])}
+    else:
+        mt, meta = MsgType.CLASSIFIER, {}
+    return rx.decode_state(flags, mt, meta, blob)
+
+
+def assert_states_identical(a: dict, b: dict) -> None:
+    assert list(a) == list(b)
+    for k in a:
+        assert a[k].dtype == b[k].dtype, k
+        assert a[k].shape == b[k].shape, k
+        assert np.array_equal(a[k], b[k]), k
+
+
+class TestModeParsing:
+    def test_valid_modes(self):
+        for mode in ("full", "delta", "delta+quant8", "delta+quant16", "delta+topk0.5"):
+            parsed, _, _ = parse_wire_mode(mode)
+            assert parsed == mode
+
+    def test_topk_default_ratio(self):
+        _, comp, flag = parse_wire_mode("delta+topk")
+        assert comp.ratio == 0.25
+        assert flag == FLAG_TOPK
+
+    def test_lossy_flags(self):
+        assert parse_wire_mode("delta")[2] == 0
+        assert parse_wire_mode("delta+quant8")[2] == FLAG_QUANT8
+        assert parse_wire_mode("delta+quant16")[2] == FLAG_QUANT16
+
+    def test_junk_mode_raises(self):
+        with pytest.raises(ValueError, match="wire mode"):
+            parse_wire_mode("zstd")
+        with pytest.raises(ValueError, match="ratio"):
+            parse_wire_mode("delta+topkx")
+
+    def test_none_is_full(self):
+        assert parse_wire_mode(None)[0] == "full"
+
+
+class TestStreamKeys:
+    def test_updates_keyed_per_client(self):
+        assert stream_key(MsgType.CLIENT_UPDATE, {"client": 3}) == "update:3"
+        assert stream_key(MsgType.CLIENT_UPDATE, {"client": 7}) == "update:7"
+
+    def test_broadcast_shared(self):
+        assert stream_key(MsgType.CLASSIFIER, {"client": 3}) == "broadcast"
+        assert stream_key(MsgType.CONFIG, {}) == "broadcast"
+
+
+class TestLosslessDelta:
+    def test_full_mode_is_plain_chunks(self):
+        codec = WireCodec("full")
+        parts, flags = codec.encode_state("broadcast", _state())
+        assert flags == 0
+        from repro.utils.serialization import state_dict_to_bytes
+
+        assert b"".join(parts) == state_dict_to_bytes(_state())
+
+    def test_first_frame_is_snapshot_then_deltas(self):
+        tx, rx = WireCodec("delta"), WireCodec("full")
+        for i in range(4):
+            out = _pipe(tx, rx, "broadcast", _state(i))
+            assert_states_identical(out, _state(i))
+        stats = tx.stats.to_dict()
+        assert stats["snapshots"] == 1
+        assert stats["deltas"] == 3
+
+    def test_repeated_identical_state_collapses(self):
+        tx = WireCodec("delta")
+        state = _state(1)
+        tx.encode_state("broadcast", state)
+        parts, _ = tx.encode_state("broadcast", state)
+        # the XOR of identical blobs is all zeros — zlib collapses it
+        assert len(parts[0]) < 64
+
+    def test_streams_are_independent(self):
+        tx, rx = WireCodec("delta"), WireCodec("full")
+        a0 = _pipe(tx, rx, "update:0", _state(0))
+        b0 = _pipe(tx, rx, "update:1", _state(10))
+        a1 = _pipe(tx, rx, "update:0", _state(1))
+        b1 = _pipe(tx, rx, "update:1", _state(11))
+        assert_states_identical(a0, _state(0))
+        assert_states_identical(b0, _state(10))
+        assert_states_identical(a1, _state(1))
+        assert_states_identical(b1, _state(11))
+
+    def test_shape_change_falls_back_to_snapshot(self):
+        tx, rx = WireCodec("delta"), WireCodec("full")
+        _pipe(tx, rx, "s", _state(0))
+        bigger = {"w": np.ones((64, 64))}
+        out = _pipe(tx, rx, "s", bigger)
+        assert_states_identical(out, bigger)
+        assert tx.stats.to_dict()["snapshots"] == 2
+
+    def test_float_bits_exact_across_magnitudes(self):
+        # XOR deltas are bit-exact even across wildly different scales,
+        # denormals, and sign flips — no arithmetic is involved
+        tx, rx = WireCodec("delta"), WireCodec("full")
+        for scale in (1e-300, 1.0, 1e300, -1e-10):
+            st = {"w": np.array([scale, -scale, 0.0, np.pi * scale])}
+            out = _pipe(tx, rx, "s", st)
+            assert out["w"].tobytes() == st["w"].tobytes()
+
+
+class TestLossyModes:
+    @pytest.mark.parametrize(
+        "mode,flag",
+        [
+            ("delta+quant8", FLAG_QUANT8),
+            ("delta+quant16", FLAG_QUANT16),
+            ("delta+topk0.5", FLAG_TOPK),
+        ],
+    )
+    def test_flags_carried_and_decoded(self, mode, flag):
+        tx, rx = WireCodec(mode), WireCodec("full")
+        parts, flags = tx.encode_state("s", _state())
+        assert flags & FLAG_CODEC and flags & flag
+        out = rx.decode_state(flags, MsgType.CLASSIFIER, {}, b"".join(parts))
+        assert list(out) == list(_state())
+        for k, v in _state().items():
+            assert out[k].dtype == v.dtype
+            assert out[k].shape == v.shape
+
+    def test_lossy_deltas_stay_decodable_across_rounds(self):
+        tx, rx = WireCodec("delta+quant8"), WireCodec("delta")
+        for i in range(3):
+            parts, flags = tx.encode_state("s", _state(i))
+            out = rx.decode_state(flags, MsgType.CLASSIFIER, {}, b"".join(parts))
+            assert list(out) == list(_state(i))
+
+
+class TestLockstepErrors:
+    def test_delta_without_base_raises(self):
+        tx = WireCodec("delta")
+        tx.encode_state("s", _state(0))
+        parts, flags = tx.encode_state("s", _state(1))  # a delta frame
+        fresh = WireCodec("full")
+        with pytest.raises(EncodingError, match="lockstep"):
+            fresh.decode_state(flags, MsgType.CLASSIFIER, {}, b"".join(parts))
+
+    def test_wrong_base_crc_raises(self):
+        tx, rx = WireCodec("delta"), WireCodec("full")
+        _pipe(tx, rx, "s", _state(0))
+        # poison the receiver's base for the stream (same length)
+        rx._rx["broadcast"] = bytes(len(rx._rx["broadcast"]))
+        parts, flags = tx.encode_state("s", _state(1))
+        with pytest.raises(EncodingError, match="CRC"):
+            rx.decode_state(flags, MsgType.CLASSIFIER, {}, b"".join(parts))
+
+    def test_truncated_container_raises(self):
+        with pytest.raises(EncodingError, match="truncated"):
+            WireCodec("full").decode_state(FLAG_CODEC, MsgType.CLASSIFIER, {}, b"RPC1")
+
+    def test_bad_container_magic_raises(self):
+        blob = b"XXXX" + b"\x00" * (_CONTAINER.size - 4) + zlib.compress(b"")
+        with pytest.raises(EncodingError, match="magic"):
+            WireCodec("full").decode_state(FLAG_CODEC, MsgType.CLASSIFIER, {}, blob)
+
+    def test_unknown_kind_raises(self):
+        blob = _CONTAINER.pack(_MAGIC, 9, 0, 0, 0) + zlib.compress(b"")
+        with pytest.raises(EncodingError, match="kind"):
+            WireCodec("full").decode_state(FLAG_CODEC, MsgType.CLASSIFIER, {}, blob)
+
+    def test_corrupt_zlib_body_raises(self):
+        blob = _CONTAINER.pack(_MAGIC, 0, 0, 0, 4) + b"\xff\xfe\xfd"
+        with pytest.raises(EncodingError, match="corrupt"):
+            WireCodec("full").decode_state(FLAG_CODEC, MsgType.CLASSIFIER, {}, blob)
+
+    def test_raw_length_mismatch_raises(self):
+        blob = _CONTAINER.pack(_MAGIC, 0, 0, 0, 99) + zlib.compress(b"abc")
+        with pytest.raises(EncodingError, match="raw bytes"):
+            WireCodec("full").decode_state(FLAG_CODEC, MsgType.CLASSIFIER, {}, blob)
+
+    def test_non_codec_flags_rejected(self):
+        with pytest.raises(EncodingError, match="non-codec"):
+            WireCodec("full").decode_state(0, MsgType.CLASSIFIER, {}, b"x")
+
+
+class TestFrameFlagFuzz:
+    """Unknown header flag bits must fail loudly, never silently misdecode."""
+
+    def _frame_with_flags(self, flags: int) -> bytes:
+        msg = Message(MsgType.CLASSIFIER, {"round": 0})
+        frame = bytearray(encode_message(msg))
+        magic, ver, mtype, _, length, crc = _HEADER.unpack_from(frame)
+        frame[: _HEADER.size] = _HEADER.pack(magic, ver, mtype, flags, length, crc)
+        return bytes(frame)
+
+    def test_every_unknown_single_bit_is_typed(self):
+        for bit in range(16):
+            flag = 1 << bit
+            if flag & KNOWN_WIRE_FLAGS:
+                continue
+            with pytest.raises(UnknownWireFlags):
+                read_frame(io.BytesIO(self._frame_with_flags(flag)))
+
+    def test_unknown_bit_alongside_known_still_rejected(self):
+        with pytest.raises(UnknownWireFlags):
+            read_frame(io.BytesIO(self._frame_with_flags(FLAG_CODEC | 0x8000)))
+
+    def test_unknown_flags_are_protocol_errors(self):
+        assert issubclass(UnknownWireFlags, ProtocolError)
+        assert issubclass(EncodingError, ProtocolError)
+
+    def test_codec_flag_without_decoder_is_typed(self):
+        tx = WireCodec("delta")
+        parts, flags = tx.encode_state("broadcast", _state())
+        frame = b"".join(
+            encode_frame_parts(MsgType.CLASSIFIER, {"round": 0}, parts, flags)
+        )
+        # a peer with no codec configured must refuse, not misdecode
+        with pytest.raises(ProtocolError, match="no wire codec"):
+            read_frame(io.BytesIO(frame))
+
+    def test_encode_refuses_unknown_flags(self):
+        with pytest.raises(UnknownWireFlags):
+            encode_frame_parts(MsgType.CLASSIFIER, {}, [], flags=0x4000)
+
+    def test_decode_payload_rejects_unknown_flags(self):
+        with pytest.raises(UnknownWireFlags):
+            decode_payload(int(MsgType.CLASSIFIER), b"\x02\x00\x00\x00{}", flags=0x0100)
+
+    def test_pre_flags_peer_fails_loudly_on_container(self):
+        # a peer that ignored the (formerly reserved) flag bytes would
+        # feed the codec container to the plain state parser — which
+        # rejects the non-RPSD magic instead of misreading floats
+        tx = WireCodec("delta")
+        parts, _ = tx.encode_state("broadcast", _state())
+        from repro.utils.serialization import state_dict_from_bytes
+
+        with pytest.raises(ValueError, match="magic"):
+            state_dict_from_bytes(b"".join(parts))
+
+
+class TestZeroCopySend:
+    def test_sendall_parts_matches_join(self):
+        from repro.utils.serialization import state_dict_to_chunks
+
+        parts = encode_frame_parts(
+            MsgType.CLIENT_UPDATE, {"client": 0}, state_dict_to_chunks(_state())
+        )
+        expected = b"".join(bytes(p) for p in parts)
+        a, b = socket.socketpair()
+        try:
+            got = bytearray()
+
+            def _drain():
+                while True:
+                    chunk = a.recv(65536)
+                    if not chunk:
+                        return
+                    got.extend(chunk)
+
+            t = threading.Thread(target=_drain, daemon=True)
+            t.start()
+            n = sendall_parts(b, parts)
+            b.close()
+            t.join(timeout=5)
+            assert n == len(expected)
+            assert bytes(got) == expected
+        finally:
+            a.close()
+
+    def test_stats_accumulate(self):
+        stats = CodecStats()
+        tx = WireCodec("delta", stats)
+        for i in range(3):
+            tx.encode_state("s", _state(i))
+        d = stats.to_dict()
+        assert d["frames_encoded"] == 3
+        assert d["raw_bytes"] > d["wire_bytes"] > 0
+        assert d["encode_s"] >= 0.0
