@@ -13,6 +13,10 @@
 # the codec on*; a dedicated smoke re-runs over the full-state wire and
 # requires the same bytes, and `bench-comm` measures the wire's cost
 # (writing BENCH_comm.json) and gates against the committed trajectory.
+# A tracing smoke runs the federation with telemetry on every rank and
+# requires `trace-merge` to produce cross-process parent edges, and
+# `bench-net` tracks the latency/throughput trajectory
+# (BENCH_latency.json) gated on rounds/sec.
 # The overhead benchmark re-asserts the <5% telemetry budget (null
 # backend, health monitor, and memprof+recorder enabled-but-idle) so an
 # instrumentation regression fails CI even when no functional test sees
@@ -56,6 +60,27 @@ if [[ "${1:-}" != "--fast" ]]; then
     # against the committed trajectory's latest entry
     python -m repro.cli bench-comm --rounds 3 --clients 4 --workers 2 \
         --output "$SMOKE_DIR/BENCH_comm.json" --baseline BENCH_comm.json --gate
+
+    echo "== distributed tracing smoke =="
+    # telemetry on every rank: the server writes traced.jsonl, each
+    # worker its own traced.rankN.jsonl; trace-merge must stitch them
+    # into one clock-aligned timeline with at least one worker span
+    # parented under a server round span (--require-parented exits 1
+    # otherwise)
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 2 \
+        --telemetry "$SMOKE_DIR/traced.jsonl" --save-global "$SMOKE_DIR/traced.bin" \
+        > "$SMOKE_DIR/traced.log"
+    python -m repro.cli trace-merge "$SMOKE_DIR/traced.jsonl" \
+        "$SMOKE_DIR/traced.rank1.jsonl" "$SMOKE_DIR/traced.rank2.jsonl" \
+        -o "$SMOKE_DIR/traced.trace.json" --require-parented
+    echo "cross-process trace merged (worker spans parent under server rounds)"
+
+    echo "== net bench (BENCH_latency.json) =="
+    # measures rounds/sec + per-phase latency percentiles on a loopback
+    # federation and gates rounds/sec against the committed trajectory's
+    # latest entry (generous tolerance — CI wall clocks are noisy)
+    python -m repro.cli bench-net --rounds 3 --clients 4 --workers 2 \
+        --output "$SMOKE_DIR/BENCH_latency.json" --baseline BENCH_latency.json --gate
 
     echo "== chaos soak smoke (seeded) =="
     # seeded protocol-level fault injection must change *nothing*: every

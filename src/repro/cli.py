@@ -28,13 +28,22 @@ Deep-dive flags: ``--memprof`` adds the autograd allocation profiler
 (per-client-round memory peaks in the report), ``--record DIR`` arms the
 flight recorder — on any health alert a replay bundle lands in ``DIR``.
 
-Four subcommands consume telemetry files afterwards::
+Subcommands consume telemetry files afterwards::
 
     python -m repro.cli report run.jsonl          # ASCII health dashboard
     python -m repro.cli diff base.jsonl new.jsonl --gate   # CI regression gate
     python -m repro.cli trace run.jsonl -o trace.json      # Perfetto timeline
     python -m repro.cli trace run.jsonl --ascii            # terminal Gantt
+    python -m repro.cli trace-merge run.jsonl run.rank*.jsonl -o trace.json
     python -m repro.cli replay DIR/replay-*.json           # deterministic re-run
+
+``trace-merge`` stitches a telemetered multi-process TCP run (``run
+--transport tcp --telemetry run.jsonl`` gives every worker its own
+``run.rankN.jsonl``) into one clock-aligned Chrome trace: worker
+``local_update`` spans hang under the server round spans that triggered
+them.  ``bench-net`` measures the runtime's loopback latency/throughput
+trajectory into ``BENCH_latency.json`` the way ``bench-comm`` tracks
+bytes.
 
 ``diff --gate`` exits non-zero when the candidate run's final accuracy
 regresses or its bytes inflate beyond the tolerances — telemetry files
@@ -300,6 +309,13 @@ def build_worker_parser() -> argparse.ArgumentParser:
         dest="client_ids",
         help="client id owned by this worker (repeatable)",
     )
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write this worker's span/clock telemetry to PATH as JSON "
+        "Lines (merge with the server's file via `repro trace-merge`)",
+    )
     p.add_argument("--verbose", action="store_true")
     p.add_argument(
         "--rejoin",
@@ -534,6 +550,239 @@ def bench_comm_main(argv: list[str]) -> int:
     return 0
 
 
+def build_bench_net_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench-net",
+        description="measure the TCP runtime's latency/throughput on a "
+        "loopback federation (rounds/sec, bytes/sec, per-phase critical-path "
+        "percentiles, heartbeat RTT) and track/gate the trajectory in a "
+        "BENCH_latency.json file",
+    )
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--dataset", choices=DATASETS, default="fashion_mnist-tiny")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_latency.json",
+        help="trajectory file to append this measurement to (default BENCH_latency.json)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="committed BENCH_latency.json to compare the fresh measurement against",
+    )
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when rounds/sec regresses vs --baseline beyond --slowdown",
+    )
+    p.add_argument(
+        "--slowdown",
+        type=float,
+        default=0.5,
+        help="allowed fractional rounds/sec regression vs the baseline entry "
+        "(default 0.5 — loopback wall time on shared CI machines is noisy)",
+    )
+    return p
+
+
+def bench_net_main(argv: list[str]) -> int:
+    import json
+    import os
+    import tempfile
+    from dataclasses import asdict
+
+    from repro.experiments.common import make_spec
+    from repro.net.launcher import rank_telemetry_path, run_tcp_federation
+
+    args = build_bench_net_parser().parse_args(argv)
+    preset = tiny_preset(
+        args.dataset,
+        num_clients=args.clients,
+        rounds=args.rounds,
+        n_train=args.clients * 80,
+    )
+    spec = make_spec(preset, "dirichlet", None, args.seed)
+
+    # one fully-telemetered loopback run: the server exports into this
+    # process's registry (phase + wire latencies), each worker writes its
+    # own rank file (clock-offset / heartbeat-RTT samples)
+    rtts: list[float] = []
+    with tempfile.TemporaryDirectory(prefix="bench-net-") as tmp:
+        base = os.path.join(tmp, "bench.jsonl")
+        tel = telemetry.configure(jsonl=base, health=False, process={"role": "server"})
+        t0 = time.perf_counter()
+        try:
+            result, exit_codes = run_tcp_federation(
+                asdict(spec),
+                rounds=args.rounds,
+                workers=args.workers,
+                seed=args.seed,
+                worker_telemetry=base,
+            )
+        finally:
+            wall_s = time.perf_counter() - t0
+            snap = tel.metrics.snapshot()
+            tel.close()
+            telemetry.disable()
+        bad = [c for c in exit_codes if c != 0]
+        if bad:
+            print(f"error: {len(bad)} worker(s) exited non-zero", file=sys.stderr)
+            return 1
+        for rank in range(1, len(exit_codes) + 1):
+            path = rank_telemetry_path(base, rank)
+            if os.path.exists(path):
+                for rec in read_jsonl(path):
+                    if rec.get("type") == "clock" and "rtt_s" in rec:
+                        rtts.append(float(rec["rtt_s"]))
+
+    latencies = snap.get("latencies", {})
+    phases = {
+        name[len("net.phase."):]: summ
+        for name, summ in latencies.items()
+        if name.startswith("net.phase.")
+    }
+    wire = {
+        name: summ
+        for name, summ in latencies.items()
+        if name.startswith("net.") and not name.startswith("net.phase.")
+    }
+    cost = result.cost
+    rtts.sort()
+    rounds_per_s = args.rounds / wall_s if wall_s > 0 else 0.0
+    bytes_per_s = cost.total_bytes / wall_s if wall_s > 0 else 0.0
+    entry: dict = {
+        "rounds": args.rounds,
+        "clients": args.clients,
+        "workers": args.workers,
+        "dataset": args.dataset,
+        "seed": args.seed,
+        "wall_s": wall_s,
+        "rounds_per_s": rounds_per_s,
+        "total_bytes": cost.total_bytes,
+        "bytes_per_s": bytes_per_s,
+        "phases": phases,
+        "wire": wire,
+        "heartbeat": {
+            "echoes": len(rtts),
+            "min_rtt_s": rtts[0] if rtts else None,
+            "p50_rtt_s": rtts[len(rtts) // 2] if rtts else None,
+        },
+    }
+
+    print(
+        f"bench-net: {args.rounds} rounds x {args.clients} clients over "
+        f"{args.workers} workers in {wall_s:.1f}s — {rounds_per_s:.3f} rounds/s, "
+        f"{format_bytes(bytes_per_s)}/s on the wire"
+    )
+    for name in ("broadcast_s", "compute_s", "wait_s", "aggregate_s"):
+        s = phases.get(name)
+        if s:
+            print(
+                f"  {name[:-2]:>9}: p50 {s['p50'] * 1e3:8.2f} ms   "
+                f"p95 {s['p95'] * 1e3:8.2f} ms   p99 {s['p99'] * 1e3:8.2f} ms"
+            )
+    if rtts:
+        print(
+            f"  heartbeat RTT: {len(rtts)} sample(s), min "
+            f"{rtts[0] * 1e3:.2f} ms, p50 {rtts[len(rtts) // 2] * 1e3:.2f} ms"
+        )
+
+    doc = {"schema": 1, "entries": []}
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            doc = json.load(fh)
+    doc["entries"].append(entry)
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"trajectory entry written to {args.output}")
+
+    failures: list[str] = []
+    if args.baseline is not None and os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            base_entries = json.load(fh).get("entries", [])
+        if base_entries:
+            base_rps = float(base_entries[-1]["rounds_per_s"])
+            if rounds_per_s < base_rps * (1.0 - args.slowdown):
+                failures.append(
+                    f"rounds/sec regressed: {rounds_per_s:.3f} vs baseline "
+                    f"{base_rps:.3f} ({rounds_per_s / base_rps - 1.0:+.1%} < "
+                    f"-{args.slowdown:.0%} allowed)"
+                )
+            else:
+                print(
+                    f"baseline check: {rounds_per_s:.3f} rounds/s vs committed "
+                    f"{base_rps:.3f} rounds/s — within tolerance"
+                )
+    for f in failures:
+        print(f"bench gate: FAIL — {f}", file=sys.stderr if args.gate else sys.stdout)
+    if failures:
+        return 1 if args.gate else 0
+    print("bench gate: OK")
+    return 0
+
+
+def build_trace_merge_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro trace-merge",
+        description="merge one server + N worker telemetry JSONLs into a "
+        "single clock-aligned Chrome/Perfetto trace; worker local_update "
+        "spans hang under the server round spans that triggered them",
+    )
+    p.add_argument("server", help="server telemetry JSONL (rank 0)")
+    p.add_argument(
+        "workers",
+        nargs="*",
+        help="worker telemetry JSONLs in rank order (run.rank1.jsonl ...)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        metavar="TRACE.json",
+        default=None,
+        help="merged trace-event JSON path (default: <server>.merged.trace.json)",
+    )
+    p.add_argument(
+        "--require-parented",
+        action="store_true",
+        help="exit non-zero unless at least one worker span parents across "
+        "the process boundary (the CI smoke for trace propagation)",
+    )
+    return p
+
+
+def trace_merge_main(argv: list[str]) -> int:
+    import json
+
+    args = build_trace_merge_parser().parse_args(argv)
+    trace = telemetry.merge_traces(
+        read_jsonl(args.server), [read_jsonl(p) for p in args.workers]
+    )
+    out = args.output if args.output is not None else args.server + ".merged.trace.json"
+    with open(out, "w") as fh:
+        json.dump(trace, fh, separators=(",", ":"), sort_keys=True)
+        fh.write("\n")
+    n = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    parented = telemetry.count_remote_parented(trace)
+    print(
+        f"wrote {n} spans across {1 + len(args.workers)} process(es) to {out} "
+        f"({parented} cross-process parent edge(s); load in ui.perfetto.dev)"
+    )
+    if args.require_parented and parented == 0:
+        print(
+            "trace-merge: FAIL — no worker span is parented under a server "
+            "round span (was the run telemetered on every rank?)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro trace",
@@ -645,7 +894,11 @@ def serve_main(argv: list[str]) -> int:
     from repro.experiments.common import make_spec
 
     spec = make_spec(preset, args.partition, None, args.seed)
-    tel = telemetry.configure(jsonl=args.telemetry) if args.telemetry else None
+    tel = (
+        telemetry.configure(jsonl=args.telemetry, process={"role": "server"})
+        if args.telemetry
+        else None
+    )
     server = FedTcpServer(
         args.clients,
         args.rounds,
@@ -704,7 +957,23 @@ def worker_main(argv: list[str]) -> int:
         chaos=_chaos_from_args(args),
         rng_seed=args.rng_seed,
     )
-    return run_worker(host, int(port), args.client_ids, options)
+    # workers export spans + clock-offset samples only — health detection
+    # and round summaries live server-side
+    tel = (
+        telemetry.configure(
+            jsonl=args.telemetry,
+            health=False,
+            process={"role": "worker", "clients": args.client_ids},
+        )
+        if args.telemetry
+        else None
+    )
+    try:
+        return run_worker(host, int(port), args.client_ids, options)
+    finally:
+        if tel is not None:
+            tel.close()
+            telemetry.disable()
 
 
 def tcp_run_main(args) -> int:
@@ -728,7 +997,11 @@ def tcp_run_main(args) -> int:
         sample_rate=args.sample_rate,
     )
     spec = make_spec(preset, args.partition, args.homogeneous, args.seed)
-    tel = telemetry.configure(jsonl=args.telemetry) if args.telemetry else None
+    tel = (
+        telemetry.configure(jsonl=args.telemetry, process={"role": "server"})
+        if args.telemetry
+        else None
+    )
     try:
         result, exit_codes = run_tcp_federation(
             asdict(spec),
@@ -748,6 +1021,7 @@ def tcp_run_main(args) -> int:
             checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
             resume=args.resume,
             wire=args.wire,
+            worker_telemetry=args.telemetry,
         )
     finally:
         if tel is not None:
@@ -776,7 +1050,16 @@ def tcp_run_main(args) -> int:
     if bad:
         print(f"warning: {len(bad)} worker(s) exited non-zero: {exit_codes}", file=sys.stderr)
     if args.telemetry:
-        print(f"telemetry written to {args.telemetry}")
+        from repro.net.launcher import rank_telemetry_path
+
+        worker_files = " ".join(
+            rank_telemetry_path(args.telemetry, i + 1) for i in range(len(exit_codes))
+        )
+        print(f"telemetry written to {args.telemetry} (+ per-worker rank files)")
+        print(
+            f"merge the timeline: python -m repro.cli trace-merge "
+            f"{args.telemetry} {worker_files} -o trace.json"
+        )
     if args.save_global:
         _save_global_state(result.global_state, args.save_global)
     return 0
@@ -798,6 +1081,10 @@ def main(argv: list[str] | None = None) -> int:
         return worker_main(argv[1:])
     if argv and argv[0] == "bench-comm":
         return bench_comm_main(argv[1:])
+    if argv and argv[0] == "bench-net":
+        return bench_net_main(argv[1:])
+    if argv and argv[0] == "trace-merge":
+        return trace_merge_main(argv[1:])
     if argv and argv[0] == "run":  # explicit alias of the bare form
         argv = argv[1:]
 

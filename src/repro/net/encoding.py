@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.comm.compression import QuantizationCompressor, TopKCompressor
 from repro.net.protocol import (
     FLAG_CODEC,
@@ -267,7 +268,9 @@ class WireCodec:
             kind, base_crc = _SNAPSHOT, 0
             body = zlib.compress(_byteshuffle(blob), _ZLEVEL)
         container = _CONTAINER.pack(_MAGIC, kind, seq, base_crc, len(blob)) + body
-        self.stats.note_encode(kind, len(blob), len(container), time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        self.stats.note_encode(kind, len(blob), len(container), dt)
+        telemetry.latency("net.codec.encode_s").observe(dt)
         return [container], FLAG_CODEC | self._lossy_flag
 
     # -- decode --------------------------------------------------------
@@ -325,5 +328,7 @@ class WireCodec:
             state = QuantizationCompressor(16).decompress(state)
         elif flags & FLAG_TOPK:
             state = TopKCompressor().decompress(state)
-        self.stats.note_decode(time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        self.stats.note_decode(dt)
+        telemetry.latency("net.codec.decode_s").observe(dt)
         return state

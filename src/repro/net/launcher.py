@@ -26,6 +26,7 @@ from repro.net.supervisor import WorkerSupervisor
 
 __all__ = [
     "assign_clients",
+    "rank_telemetry_path",
     "worker_command",
     "launch_workers",
     "reap_workers",
@@ -42,6 +43,18 @@ def assign_clients(num_clients: int, num_workers: int) -> list[list[int]]:
         for i in range(num_workers)
     ]
     return [g for g in groups if g]
+
+
+def rank_telemetry_path(base: str, rank: int) -> str:
+    """Per-rank telemetry path: ``run.jsonl`` → ``run.rank2.jsonl``.
+
+    Rank 0 is the server (which keeps ``base`` itself); workers take
+    ranks 1..N.  Keeping one file per process sidesteps interleaved
+    writes — ``trace-merge`` reassembles the streams afterwards.
+    """
+    stem, ext = os.path.splitext(base)
+    return f"{stem}.rank{rank}{ext or '.jsonl'}"
+
 
 def _worker_env() -> dict:
     """Child env with ``repro``'s parent directory on PYTHONPATH.
@@ -77,18 +90,23 @@ def launch_workers(
     assignment: list[list[int]],
     chaos: dict[int, list[str]] | None = None,
     common_flags: list[str] | None = None,
+    telemetry_base: str | None = None,
     verbose: bool = False,
 ) -> list[subprocess.Popen]:
     """Spawn one ``repro.cli worker`` process per assignment group.
 
     ``chaos`` maps a worker index to extra CLI flags (the failure hooks
     — e.g. ``{1: ["--die-at-round", "1"]}``) for fault-path tests;
-    ``common_flags`` go to every worker (chaos schedule, rng seed).
+    ``common_flags`` go to every worker (chaos schedule, rng seed);
+    ``telemetry_base`` turns on per-worker telemetry — worker ``i``
+    writes ``rank_telemetry_path(telemetry_base, i + 1)``.
     """
     procs = []
     env = _worker_env()
     for i, ids in enumerate(assignment):
         extra = list(common_flags or []) + (chaos or {}).get(i, [])
+        if telemetry_base is not None:
+            extra += ["--telemetry", rank_telemetry_path(telemetry_base, i + 1)]
         cmd = worker_command(host, port, ids, verbose=verbose, extra=extra)
         procs.append(
             subprocess.Popen(
@@ -147,6 +165,7 @@ def run_tcp_federation(
     crash_after_round: int | None = None,
     crash_in_round: int | None = None,
     wire: str = "delta",
+    worker_telemetry: str | None = None,
     verbose: bool = False,
 ) -> tuple[ServerResult, list[int | None]]:
     """Run a full FedClassAvg federation over localhost TCP.
@@ -169,6 +188,11 @@ def run_tcp_federation(
     and workers alike, via the CONFIG handshake); the default lossless
     ``delta`` keeps finals bit-identical to a ``full``-wire or SimComm
     run while cutting steady-state bytes.
+
+    ``worker_telemetry`` gives every worker process its own telemetry
+    JSONL (rank ``i`` writes ``rank_telemetry_path(base, i)``) so a
+    fully-telemetered run can be merged into one cross-process trace
+    with ``python -m repro.cli trace-merge``.
     """
     num_clients = int(spec_dict["num_clients"])
     config = make_run_config(
@@ -216,19 +240,22 @@ def run_tcp_federation(
         assignment,
         chaos=chaos,
         common_flags=common_flags,
+        telemetry_base=worker_telemetry,
         verbose=verbose,
     )
     supervisor = None
     if supervise and procs:
         supervisor = WorkerSupervisor(max_restarts=max_restarts, seed=seed, verbose=verbose)
         env = _worker_env()
-        for proc, ids in zip(procs, assignment):
+        for i, (proc, ids) in enumerate(zip(procs, assignment)):
             # respawn commands re-admit via REJOIN and deliberately drop
             # the per-worker one-shot failure hooks (--die-at-round would
             # just kill the replacement again)
+            extra = common_flags + ["--rejoin"]
+            if worker_telemetry is not None:
+                extra += ["--telemetry", rank_telemetry_path(worker_telemetry, i + 1)]
             respawn = worker_command(
-                bound_host, bound_port, ids, verbose=verbose,
-                extra=common_flags + ["--rejoin"],
+                bound_host, bound_port, ids, verbose=verbose, extra=extra,
             )
             supervisor.watch(proc, respawn, env=env)
         supervisor.start()

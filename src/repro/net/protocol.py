@@ -66,6 +66,8 @@ __all__ = [
     "FLAG_QUANT8",
     "FLAG_QUANT16",
     "FLAG_TOPK",
+    "FLAG_TRACED",
+    "STATE_ENC_FLAGS",
     "KNOWN_WIRE_FLAGS",
     "MsgType",
     "Message",
@@ -102,8 +104,15 @@ FLAG_QUANT8 = 0x0002
 FLAG_QUANT16 = 0x0004
 #: state was lossy-compressed with TopKCompressor before framing
 FLAG_TOPK = 0x0008
+#: frame meta carries a ``_trace`` section (trace_id + parent span id);
+#: rides the same loud negotiation — a pre-tracing peer rejects the bit
+#: with :class:`UnknownWireFlags` instead of silently dropping context
+FLAG_TRACED = 0x0010
+#: the flag bits that describe the *state blob's* encoding (vs frame
+#: metadata bits like FLAG_TRACED, which say nothing about the blob)
+STATE_ENC_FLAGS = FLAG_CODEC | FLAG_QUANT8 | FLAG_QUANT16 | FLAG_TOPK
 #: every flag bit this peer understands; anything else fails loudly
-KNOWN_WIRE_FLAGS = FLAG_CODEC | FLAG_QUANT8 | FLAG_QUANT16 | FLAG_TOPK
+KNOWN_WIRE_FLAGS = STATE_ENC_FLAGS | FLAG_TRACED
 
 
 class MsgType(enum.IntEnum):
@@ -244,17 +253,18 @@ def decode_payload(
     if not isinstance(meta, dict):
         raise ProtocolError("message meta must be a JSON object")
     state_b = payload[4 + meta_len :]
+    enc_flags = flags & STATE_ENC_FLAGS
     if not state_b:
         state = None
-    elif flags == 0:
+    elif enc_flags == 0:
         state = state_dict_from_bytes(state_b)
     elif state_decoder is None:
         raise ProtocolError(
-            f"frame carries encoded state (flags 0x{flags:04x}) but this peer "
+            f"frame carries encoded state (flags 0x{enc_flags:04x}) but this peer "
             "has no wire codec configured"
         )
     else:
-        state = state_decoder(flags, mtype, meta, state_b)
+        state = state_decoder(enc_flags, mtype, meta, state_b)
     return Message(mtype, meta, state)
 
 

@@ -148,9 +148,23 @@ class Heartbeat(threading.Thread):
         self.interval_s = interval_s
         self.beats_sent = 0
         self.beats_skipped = 0
+        self.echoes = 0
+        self.last_rtt_s: float | None = None
+        self.last_offset_s: float | None = None
         # NB: must not be named _stop — Thread.join() calls a private
         # _stop() method internally
         self._halt = threading.Event()
+
+    def note_echo(self, rtt_s: float, offset_s: float) -> None:
+        """Record one server echo's round-trip + clock-offset sample.
+
+        Called by the connection's receive path when a HEARTBEAT echo
+        lands; feeds the ``net.heartbeat_rtt`` latency metric's source
+        data and keeps the latest sample inspectable for tests/reports.
+        """
+        self.echoes += 1
+        self.last_rtt_s = float(rtt_s)
+        self.last_offset_s = float(offset_s)
 
     def run(self) -> None:
         while not self._halt.wait(self.interval_s):

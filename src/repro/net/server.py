@@ -216,6 +216,11 @@ class FedTcpServer:
         self.crash_after_round = crash_after_round
         self.crash_in_round = crash_in_round
         self.verbose = verbose
+        #: correlation id piggybacked (with the current round span's id)
+        #: as ``_trace`` meta on outbound frames when telemetry is live.
+        #: Derived from run parameters, not a random source, so equal-seed
+        #: runs stay byte-comparable frame for frame.
+        self._trace_id = f"fca-{seed}-{num_clients}c{rounds}r"
         self.global_state: dict[str, np.ndarray] | None = None
         self.data_sizes: dict[int, int] = {}
         self.lost_clients: list[dict] = []
@@ -398,7 +403,7 @@ class FedTcpServer:
 
             with tel.context(round=t, algorithm=self.name):
                 with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
-                    updates, compute_s = self._one_round(t, sampled, evaluated)
+                    updates, compute_s, phases = self._one_round(t, sampled, evaluated)
             updates, skipped = self._apply_quorum(t, sampled, updates)
             survivors = sorted(updates)
 
@@ -421,7 +426,11 @@ class FedTcpServer:
             if survivors and not skipped:
                 states = [updates[k][1] for k in survivors]
                 weights = [self.data_sizes[k] for k in survivors]
+                agg0 = time.perf_counter()
                 self.global_state = weighted_average_state(states, weights)
+                phases["aggregate_s"] = time.perf_counter() - agg0
+            else:
+                phases["aggregate_s"] = 0.0
             losses = {k: updates[k][0].get("loss") for k in survivors}
             survivor_losses = [v for v in losses.values() if v is not None]
             train_loss = float(np.mean(survivor_losses)) if survivor_losses else 0.0
@@ -435,7 +444,10 @@ class FedTcpServer:
 
             round_bytes = cost.end_round(participants=len(sampled))
             if tel.enabled:
+                for name, v in phases.items():
+                    tel.latency(f"net.phase.{name}").observe(v)
                 tel.record_round(
+                    phase=dict(phases),
                     round=t,
                     algorithm=self.name,
                     wall_s=time.perf_counter() - wall0,
@@ -591,32 +603,67 @@ class FedTcpServer:
             )
         return updates, True
 
+    def _trace_meta(self) -> dict | None:
+        """``_trace`` section for outbound frames (None when not tracing).
+
+        Carries the run's trace id plus the *current* span's id — inside
+        the round loop that is the open ``round`` span, which is exactly
+        what a worker's ``local_update`` spans should parent to.
+        """
+        tel = telemetry.get_telemetry()
+        if not tel.enabled or tel.tracer is None:
+            return None
+        sid = tel.tracer.current_span_id()
+        if sid is None:
+            return None
+        return {"id": self._trace_id, "span": sid}
+
     def _one_round(
         self, t: int, sampled: list[int], evaluated: bool
-    ) -> tuple[dict[int, tuple[dict, dict]], float]:
-        """Broadcast, then gather this round's updates; returns (updates, compute_s)."""
+    ) -> tuple[dict[int, tuple[dict, dict]], float, dict[str, float]]:
+        """Broadcast, then gather this round's updates.
+
+        Returns ``(updates, compute_s, phases)`` where ``compute_s`` sums
+        every survivor's self-reported training time (total work) and
+        ``phases`` is the round's critical-path breakdown: ``broadcast_s``
+        (send-loop wall), ``compute_s`` (slowest survivor — the path the
+        round actually waited on), ``wait_s`` (collection wall beyond
+        that slowest training: wire latency + straggler slack).
+        """
         assert self.global_state is not None
         tp = self.transport
+        trace = self._trace_meta()
+        phases: dict[str, float] = {}
         # publish before broadcasting: a worker that rejoins mid-round
         # must see this round in its CONFIG reply, not the previous one
         self._round_info = {"round": t, "sampled": sampled, "evaluated": evaluated}
-        tp.broadcast_control(
-            MsgType.ROUND_START,
-            {"round": t, "sampled": sampled, "evaluated": evaluated},
-        )
+        bcast0 = time.perf_counter()
+        start_meta = {"round": t, "sampled": sampled, "evaluated": evaluated}
+        if trace is not None:
+            start_meta["_trace"] = trace
+        tp.broadcast_control(MsgType.ROUND_START, start_meta)
         for k in sampled:
+            cls_meta: dict = {"round": t}
+            if trace is not None:
+                cls_meta["_trace"] = trace
             try:
-                tp.send_to_client(k, MsgType.CLASSIFIER, {"round": t}, self.global_state)
+                tp.send_to_client(k, MsgType.CLASSIFIER, cls_meta, self.global_state)
             except ConnectionError:
                 continue  # worker died; loss already recorded via on_worker_lost
+        phases["broadcast_s"] = time.perf_counter() - bcast0
         if self.crash_in_round is not None and t == self.crash_in_round:
             tp.abort()
             raise SimulatedCrash(f"simulated server crash mid-round {t}")
+        collect0 = time.perf_counter()
         updates = tp.collect_updates(t, sampled, Deadline(self.round_timeout_s))
+        collect_s = time.perf_counter() - collect0
         monitor = telemetry.get_telemetry().health
         compute_s = 0.0
+        slowest = 0.0
         for k, (meta, _state) in sorted(updates.items()):
-            compute_s += float(meta.get("duration_s") or 0.0)
+            dur = float(meta.get("duration_s") or 0.0)
+            compute_s += dur
+            slowest = max(slowest, dur)
             if monitor is not None:
                 monitor.observe_client(
                     k,
@@ -624,4 +671,6 @@ class FedTcpServer:
                     duration_s=meta.get("duration_s"),
                     batches=meta.get("batches"),
                 )
-        return updates, compute_s
+        phases["compute_s"] = slowest
+        phases["wait_s"] = max(0.0, collect_s - slowest)
+        return updates, compute_s, phases

@@ -33,6 +33,7 @@ from repro import telemetry
 from repro.comm.cost import CostModel
 from repro.net.encoding import CodecStats, WireCodec, stream_key
 from repro.net.protocol import (
+    FLAG_TRACED,
     MAX_FRAME_BYTES,
     ChecksumMismatch,
     ConnectionClosed,
@@ -126,16 +127,25 @@ class Connection:
             )
         else:
             state_parts, flags = [], 0
+        if "_trace" in msg.meta:
+            # loud negotiation: a pre-tracing peer rejects this bit
+            flags |= FLAG_TRACED
         return encode_frame_parts(msg.type, msg.meta, state_parts, flags, self.max_frame)
 
     def send(self, msg: Message) -> int:
         """Send one frame; returns its byte count."""
         with self._send_lock:
             with telemetry.span("net.send", type=msg.type.name):
-                n = sendall_parts(self.sock, self._encode_frame(msg))
+                t0 = time.perf_counter()
+                parts = self._encode_frame(msg)
+                t1 = time.perf_counter()
+                n = sendall_parts(self.sock, parts)
+                t2 = time.perf_counter()
             self.last_tx = time.monotonic()
         self.bytes_tx += n
         telemetry.counter("net.bytes_tx").inc(n)
+        telemetry.latency(f"net.encode_s.{msg.type.name}").observe(t1 - t0)
+        telemetry.latency(f"net.send_s.{msg.type.name}").observe(t2 - t1)
         return n
 
     def recv(self, timeout: float | None = None) -> tuple[Message, int]:
@@ -449,7 +459,7 @@ class TcpTransport:
         try:
             while True:
                 try:
-                    client_id, meta, state = self._updates.get_nowait()
+                    client_id, meta, state, arrived = self._updates.get_nowait()
                 except queue.Empty:
                     raise LookupError(
                         f"no queued update for rank {dst} from {src} tag {tag}"
@@ -458,7 +468,7 @@ class TcpTransport:
                     tag is None or meta.get("tag", 0) == tag
                 ):
                     return state
-                stash.append((client_id, meta, state))
+                stash.append((client_id, meta, state, arrived))
         finally:
             for item in stash:
                 self._updates.put(item)
@@ -507,8 +517,9 @@ class TcpTransport:
         """
         got: dict[int, tuple[dict, dict]] = {}
         expected_set = set(expected)
+        arrivals: list[float] = []  # reader-thread receipt times (monotonic)
 
-        def take(client_id: int, meta: dict, state: dict) -> None:
+        def take(client_id: int, meta: dict, state: dict, arrived: float) -> None:
             if (
                 (round_idx is not None and meta.get("round") != round_idx)
                 or client_id not in expected_set
@@ -517,10 +528,11 @@ class TcpTransport:
                 telemetry.counter("net.stale_drops").inc()
             else:
                 got[client_id] = (meta, state)
+                arrivals.append(arrived)
 
         with telemetry.span(
             "net.round_barrier", round=round_idx, expected=len(expected_set)
-        ):
+        ) as barrier_sp:
             while True:
                 # drain everything already queued before judging liveness —
                 # an update uploaded moments before its worker died counts
@@ -548,6 +560,12 @@ class TcpTransport:
                     )
                 except queue.Empty:
                     continue
+            if len(arrivals) >= 2:
+                # first-to-last accepted arrival: how long the fastest
+                # client sat waiting on the round's straggler
+                straggle = max(arrivals) - min(arrivals)
+                barrier_sp.set(straggler_wait_s=straggle)
+                telemetry.latency("net.straggler_wait_s").observe(straggle)
         return got
 
     def collect_evals(self, round_idx: int, deadline: Deadline) -> dict[int, float]:
@@ -687,7 +705,9 @@ class TcpTransport:
                     # per-client traffic: attribute to the reporting client's rank
                     client_id = int(msg.meta["client"])
                     self.cost.record(self.rank_of(client_id), self.server_rank, n)
-                    self._updates.put((client_id, msg.meta, msg.state or {}))
+                    self._updates.put(
+                        (client_id, msg.meta, msg.state or {}, time.perf_counter())
+                    )
                 elif msg.type == MsgType.EVAL:
                     # per-worker traffic: attribute to the lowest owned rank
                     if link.client_ids:
@@ -696,6 +716,21 @@ class TcpTransport:
                 elif msg.type == MsgType.HEARTBEAT:
                     if link.client_ids:
                         self.cost.record(self.rank_of(min(link.client_ids)), self.server_rank, n)
+                    if "t0" in msg.meta:
+                        # NTP-style echo: reflect the worker's t0 with our
+                        # receive (t1) / reply (t2) wall stamps so the worker
+                        # can estimate clock offset + RTT (see net/worker.py)
+                        t1 = time.time()
+                        en = link.conn.send(
+                            Message(
+                                MsgType.HEARTBEAT,
+                                {"t0": msg.meta["t0"], "t1": t1, "t2": time.time()},
+                            )
+                        )
+                        if link.client_ids:
+                            self.cost.record(
+                                self.server_rank, self.rank_of(min(link.client_ids)), en
+                            )
                 elif msg.type == MsgType.BYE:
                     link.said_bye = True
                     if msg.meta:  # final worker self-report (rejoins, chaos tallies)

@@ -50,6 +50,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.federated.setup import FederationSpec, build_federation
 from repro.federated.trainer import LocalUpdateConfig, local_update
 from repro.net.chaos import ChaosConfig, ChaosConnection, ChaosEngine
@@ -325,7 +326,9 @@ def _run_session(
                 )
 
         heartbeat = Heartbeat(
-            lambda: conn.send(Message(MsgType.HEARTBEAT)),
+            # each beat carries t0 so the server's echo (t0,t1,t2) lets us
+            # estimate clock offset + RTT NTP-style (see _note_heartbeat_echo)
+            lambda: conn.send(Message(MsgType.HEARTBEAT, {"t0": time.time()})),
             interval_s=float(cfg.get("heartbeat_s", 0.5)),
             # piggyback liveness on round traffic: beat only when the
             # connection has been genuinely silent for a full interval
@@ -366,6 +369,13 @@ def _run_session(
                 return 0
             if msg.type == MsgType.ERROR:
                 raise ConnectionError(f"server error: {msg.meta.get('message')}")
+            if msg.type == MsgType.HEARTBEAT:
+                # server echo of one of our beats: a clock/RTT sample.
+                # The main thread may have been grinding through training
+                # when this landed, so individual samples can be wildly
+                # inflated — trace-merge filters by minimum RTT.
+                _note_heartbeat_echo(msg.meta, heartbeat)
+                continue
             if msg.type == MsgType.ROUND_START:
                 sess.begin_round(msg.meta)
                 log(f"round {sess.current_round}: {sorted(sess.pending)} sampled here")
@@ -387,7 +397,9 @@ def _run_session(
                         meta, payload = sess.round_updates[k]
                         conn.send(Message(MsgType.CLIENT_UPDATE, meta, payload))
                     continue
-                _train_and_send(conn, sess, opts, k, t, msg.state, log)
+                _train_and_send(
+                    conn, sess, opts, k, t, msg.state, log, trace=msg.meta.get("_trace")
+                )
                 _maybe_eval(conn, sess)
                 continue
             raise ConnectionError(f"unexpected {msg.type.name} from server")
@@ -396,16 +408,60 @@ def _run_session(
             heartbeat.stop()
 
 
+def _note_heartbeat_echo(meta: dict, heartbeat: Heartbeat | None) -> None:
+    """Fold one HEARTBEAT echo into the clock-offset/RTT telemetry.
+
+    NTP's four-timestamp estimate: ``t0`` our send, ``t1``/``t2`` the
+    server's receive/reply stamps, ``t3`` our receipt.  Offset is
+    ``((t1-t0) + (t2-t3)) / 2`` (positive = server clock ahead), RTT is
+    the total round trip minus the server's turnaround.  Each sample is
+    exported as a ``clock`` record for ``trace-merge``.
+    """
+    try:
+        t0, t1, t2 = float(meta["t0"]), float(meta["t1"]), float(meta["t2"])
+    except (KeyError, TypeError, ValueError):
+        return
+    t3 = time.time()
+    rtt = max(0.0, (t3 - t0) - (t2 - t1))
+    offset = ((t1 - t0) + (t2 - t3)) / 2.0
+    if heartbeat is not None:
+        heartbeat.note_echo(rtt, offset)
+    telemetry.latency("net.heartbeat_rtt").observe(rtt)
+    telemetry.record_event(
+        "clock", offset_s=offset, rtt_s=rtt, wall=t3, mono=time.perf_counter()
+    )
+
+
 def _train_and_send(
-    conn: Connection, sess: _Session, opts: WorkerOptions, k: int, t: int, state: dict, log
+    conn: Connection,
+    sess: _Session,
+    opts: WorkerOptions,
+    k: int,
+    t: int,
+    state: dict,
+    log,
+    trace: dict | None = None,
 ) -> None:
-    """Train client ``k`` on the round-``t`` classifier; cache + send."""
+    """Train client ``k`` on the round-``t`` classifier; cache + send.
+
+    ``trace`` is the CLASSIFIER frame's ``_trace`` meta (trace id +
+    server round-span id); installing it as inheritable span context
+    makes the trainer's ``local_update`` span carry ``trace_parent``, so
+    ``trace-merge`` can hang this worker's spans under the server's
+    round span.
+    """
     client = sess.by_id[k]
     sess.load_payload(client, state)
     reference = {name: v.copy() for name, v in state.items()}
+    ctx_attrs = (
+        {"round": t, "trace_id": trace.get("id"), "trace_parent": trace.get("span")}
+        if trace
+        else {}
+    )
     t0 = time.perf_counter()
     assert sess.trainer_cfg is not None
-    loss = local_update(client, sess.local_epochs, sess.trainer_cfg, reference)
+    with telemetry.context(**ctx_attrs):
+        loss = local_update(client, sess.local_epochs, sess.trainer_cfg, reference)
     duration = time.perf_counter() - t0
     if opts.stall_at_round is not None and t == opts.stall_at_round:
         log(f"chaos hook: stalling {opts.stall_s:.1f}s at round {t}")
@@ -460,5 +516,14 @@ def _maybe_eval(conn: Connection, sess: _Session) -> None:
         accs = {k: float(c.evaluate()) for k, c in sorted(sess.by_id.items())}
         assert all(np.isfinite(list(accs.values()))), "non-finite accuracy"
         sess.round_accs = accs
+    # clock probe *before* the EVAL frame: the server's round can only
+    # advance once this EVAL lands, and its reader echoes in frame order,
+    # so the echo is guaranteed to reach us ahead of the next round's
+    # traffic — we stamp t3 promptly from the recv-wait we are about to
+    # enter.  This gives every evaluated round one minimum-RTT-quality
+    # sample even on workers that train wall-to-wall (heartbeat-thread
+    # echoes landing mid-training are stamped late, inflating RTT by
+    # whole training runs).
+    conn.send(Message(MsgType.HEARTBEAT, {"t0": time.time()}))
     conn.send(Message(MsgType.EVAL, {"round": sess.current_round, "accs": sess.round_accs}))
     sess.eval_sent = True

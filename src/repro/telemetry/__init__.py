@@ -65,13 +65,22 @@ from repro.telemetry.health import (
     default_detectors,
 )
 from repro.telemetry.memprof import MemoryProfiler, active_memprof, format_mem_summary
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LogBucketHistogram,
+    MetricsRegistry,
+)
 from repro.telemetry.opprof import OpProfiler, active_profiler, profiled_op
 from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.report import diff_runs, format_diff, gate_violations, render_report
 from repro.telemetry.spans import Span, Tracer
 from repro.telemetry.trace import (
     ascii_gantt,
+    count_remote_parented,
+    estimate_clock_offset,
+    merge_traces,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -88,7 +97,9 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "latency",
     "record_round",
+    "record_event",
     "context",
     "Tracer",
     "Span",
@@ -96,6 +107,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogBucketHistogram",
     "OpProfiler",
     "profiled_op",
     "active_profiler",
@@ -123,6 +135,9 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "estimate_clock_offset",
+    "merge_traces",
+    "count_remote_parented",
     "ascii_gantt",
 ]
 
@@ -161,6 +176,9 @@ class _NullInstrument:
 
     def observe(self, v: float) -> None:
         pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
 
     def summary(self) -> dict:
         return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
@@ -214,7 +232,13 @@ class NullTelemetry:
     def histogram(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
+    def latency(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
     def record_round(self, **fields) -> None:
+        pass
+
+    def record_event(self, type: str, **fields) -> None:
         pass
 
     def close(self) -> None:
@@ -235,9 +259,28 @@ class Telemetry:
         on_alert=None,
         memory: bool = False,
         recorder: str | FlightRecorder | None = None,
+        process: dict | None = None,
     ):
+        import os
+        import time
+
         self._writer = JsonlWriter(jsonl) if jsonl else None
         sink = self._writer.write if self._writer else None
+        #: identity of this process in a multi-rank run (role, rank, ...);
+        #: exported as the file's first record, together with a paired
+        #: wall/monotonic clock anchor so ``trace-merge`` can reconstruct
+        #: skew-free wall times from spans' monotonic starts.
+        self.process = dict(process) if process else None
+        if self._writer is not None and self.process is not None:
+            self._writer.write(
+                {
+                    "type": "proc",
+                    **self.process,
+                    "pid": os.getpid(),
+                    "wall": time.time(),
+                    "mono": time.perf_counter(),
+                }
+            )
         self.tracer = Tracer(sink=sink)
         self.metrics = MetricsRegistry()
         self.ops = OpProfiler() if profile_ops else None
@@ -294,6 +337,10 @@ class Telemetry:
     def histogram(self, name: str) -> Histogram:
         return self.metrics.histogram(name)
 
+    def latency(self, name: str) -> LogBucketHistogram:
+        """Log-bucket latency histogram (p50/p95/p99 with bounded memory)."""
+        return self.metrics.latency(name)
+
     # -- round summaries -----------------------------------------------
     def record_round(self, **fields) -> None:
         """Record one round's compute/comm breakdown (see base.run)."""
@@ -301,6 +348,11 @@ class Telemetry:
         self.rounds.append(record)
         if self._writer is not None:
             self._writer.write(record)
+
+    def record_event(self, type: str, **fields) -> None:
+        """Stream an ad-hoc typed record (e.g. ``clock`` offset samples)."""
+        if self._writer is not None:
+            self._writer.write({"type": type, **fields})
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -342,6 +394,7 @@ def configure(
     on_alert=None,
     memory: bool = False,
     recorder: str | FlightRecorder | None = None,
+    process: dict | None = None,
 ) -> Telemetry:
     """Create, install, and return a live :class:`Telemetry` backend.
 
@@ -352,7 +405,10 @@ def configure(
     alert callback forwarded to the monitor.  ``memory=True`` activates
     the autograd allocation profiler.  ``recorder`` arms the flight
     recorder: a directory path (bundles persisted there on alert) or a
-    ready-made :class:`FlightRecorder`.
+    ready-made :class:`FlightRecorder`.  ``process`` identifies this
+    process in a multi-rank run (e.g. ``{"role": "worker", "rank": 1}``)
+    and is exported as a ``proc`` record carrying a wall/monotonic clock
+    anchor for ``trace-merge``.
     """
     tel = Telemetry(
         jsonl=jsonl,
@@ -361,6 +417,7 @@ def configure(
         on_alert=on_alert,
         memory=memory,
         recorder=recorder,
+        process=process,
     )
     set_telemetry(tel)
     return tel
@@ -392,9 +449,19 @@ def histogram(name: str):
     return _current.histogram(name)
 
 
+def latency(name: str):
+    """Latency histogram ``name`` on the current backend (no-op when disabled)."""
+    return _current.latency(name)
+
+
 def record_round(**fields) -> None:
     """Record a per-round summary on the current backend (no-op when disabled)."""
     _current.record_round(**fields)
+
+
+def record_event(type: str, **fields) -> None:
+    """Stream a typed record on the current backend (no-op when disabled)."""
+    _current.record_event(type, **fields)
 
 
 def context(**attrs):

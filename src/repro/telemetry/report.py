@@ -233,6 +233,62 @@ def _render_alerts(alerts: list[dict]) -> str:
     return "\n".join(lines)
 
 
+_PHASE_KEYS = ("broadcast_s", "compute_s", "wait_s", "aggregate_s")
+
+
+def _fmt_lat(v) -> str:
+    """Human latency: sub-millisecond in µs, sub-second in ms, else s."""
+    if not _finite(v):
+        return "-"
+    if v < 1e-3:
+        return f"{v * 1e6:.0f}µs"
+    if v < 1.0:
+        return f"{v * 1e3:.2f}ms"
+    return f"{v:.3f}s"
+
+
+def _render_network(s: RunSummary) -> str | None:
+    """Wire-latency percentiles + per-round critical path, when recorded.
+
+    Returns ``None`` for runs without network telemetry (pre-tracing
+    files, sim-only runs) so the section vanishes instead of rendering
+    empty tables.
+    """
+    latencies = (s.metrics or {}).get("latencies") or {}
+    net_lat = {k: v for k, v in latencies.items() if k.startswith("net.")}
+    phases = [r["phase"] for r in s.rounds if isinstance(r.get("phase"), dict)]
+    if not net_lat and not phases:
+        return None
+    lines: list[str] = []
+    if phases:
+        totals = {k: sum(float(p.get(k) or 0.0) for p in phases) for k in _PHASE_KEYS}
+        wall = s.total("wall_s")
+        lines.append(f"round critical path (totals over {len(phases)} rounds):")
+        for k in _PHASE_KEYS:
+            share = totals[k] / wall * 100.0 if wall > 0 else 0.0
+            lines.append(
+                f"  {k[:-2]:<10} {totals[k]:>10.3f}s  {share:>5.1f}% of round wall"
+            )
+    if net_lat:
+        if lines:
+            lines.append("")
+        header = (
+            f"  {'metric':<28} {'count':>7} {'p50':>10} {'p95':>10} "
+            f"{'p99':>10} {'max':>10}"
+        )
+        lines.append("wire latency (log-bucket percentiles):")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for name in sorted(net_lat):
+            v = net_lat[name]
+            lines.append(
+                f"  {name:<28} {int(v.get('count', 0)):>7} "
+                f"{_fmt_lat(v.get('p50')):>10} {_fmt_lat(v.get('p95')):>10} "
+                f"{_fmt_lat(v.get('p99')):>10} {_fmt_lat(v.get('max')):>10}"
+            )
+    return "\n".join(lines)
+
+
 def render_report(records: list[dict]) -> str:
     """ASCII dashboard for one run's telemetry records."""
     s = summarize_run(records)
@@ -241,12 +297,19 @@ def render_report(records: list[dict]) -> str:
         "per-round breakdown:",
         format_round_summary(s.rounds),
         "",
-        "per-client health:",
-        _render_client_table(s),
-        "",
-        f"alerts ({len(s.alerts)}):",
-        _render_alerts(s.alerts),
     ]
+    network = _render_network(s)
+    if network is not None:
+        sections.extend(["network:", network, ""])
+    sections.extend(
+        [
+            "per-client health:",
+            _render_client_table(s),
+            "",
+            f"alerts ({len(s.alerts)}):",
+            _render_alerts(s.alerts),
+        ]
+    )
     return "\n".join(sections)
 
 

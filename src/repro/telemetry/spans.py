@@ -82,6 +82,11 @@ class Span:
         self._tracer._finish(self)
 
     def record(self) -> dict:
+        # ``ts`` is wall-clock for human-readable single-process exports;
+        # ``ts_mono`` anchors the span on the monotonic clock so
+        # trace-merge can rebuild skew-free cross-process timestamps from
+        # the proc record's paired wall/mono sample (wall time can step
+        # mid-run; perf_counter cannot).
         return {
             "type": "span",
             "name": self.name,
@@ -89,6 +94,7 @@ class Span:
             "parent_id": self.parent_id,
             "thread": self.thread,
             "ts": self.start_wall,
+            "ts_mono": self._start,
             "dur_s": self.duration_s,
             "attrs": self.attrs,
         }

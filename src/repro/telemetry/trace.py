@@ -25,6 +25,9 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "estimate_clock_offset",
+    "merge_traces",
+    "count_remote_parented",
     "ascii_gantt",
 ]
 
@@ -129,6 +132,151 @@ def validate_chrome_trace(trace: dict) -> list[str]:
             if "args" in ev and not isinstance(ev["args"], dict):
                 problems.append(f"event {i} 'args' is not an object")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Cross-process merge (trace-merge): clock alignment + remote parenting
+# ---------------------------------------------------------------------------
+def estimate_clock_offset(records: list[dict]) -> tuple[float, float]:
+    """Estimate a worker's wall-clock offset to the server from its
+    heartbeat-echo ``clock`` records; returns ``(offset_s, min_rtt_s)``.
+
+    Each sample is an NTP-style estimate whose error is bounded by half
+    its round-trip — but a worker's main thread can sit blocked in
+    training while the echo waits in the socket buffer, inflating
+    individual RTTs by *seconds*.  Filtering to the minimum-RTT samples
+    (the echoes processed promptly) and taking their median offset keeps
+    the estimate at loopback-RTT accuracy regardless of how busy the
+    worker was.  ``(0.0, 0.0)`` with no samples: the caller falls back
+    to raw wall clocks.
+    """
+    samples = [
+        r
+        for r in records
+        if r.get("type") == "clock" and "offset_s" in r and "rtt_s" in r
+    ]
+    if not samples:
+        return 0.0, 0.0
+    samples.sort(key=lambda r: float(r["rtt_s"]))
+    best = samples[: min(3, len(samples))]
+    offsets = sorted(float(r["offset_s"]) for r in best)
+    return offsets[len(offsets) // 2], float(best[0]["rtt_s"])
+
+
+def _proc_anchor(records: list[dict]) -> dict | None:
+    """The stream's ``proc`` record (clock anchor + identity), if any."""
+    for r in records:
+        if r.get("type") == "proc" and "wall" in r and "mono" in r:
+            return r
+    return None
+
+
+def _aligned_ts(rec: dict, anchor: dict | None, offset: float) -> float:
+    """A span's start in server wall time.
+
+    Prefer reconstructing from the monotonic anchor — ``anchor.wall +
+    (span.ts_mono - anchor.mono)`` — which is immune to wall-clock steps
+    mid-run; fall back to the recorded wall start.  ``offset`` then maps
+    this process's clock onto the server's.
+    """
+    ts_mono = rec.get("ts_mono")
+    if anchor is not None and ts_mono is not None:
+        local = float(anchor["wall"]) + (float(ts_mono) - float(anchor["mono"]))
+    else:
+        local = float(rec.get("ts", 0.0))
+    return local + offset
+
+
+def merge_traces(
+    server_records: list[dict], worker_records: list[list[dict]]
+) -> dict:
+    """Merge one server + N worker telemetry streams into one Chrome trace.
+
+    Each process becomes one Chrome ``pid`` (server = 0, workers 1..N)
+    with its own thread rows.  Worker timestamps are clock-aligned via
+    :func:`estimate_clock_offset`; span ids are namespaced per process
+    (``args.span_uid = "<pid>:<span_id>"``) so ids colliding across
+    processes cannot cross-link.  A worker span carrying a
+    ``trace_parent`` attribute (propagated in the CLASSIFIER frame's
+    ``_trace`` meta) and no local parent is hung under the server's span
+    ``"0:<trace_parent>"`` and marked ``args.remote_parent = true`` —
+    the cross-process edges the loopback acceptance test counts.
+    """
+    processes: list[tuple[int, str, list[dict], float]] = []
+    server_proc = _proc_anchor(server_records)
+    server_name = "server"
+    if server_proc is not None and server_proc.get("role"):
+        server_name = str(server_proc["role"])
+    processes.append((0, server_name, server_records, 0.0))
+    for i, records in enumerate(worker_records, start=1):
+        offset, _rtt = estimate_clock_offset(records)
+        proc = _proc_anchor(records)
+        name = f"worker {i}"
+        if proc is not None:
+            if proc.get("clients") is not None:
+                name = f"worker clients={proc['clients']}"
+            elif proc.get("rank") is not None:
+                name = f"worker rank{proc['rank']}"
+        processes.append((i, name, records, offset))
+
+    events: list[dict] = []
+    span_events: list[tuple[float, int, dict]] = []
+    for pid, name, records, offset in processes:
+        anchor = _proc_anchor(records)
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": name}}
+        )
+        tids: dict[str, int] = {}
+        for rec in spans_of(records):
+            thread = rec.get("thread") or "?"
+            if thread not in tids:
+                tids[thread] = len(tids)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tids[thread],
+                        "args": {"name": thread},
+                    }
+                )
+            args = dict(rec.get("attrs") or {})
+            span_id = rec.get("span_id")
+            args["span_uid"] = f"{pid}:{span_id}"
+            if rec.get("parent_id") is not None:
+                args["parent_uid"] = f"{pid}:{rec['parent_id']}"
+            elif args.get("trace_parent") is not None and pid != 0:
+                args["parent_uid"] = f"0:{args['trace_parent']}"
+                args["remote_parent"] = True
+            ts = _aligned_ts(rec, anchor, offset)
+            span_events.append(
+                (
+                    ts,
+                    span_id or 0,
+                    {
+                        "name": rec.get("name", "?"),
+                        "cat": "span",
+                        "ph": "X",
+                        "ts": ts * 1e6,
+                        "dur": float(rec.get("dur_s", 0.0)) * 1e6,
+                        "pid": pid,
+                        "tid": tids[thread],
+                        "args": args,
+                    },
+                )
+            )
+    span_events.sort(key=lambda e: (e[0], e[2]["pid"], e[1]))
+    events.extend(e for _, _, e in span_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def count_remote_parented(trace: dict) -> int:
+    """How many spans in a merged trace parent across a process boundary."""
+    return sum(
+        1
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == "X" and (e.get("args") or {}).get("remote_parent")
+    )
 
 
 # ---------------------------------------------------------------------------

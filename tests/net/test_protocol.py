@@ -151,3 +151,67 @@ class TestCorruptInput:
         header = _HEADER.pack(MAGIC, 1, int(MsgType.CLIENT_UPDATE), 0, len(payload), crc)
         with pytest.raises(ValueError):
             read_frame(io.BytesIO(header + payload))
+
+
+class TestTracedFlag:
+    """FLAG_TRACED rides the header without touching state decoding."""
+
+    def test_traced_meta_only_roundtrip(self):
+        from repro.net.protocol import FLAG_TRACED
+
+        frame = encode_message(
+            Message(MsgType.ROUND_START, {"round": 1, "_trace": {"id": "t", "span": 7}}),
+            flags=FLAG_TRACED,
+        )
+        back = read_frame(io.BytesIO(frame))
+        assert back.meta["_trace"] == {"id": "t", "span": 7}
+
+    def test_traced_plain_state_decodes_without_codec(self):
+        # regression: a traced frame whose state blob is the *plain* RPSD
+        # format must route to the plain decoder, not demand a codec
+        from repro.net.protocol import FLAG_TRACED
+
+        state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        frame = encode_message(
+            Message(MsgType.CLASSIFIER, {"round": 0, "_trace": {"id": "t"}}, state),
+            flags=FLAG_TRACED,
+        )
+        back = read_frame(io.BytesIO(frame))  # no state_decoder passed
+        assert np.array_equal(back.state["w"], state["w"])
+
+    def test_traced_codec_state_still_reaches_decoder(self):
+        from repro.net.protocol import FLAG_CODEC, FLAG_TRACED, STATE_ENC_FLAGS
+
+        seen = {}
+
+        def decoder(flags, mtype, meta, blob):
+            seen["flags"] = flags
+            return {"ok": np.zeros(1)}
+
+        frame = encode_message(
+            Message(MsgType.CLASSIFIER, {}, None),
+            flags=FLAG_CODEC | FLAG_TRACED,
+            state_parts=[b"container"],
+        )
+        back = read_frame(io.BytesIO(frame), state_decoder=decoder)
+        # the decoder sees only the state-encoding bits, never FLAG_TRACED
+        assert seen["flags"] == FLAG_CODEC
+        assert seen["flags"] & ~STATE_ENC_FLAGS == 0
+        assert "ok" in back.state
+
+    def test_pre_tracing_peer_rejects_unknown_bits_loudly(self):
+        # the next unassigned flag bit must fail the handshake, not be
+        # silently dropped — that is the negotiation contract FLAG_TRACED
+        # itself relied on when it was introduced
+        from repro.net.protocol import KNOWN_WIRE_FLAGS, UnknownWireFlags
+
+        unknown = (KNOWN_WIRE_FLAGS + 1) & ~KNOWN_WIRE_FLAGS
+        with pytest.raises(UnknownWireFlags):
+            encode_message(Message(MsgType.HEARTBEAT), flags=unknown)
+        good = encode_message(Message(MsgType.HEARTBEAT))
+        magic, version, msg_type, flags, length, crc = _HEADER.unpack(
+            good[: _HEADER.size]
+        )
+        bad = _HEADER.pack(magic, version, msg_type, flags | unknown, length, crc)
+        with pytest.raises(UnknownWireFlags):
+            read_frame(io.BytesIO(bad + good[_HEADER.size :]))

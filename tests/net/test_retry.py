@@ -171,3 +171,35 @@ class TestHeartbeat:
         hb.stop()
         hb.join(2.0)
         assert count == [] and not hb.is_alive()
+
+    def test_skips_beats_while_connection_is_active(self):
+        """Round traffic proves liveness — no beats while frames flow."""
+        sent = []
+        last_tx = [time.monotonic()]
+        hb = Heartbeat(
+            lambda: sent.append(1), interval_s=0.02, activity=lambda: last_tx[0]
+        )
+        hb.start()
+        deadline = time.monotonic() + 0.3
+        while time.monotonic() < deadline:
+            last_tx[0] = time.monotonic()  # keep the link looking busy
+            time.sleep(0.005)
+        assert sent == []
+        assert hb.beats_skipped > 0
+        # once the link goes silent for a full interval, beating resumes
+        beat_deadline = time.monotonic() + 2.0
+        while not sent and time.monotonic() < beat_deadline:
+            time.sleep(0.01)
+        hb.stop()
+        hb.join(2.0)
+        assert sent, "expected beats to resume after the link went quiet"
+
+    def test_note_echo_records_rtt_and_offset(self):
+        hb = Heartbeat(lambda: None, interval_s=5.0)
+        assert hb.echoes == 0
+        assert hb.last_rtt_s is None and hb.last_offset_s is None
+        hb.note_echo(rtt_s=0.0012, offset_s=-0.0003)
+        hb.note_echo(rtt_s=0.0040, offset_s=0.0001)
+        assert hb.echoes == 2
+        assert hb.last_rtt_s == pytest.approx(0.0040)
+        assert hb.last_offset_s == pytest.approx(0.0001)

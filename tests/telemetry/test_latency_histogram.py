@@ -1,0 +1,159 @@
+"""LogBucketHistogram: bounded-error percentiles with bounded memory.
+
+The geometric bucket layout (16 buckets per octave) promises every
+percentile lands within ``sqrt(growth) - 1`` ≈ 4.4% relative error of
+the exact nearest-rank quantile, for *any* input distribution.  These
+tests hold it to that bound on adversarial shapes, and pin the algebra
+the runtime relies on: merge is exact count addition (commutative,
+associative, equivalent to concatenating the streams), and the dict
+form round-trips through JSON without drift.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import LogBucketHistogram
+
+# one half-bucket of geometric slack, padded for float roundoff
+REL_TOL = math.sqrt(LogBucketHistogram.GROWTH) - 1.0 + 1e-6
+
+
+def exact_percentile(values, p):
+    """Nearest-rank quantile: the value at rank ceil(p/100 * n)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def fill(values, name="lat"):
+    h = LogBucketHistogram(name)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+ADVERSARIAL = {
+    # heavy right tail spanning ~6 orders of magnitude
+    "lognormal": np.random.default_rng(0).lognormal(-7.0, 2.0, 5000),
+    # uniform across one decade
+    "uniform": np.random.default_rng(1).uniform(1e-4, 1e-3, 5000),
+    # bimodal: fast path ~100µs, straggler path ~2s
+    "bimodal": np.concatenate(
+        [
+            np.random.default_rng(2).normal(1e-4, 1e-5, 4500).clip(min=1e-6),
+            np.random.default_rng(3).normal(2.0, 0.2, 500).clip(min=1e-6),
+        ]
+    ),
+    # point mass: every sample identical
+    "constant": np.full(1000, 3.2e-3),
+    # geometric ladder hitting many distinct buckets exactly
+    "ladder": np.array([10.0 ** (-6 + i / 100.0) for i in range(600)]),
+}
+
+
+class TestPercentileAccuracy:
+    @pytest.mark.parametrize("dist", sorted(ADVERSARIAL))
+    @pytest.mark.parametrize("p", [1, 25, 50, 90, 95, 99, 99.9])
+    def test_within_geometric_bound(self, dist, p):
+        values = ADVERSARIAL[dist]
+        h = fill(values)
+        got = h.percentile(p)
+        want = exact_percentile(values, p)
+        assert got == pytest.approx(want, rel=REL_TOL)
+
+    def test_min_max_mean_are_exact(self):
+        values = ADVERSARIAL["lognormal"]
+        h = fill(values)
+        assert h.min == pytest.approx(float(values.min()))
+        assert h.max == pytest.approx(float(values.max()))
+        assert h.total / h.count == pytest.approx(float(values.mean()))
+
+    def test_bounded_memory_on_huge_streams(self):
+        # 5000 lognormal samples span < a few hundred buckets, not 5000
+        h = fill(ADVERSARIAL["lognormal"])
+        assert len(h.to_dict()["buckets"]) < 300
+
+
+class TestEdges:
+    def test_empty(self):
+        h = LogBucketHistogram("lat")
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        s = h.summary()
+        assert s["count"] == 0 and s["p99"] == 0.0
+
+    def test_single_sample(self):
+        h = fill([2.5e-3])
+        for p in (1, 50, 99.9):
+            assert h.percentile(p) == pytest.approx(2.5e-3, rel=REL_TOL)
+        s = h.summary()
+        assert s["count"] == 1
+        assert s["min"] == s["max"] == pytest.approx(2.5e-3)
+
+    def test_zero_and_subnormal_clamp_to_first_bucket(self):
+        h = fill([0.0, -1.0, 1e-300])
+        assert h.count == 3
+        assert h.percentile(99) <= LogBucketHistogram.MIN_VALUE * 2
+
+
+class TestMerge:
+    def test_merge_equals_concatenation(self):
+        a_vals = ADVERSARIAL["uniform"][:2000]
+        b_vals = ADVERSARIAL["bimodal"][:2000]
+        a, b = fill(a_vals, "a"), fill(b_vals, "b")
+        a.merge(b)
+        both = fill(np.concatenate([a_vals, b_vals]))
+        assert a.to_dict()["buckets"] == both.to_dict()["buckets"]
+        assert a.count == both.count
+        for p in (50, 95, 99):
+            assert a.percentile(p) == both.percentile(p)
+
+    def test_commutative(self):
+        a1, b1 = fill([1e-3, 2e-3], "x"), fill([5e-3], "x")
+        a2, b2 = fill([1e-3, 2e-3], "x"), fill([5e-3], "x")
+        a1.merge(b1)
+        b2.merge(a2)
+        assert a1.to_dict()["buckets"] == b2.to_dict()["buckets"]
+
+    def test_associative(self):
+        vals = [[1e-4, 2e-4], [3e-3], [0.5, 0.7, 0.9]]
+        left = fill(vals[0], "x")
+        left.merge(fill(vals[1], "x"))
+        left.merge(fill(vals[2], "x"))
+        bc = fill(vals[1], "x")
+        bc.merge(fill(vals[2], "x"))
+        right = fill(vals[0], "x")
+        right.merge(bc)
+        ld, rd = left.to_dict(), right.to_dict()
+        # bucket counts are integers — exactly associative; the float
+        # running total is only associative up to summation order
+        assert ld["buckets"] == rd["buckets"]
+        assert ld["count"] == rd["count"]
+        assert ld["min"] == rd["min"] and ld["max"] == rd["max"]
+        assert ld["total"] == pytest.approx(rd["total"])
+
+    def test_merge_empty_is_identity(self):
+        h = fill([1e-3, 2e-3])
+        before = h.to_dict()
+        h.merge(LogBucketHistogram("other"))
+        assert h.to_dict() == before
+
+
+class TestSerde:
+    def test_json_round_trip_is_exact(self):
+        h = fill(ADVERSARIAL["lognormal"])
+        wire = json.dumps(h.to_dict())
+        back = LogBucketHistogram.from_dict(json.loads(wire))
+        assert back.to_dict() == h.to_dict()
+        assert back.count == h.count
+        for p in (1, 50, 95, 99, 99.9):
+            assert back.percentile(p) == h.percentile(p)
+
+    def test_summary_shape(self):
+        s = fill([1e-3, 2e-3, 4e-3]).summary()
+        assert set(s) == {"count", "total", "min", "max", "mean", "p50", "p95", "p99"}
+        assert s["count"] == 3
+        assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"] * (1 + REL_TOL)

@@ -175,3 +175,64 @@ class TestGate:
     def test_improvement_never_fails(self):
         diff = diff_runs(make_run(accs=(0.3, 0.5)), make_run(accs=(0.3, 0.9), up=50))
         assert gate_violations(diff, allow_new_alerts=False) == []
+
+
+class TestNetworkSection:
+    def lat(self, count=4, p50=1e-4, p95=2e-4, p99=3e-4, mx=4e-4):
+        return {
+            "count": count, "total": count * p50, "min": p50, "max": mx,
+            "mean": p50, "p50": p50, "p95": p95, "p99": p99,
+        }
+
+    def net_run(self):
+        records = make_run()
+        for i, r in enumerate(rec for rec in records if rec["type"] == "round"):
+            r["phase"] = {
+                "broadcast_s": 0.01,
+                "compute_s": 0.7,
+                "wait_s": 0.2,
+                "aggregate_s": 0.001,
+            }
+        records.append(
+            {
+                "type": "metrics",
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+                "latencies": {
+                    "net.send_s.CLASSIFIER": self.lat(),
+                    "net.straggler_wait_s": self.lat(count=2, p50=0.5, p95=0.9, p99=0.9, mx=0.95),
+                    "trainer.step_s": self.lat(),  # non-net: excluded
+                },
+            }
+        )
+        return records
+
+    def test_absent_without_network_telemetry(self):
+        # sim-only / pre-tracing files keep rendering exactly as before
+        assert "network:" not in render_report(make_run())
+
+    def test_critical_path_totals(self):
+        out = render_report(self.net_run())
+        assert "network:" in out
+        assert "round critical path (totals over 3 rounds):" in out
+        # 3 rounds x 0.7s compute against 3 x 1.0s wall = 70%
+        assert "compute" in out and "70.0% of round wall" in out
+
+    def test_wire_latency_table_filters_to_net_metrics(self):
+        out = render_report(self.net_run())
+        assert "net.send_s.CLASSIFIER" in out
+        assert "net.straggler_wait_s" in out
+        assert "trainer.step_s" not in out
+
+    def test_latency_units_scale(self):
+        out = render_report(self.net_run())
+        assert "µs" in out  # 100µs-scale send latencies
+        assert "ms" in out or "s" in out  # 0.5s straggler wait
+
+    def test_phases_alone_render_without_latencies(self):
+        records = self.net_run()
+        records = [r for r in records if r.get("type") != "metrics"]
+        out = render_report(records)
+        assert "round critical path" in out
+        assert "wire latency" not in out

@@ -1,0 +1,203 @@
+"""Cross-process trace merging: clock alignment, parenting, namespacing.
+
+Synthetic telemetry streams stand in for a server + workers, so every
+geometric property (offset estimation, monotonic reconstruction,
+cross-process parent edges) is asserted against hand-computed values.
+The loopback integration test in ``tests/net/test_tcp_end_to_end.py``
+covers the same pipeline on real processes.
+"""
+
+import pytest
+
+from repro.telemetry import (
+    count_remote_parented,
+    estimate_clock_offset,
+    merge_traces,
+    to_chrome_trace,
+)
+
+
+def span(name, span_id, ts, dur, parent_id=None, ts_mono=None, attrs=None, thread="main"):
+    rec = {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "thread": thread,
+        "ts": ts,
+        "dur_s": dur,
+        "attrs": attrs or {},
+    }
+    if ts_mono is not None:
+        rec["ts_mono"] = ts_mono
+    return rec
+
+
+def clock(offset_s, rtt_s):
+    return {"type": "clock", "offset_s": offset_s, "rtt_s": rtt_s}
+
+
+def proc(role, wall, mono, **extra):
+    return {"type": "proc", "role": role, "wall": wall, "mono": mono, **extra}
+
+
+class TestClockOffset:
+    def test_no_samples_falls_back_to_zero(self):
+        assert estimate_clock_offset([]) == (0.0, 0.0)
+        assert estimate_clock_offset([{"type": "span"}]) == (0.0, 0.0)
+
+    def test_single_sample(self):
+        off, rtt = estimate_clock_offset([clock(0.25, 0.001)])
+        assert off == 0.25 and rtt == 0.001
+
+    def test_min_rtt_filtering_ignores_inflated_samples(self):
+        # echoes stamped late while the worker trained: huge RTT, offsets
+        # off by ~rtt/2 — they must not contaminate the estimate
+        records = [
+            clock(-0.48, 0.95),
+            clock(-0.73, 1.47),
+            clock(0.0101, 0.0010),
+            clock(0.0100, 0.0011),
+            clock(0.0099, 0.0012),
+        ]
+        off, rtt = estimate_clock_offset(records)
+        assert off == pytest.approx(0.0100)
+        assert rtt == pytest.approx(0.0010)
+
+    def test_median_of_three_best(self):
+        records = [clock(0.5, 0.01), clock(0.1, 0.02), clock(0.3, 0.03), clock(9.9, 5.0)]
+        off, rtt = estimate_clock_offset(records)
+        assert off == 0.3  # median of {0.5, 0.1, 0.3}
+        assert rtt == 0.01
+
+
+class TestMergeTraces:
+    def server_stream(self):
+        return [
+            proc("server", wall=1000.0, mono=50.0),
+            span("round", 7, ts=1000.5, dur=2.0, ts_mono=50.5, attrs={"round": 0}),
+        ]
+
+    def worker_stream(self, *, skew=0.0):
+        # the worker's wall clock runs `skew` seconds behind the server
+        # (its clock samples measure offset = +skew, server ahead); in
+        # server time it anchored at 1000.1 and trained [1000.6, 1001.4]
+        # — inside the server's round span [1000.5, 1002.5]
+        return [
+            proc("worker", wall=1000.1 - skew, mono=80.0, clients=[0, 2]),
+            clock(skew, 0.001),
+            span(
+                "local_update",
+                3,
+                ts=1000.6 - skew,
+                dur=0.8,
+                ts_mono=80.5,
+                attrs={"trace_parent": 7, "round": 0},
+            ),
+        ]
+
+    def x_events(self, trace):
+        return [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+
+    def meta_events(self, trace):
+        return [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+
+    def test_processes_get_distinct_pids_and_names(self):
+        trace = merge_traces(self.server_stream(), [self.worker_stream()])
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in self.meta_events(trace)
+            if e["name"] == "process_name"
+        }
+        assert names[0] == "server"
+        assert names[1] == "worker clients=[0, 2]"
+
+    def test_span_ids_are_namespaced_per_process(self):
+        # same span_id in two processes must not cross-link
+        worker = self.worker_stream()
+        worker[-1]["span_id"] = 7  # collide with the server round span
+        worker[-1]["attrs"] = {}
+        trace = merge_traces(self.server_stream(), [worker])
+        uids = {e["args"]["span_uid"] for e in self.x_events(trace)}
+        assert uids == {"0:7", "1:7"}
+        assert count_remote_parented(trace) == 0
+
+    def test_remote_parent_edge(self):
+        trace = merge_traces(self.server_stream(), [self.worker_stream()])
+        child = next(e for e in self.x_events(trace) if e["name"] == "local_update")
+        assert child["args"]["parent_uid"] == "0:7"
+        assert child["args"]["remote_parent"] is True
+        assert count_remote_parented(trace) == 1
+
+    def test_local_parent_wins_over_trace_parent(self):
+        worker = self.worker_stream()
+        worker.append(
+            span(
+                "net.send",
+                4,
+                ts=1001.5,
+                dur=0.01,
+                parent_id=3,
+                ts_mono=81.5,
+                attrs={"trace_parent": 7},
+            )
+        )
+        trace = merge_traces(self.server_stream(), [worker])
+        send = next(e for e in self.x_events(trace) if e["name"] == "net.send")
+        assert send["args"]["parent_uid"] == "1:4".replace("4", "3")
+        assert "remote_parent" not in send["args"]
+
+    def test_server_spans_never_remote_parent(self):
+        # a trace_parent attr on a pid-0 span must not self-link
+        server = self.server_stream()
+        server.append(span("stray", 9, ts=1001.0, dur=0.1, attrs={"trace_parent": 7}))
+        trace = merge_traces(server, [])
+        stray = next(e for e in self.x_events(trace) if e["name"] == "stray")
+        assert "parent_uid" not in stray["args"]
+
+    @pytest.mark.parametrize("skew", [0.0, -300.0, 12345.6])
+    def test_clock_alignment_puts_child_inside_parent(self, skew):
+        trace = merge_traces(self.server_stream(), [self.worker_stream(skew=skew)])
+        ev = {e["name"]: e for e in self.x_events(trace)}
+        parent, child = ev["round"], ev["local_update"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+        # hand-check: anchor reconstruction + offset puts the child
+        # 0.1s + 0.5s after the server anchor regardless of skew
+        assert child["ts"] == pytest.approx(1000.6 * 1e6, abs=1.0)
+
+    def test_monotonic_anchor_beats_stepped_wall_clock(self):
+        # the worker's wall clock stepped +100s mid-run: ts lies, ts_mono
+        # does not — reconstruction must use the anchor
+        worker = self.worker_stream()
+        worker[-1]["ts"] = 1100.6
+        trace = merge_traces(self.server_stream(), [worker])
+        child = next(e for e in self.x_events(trace) if e["name"] == "local_update")
+        assert child["ts"] == pytest.approx(1000.6 * 1e6, abs=1.0)
+
+    def test_wall_fallback_without_proc_anchor(self):
+        worker = self.worker_stream()
+        worker.pop(0)  # pre-tracing stream: no proc record
+        trace = merge_traces(self.server_stream(), [worker])
+        child = next(e for e in self.x_events(trace) if e["name"] == "local_update")
+        assert child["ts"] == pytest.approx(1000.6 * 1e6, abs=1.0)
+
+    def test_events_sorted_by_aligned_time(self):
+        trace = merge_traces(self.server_stream(), [self.worker_stream(skew=500.0)])
+        ts = [e["ts"] for e in self.x_events(trace)]
+        assert ts == sorted(ts)
+
+
+class TestSingleProcessExportUnchanged:
+    def test_ts_mono_is_ignored_by_plain_export(self):
+        """`repro trace` output is byte-identical with or without ts_mono."""
+        base = [
+            span("round", 1, ts=10.0, dur=1.0),
+            span("aggregate", 2, ts=10.5, dur=0.1, parent_id=1),
+        ]
+        with_mono = [dict(r, ts_mono=99.0 + i) for i, r in enumerate(base)]
+        import json
+
+        a = json.dumps(to_chrome_trace(base), sort_keys=True)
+        b = json.dumps(to_chrome_trace(with_mono), sort_keys=True)
+        assert a == b

@@ -251,3 +251,94 @@ class TestReplaySubcommand:
         bundle = next(p for p in bundles if "client1" in p)
         assert main(["replay", bundle]) == 0
         assert "REPRODUCED" in capsys.readouterr().out
+
+
+class TestTraceMergeSubcommand:
+    def write_jsonl(self, path, records):
+        import json
+
+        with open(path, "w") as fh:
+            for r in records:
+                fh.write(json.dumps(r) + "\n")
+
+    def streams(self, tmp_path, parented=True):
+        server = str(tmp_path / "run.jsonl")
+        worker = str(tmp_path / "run.rank1.jsonl")
+        self.write_jsonl(
+            server,
+            [
+                {"type": "proc", "role": "server", "wall": 100.0, "mono": 5.0},
+                {
+                    "type": "span", "name": "round", "span_id": 2,
+                    "parent_id": None, "thread": "main", "ts": 100.1,
+                    "ts_mono": 5.1, "dur_s": 1.0, "attrs": {"round": 0},
+                },
+            ],
+        )
+        attrs = {"trace_parent": 2} if parented else {}
+        self.write_jsonl(
+            worker,
+            [
+                {"type": "proc", "role": "worker", "wall": 100.0, "mono": 9.0,
+                 "clients": [0]},
+                {"type": "clock", "offset_s": 0.0, "rtt_s": 0.001},
+                {
+                    "type": "span", "name": "local_update", "span_id": 2,
+                    "parent_id": None, "thread": "main", "ts": 100.2,
+                    "ts_mono": 9.2, "dur_s": 0.5, "attrs": attrs,
+                },
+            ],
+        )
+        return server, worker
+
+    def test_merges_and_counts_parent_edges(self, tmp_path, capsys):
+        import json
+        import os
+
+        server, worker = self.streams(tmp_path)
+        out = str(tmp_path / "merged.json")
+        assert main(["trace-merge", server, worker, "-o", out]) == 0
+        assert "1 cross-process parent edge" in capsys.readouterr().out
+        with open(out) as fh:
+            trace = json.load(fh)
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {0, 1}
+        # default output path derives from the server file
+        assert main(["trace-merge", server, worker]) == 0
+        assert os.path.exists(server + ".merged.trace.json")
+
+    def test_require_parented_gates(self, tmp_path, capsys):
+        server, worker = self.streams(tmp_path, parented=False)
+        out = str(tmp_path / "merged.json")
+        assert main(["trace-merge", server, worker, "-o", out, "--require-parented"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+        server, worker = self.streams(tmp_path, parented=True)
+        assert main(["trace-merge", server, worker, "-o", out, "--require-parented"]) == 0
+
+
+class TestNetObservabilityParsers:
+    def test_worker_parser_accepts_telemetry(self):
+        from repro.cli import build_worker_parser
+
+        args = build_worker_parser().parse_args(
+            ["--server", "h:1", "--client-id", "0", "--telemetry", "w.jsonl"]
+        )
+        assert args.telemetry == "w.jsonl"
+        assert build_worker_parser().parse_args(
+            ["--server", "h:1", "--client-id", "0"]
+        ).telemetry is None
+
+    def test_bench_net_parser_defaults(self):
+        from repro.cli import build_bench_net_parser
+
+        args = build_bench_net_parser().parse_args([])
+        assert args.output == "BENCH_latency.json"
+        assert args.slowdown == pytest.approx(0.5)
+        assert not args.gate
+
+    def test_rank_telemetry_path_derivation(self):
+        from repro.net.launcher import rank_telemetry_path
+
+        assert rank_telemetry_path("run.jsonl", 1) == "run.rank1.jsonl"
+        assert rank_telemetry_path("/a/b/run.jsonl", 3) == "/a/b/run.rank3.jsonl"
+        assert rank_telemetry_path("noext", 2) == "noext.rank2.jsonl"
