@@ -95,6 +95,27 @@ if [[ "${1:-}" != "--fast" ]]; then
         || { echo "FAIL: chaos run's global classifier diverged from clean"; exit 1; }
     echo "chaos == clean (bit-identical)"
 
+    echo "== adversarial smoke (seeded) =="
+    # a sign-flip + NaN-bomb cohort over TCP with robust aggregation: the
+    # run must complete, the firewall must quarantine both attackers
+    # (surfaced by `repro report` as update_rejected alerts), and the
+    # final global must stay bit-identical to the sim-path run under the
+    # same adversary schedule — the determinism bar extends to attacks
+    ADV='{"seed": 7, "clients": {"1": "sign_flip", "2": "nan_bomb"}}'
+    python -m repro.cli run --transport tcp --workers 2 --clients 3 --rounds 2 \
+        --aggregator trimmed_mean --adversaries "$ADV" \
+        --telemetry "$SMOKE_DIR/adv.jsonl" --save-global "$SMOKE_DIR/adv_tcp.bin" \
+        > "$SMOKE_DIR/adv_tcp.log"
+    python -m repro.cli run --transport sim --clients 3 --rounds 2 \
+        --aggregator trimmed_mean --adversaries "$ADV" \
+        --save-global "$SMOKE_DIR/adv_sim.bin" > "$SMOKE_DIR/adv_sim.log"
+    cmp "$SMOKE_DIR/adv_tcp.bin" "$SMOKE_DIR/adv_sim.bin" \
+        || { echo "FAIL: attacked tcp vs sim global classifier differs"; exit 1; }
+    python -m repro.cli report "$SMOKE_DIR/adv.jsonl" > "$SMOKE_DIR/adv_report.txt"
+    grep -q "update_rejected" "$SMOKE_DIR/adv_report.txt" \
+        || { echo "FAIL: no update_rejected alert in the run report"; exit 1; }
+    echo "attacked tcp == sim (bit-identical), firewall quarantined the cohort"
+
     echo "== crash/resume smoke (seeded) =="
     # round 0 run writes a checkpoint; two --resume continuations must
     # agree exactly (restored sampler RNG + seeded worker rebuild)

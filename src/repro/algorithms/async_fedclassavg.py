@@ -44,6 +44,8 @@ class AsyncFedClassAvg(FederatedAlgorithm):
         use_proximal: bool = True,
         comm=None,
         seed: int = 0,
+        firewall=None,
+        adversaries=None,
     ):
         super().__init__(clients, 1.0, 1, comm, seed)
         if not 0 < alpha0 <= 1:
@@ -61,6 +63,12 @@ class AsyncFedClassAvg(FederatedAlgorithm):
             proximal_on="classifier",
         )
         self.global_state: dict[str, np.ndarray] | None = None
+        #: optional UpdateFirewall — the staleness merge goes through the
+        #: same admission screening as synchronous aggregation
+        self.firewall = firewall
+        #: optional AdversarySchedule poisoning uploads before the merge
+        self.adversaries = adversaries
+        self.rejections: list[dict] = []
         self.server_version = 0
         self._latency_rng = np.random.default_rng(
             np.random.SeedSequence(entropy=seed, spawn_key=(0xA57C,))
@@ -106,7 +114,20 @@ class AsyncFedClassAvg(FederatedAlgorithm):
             losses.append(local_update(client, 1, self.config, reference))
 
             upload = client.model.classifier_state()
+            if self.adversaries is not None:
+                upload = self.adversaries.corrupt(k, t, upload)
             self.comm.send(upload, self.rank_of(k), self.server_rank())
+
+            if self.firewall is not None:
+                rejection = self.firewall.screen(
+                    self.server_version, k, upload, self.global_state
+                )
+                if rejection is not None:
+                    # quarantined: no merge, no version bump — but the
+                    # client still gets its next dispatch
+                    self.rejections.append(rejection)
+                    self._dispatch(k)
+                    continue
 
             staleness = self.server_version - base_version
             alpha = self.staleness_weight(staleness)

@@ -154,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final global classifier state (wire format) to PATH "
         "— the artifact the sim↔tcp bit-identity check compares",
     )
+    _add_robust_args(p)
     _add_fault_tolerance_args(p, with_supervise=True)
     return p
 
@@ -241,6 +242,61 @@ def _add_fault_tolerance_args(p: argparse.ArgumentParser, with_supervise: bool =
     )
 
 
+def _aggregator_spec(value: str) -> str:
+    from repro.federated.robust import make_aggregator
+
+    try:
+        make_aggregator(value)  # validate now; rebuild where it runs
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
+def _add_robust_args(p: argparse.ArgumentParser) -> None:
+    """Robust-aggregation flags shared by `repro run` and `serve`."""
+    p.add_argument(
+        "--aggregator",
+        metavar="SPEC",
+        type=_aggregator_spec,
+        default="mean",
+        help="server aggregation rule: mean (Eq. 3 weighted average, the "
+        "default), coordinate_median, trimmed_mean[:beta], "
+        "norm_clipped_mean[:max_norm], krum[:f], or multi_krum[:f[:m]]",
+    )
+    p.add_argument(
+        "--adversaries",
+        metavar="JSON",
+        default=None,
+        help="seeded per-client adversary personas, e.g. "
+        '\'{"seed": 7, "clients": {"1": "sign_flip", "2": "nan_bomb"}}\' — '
+        "attacks replay bit-identically given the seed (see repro.net.chaos)",
+    )
+    p.add_argument(
+        "--no-firewall",
+        action="store_true",
+        help="disable the update admission firewall (by default every "
+        "collected update passes schema/NaN/norm/cosine validators and "
+        "rejected updates are excluded from aggregation like dropouts)",
+    )
+
+
+def _firewall_from_args(args):
+    if getattr(args, "no_firewall", False):
+        return None
+    from repro.federated.firewall import default_firewall
+
+    return default_firewall()
+
+
+def _adversaries_from_args(args):
+    raw = getattr(args, "adversaries", None)
+    if not raw:
+        return None
+    from repro.net.chaos import AdversarySchedule
+
+    return AdversarySchedule.from_json(raw)
+
+
 def _quorum_from_args(args):
     if getattr(args, "quorum", None) is None:
         return None
@@ -288,6 +344,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "(default 0 — lost workers are written off immediately)",
     )
     _add_wire_arg(p)
+    _add_robust_args(p)
     _add_fault_tolerance_args(p)
     return p
 
@@ -899,6 +956,7 @@ def serve_main(argv: list[str]) -> int:
         if args.telemetry
         else None
     )
+    adversaries = _adversaries_from_args(args)
     server = FedTcpServer(
         args.clients,
         args.rounds,
@@ -907,6 +965,7 @@ def serve_main(argv: list[str]) -> int:
             trainer={"rho": args.rho},
             local_epochs=args.local_epochs,
             wire=args.wire,
+            adversaries=adversaries.to_config() if adversaries is not None else None,
         ),
         host=args.host,
         port=args.port,
@@ -920,6 +979,8 @@ def serve_main(argv: list[str]) -> int:
         checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
         resume=args.resume,
         rejoin_grace_s=args.rejoin_grace,
+        aggregator=args.aggregator,
+        firewall=_firewall_from_args(args),
         verbose=True,
     )
     host, port = server.listen()
@@ -1021,6 +1082,9 @@ def tcp_run_main(args) -> int:
             checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
             resume=args.resume,
             wire=args.wire,
+            aggregator=args.aggregator,
+            firewall=_firewall_from_args(args),
+            adversaries=_adversaries_from_args(args),
             worker_telemetry=args.telemetry,
         )
     finally:
@@ -1110,7 +1174,22 @@ def main(argv: list[str] | None = None) -> int:
         rho=args.rho,
         sample_rate=args.sample_rate,
     )
-    fca_kwargs = {"share_all_weights": args.share_weights} if args.algorithm == "fedclassavg" else None
+    if args.algorithm == "fedclassavg":
+        fca_kwargs = {
+            "share_all_weights": args.share_weights,
+            "aggregator": args.aggregator,
+            "firewall": _firewall_from_args(args),
+            "adversaries": _adversaries_from_args(args),
+        }
+    else:
+        if args.aggregator != "mean" or args.adversaries or args.no_firewall:
+            print(
+                "error: --aggregator/--adversaries/--no-firewall currently "
+                "support --algorithm fedclassavg",
+                file=sys.stderr,
+            )
+            return 2
+        fca_kwargs = None
     if (args.memprof or args.record) and not args.telemetry:
         print("error: --memprof/--record require --telemetry PATH", file=sys.stderr)
         return 2

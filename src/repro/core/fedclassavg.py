@@ -24,8 +24,9 @@ import numpy as np
 from repro import telemetry
 from repro.analysis.drift import measure_drift
 from repro.comm import payload_nbytes
-from repro.federated.aggregation import weighted_average_state
+from repro.federated.aggregation import drop_nonfinite_states, weighted_average_state
 from repro.federated.base import FederatedAlgorithm
+from repro.federated.robust import admit_and_aggregate, make_aggregator
 from repro.federated.trainer import LocalUpdateConfig, local_update
 
 __all__ = ["FedClassAvg"]
@@ -53,6 +54,9 @@ class FedClassAvg(FederatedAlgorithm):
         fault_injector=None,
         compressor=None,
         privacy=None,
+        aggregator=None,
+        firewall=None,
+        adversaries=None,
     ):
         super().__init__(clients, sample_rate, local_epochs, comm, seed)
         self.rho = rho
@@ -62,6 +66,18 @@ class FedClassAvg(FederatedAlgorithm):
         self.compressor = compressor
         #: optional DP mechanism applied to uploads (repro.comm.privacy)
         self.privacy = privacy
+        #: robust aggregation entry point (shared with the TCP server)
+        self.aggregator = make_aggregator(aggregator)
+        #: optional UpdateFirewall screening uploads before aggregation
+        self.firewall = firewall
+        #: optional AdversarySchedule poisoning uploads (sim-path attacks);
+        #: also reachable through the fault injector for API symmetry
+        self.adversaries = (
+            adversaries
+            if adversaries is not None
+            else getattr(fault_injector, "adversaries", None)
+        )
+        self.rejections: list[dict] = []
         self.config = LocalUpdateConfig(
             use_contrastive=use_contrastive,
             use_proximal=use_proximal,
@@ -107,6 +123,9 @@ class FedClassAvg(FederatedAlgorithm):
         else:
             states = [self._client_payload(c) for c in self.clients]
             weights = [c.data_size for c in self.clients]
+            # a NaN-initialized client contributes nothing to the symmetric
+            # starting point — exclude it rather than refuse to start
+            states, weights = drop_nonfinite_states(states, weights)
             self.global_state = weighted_average_state(states, weights)
 
     # ------------------------------------------------------------------
@@ -147,6 +166,10 @@ class FedClassAvg(FederatedAlgorithm):
 
         def outgoing(k: int) -> dict[str, np.ndarray]:
             state = self._client_payload(self.clients[k])
+            # adversary corruption happens where the TCP worker applies it:
+            # on the raw classifier, before DP noise / compression framing
+            if self.adversaries is not None:
+                state = self.adversaries.corrupt(k, t, state)
             if self.privacy is not None:
                 state = self.privacy.privatize(state)
             if self.compressor is not None:
@@ -172,11 +195,27 @@ class FedClassAvg(FederatedAlgorithm):
         received = self.comm.gather(payloads, root=server)
         if self.compressor is not None:
             received = [self.compressor.decompress(s) for s in received]
-        weights = [self.clients[k].data_size for k in uploading]
-        self.global_state = weighted_average_state(received, weights)
+        # Shared robust-aggregation entry point (same as FedTcpServer):
+        # screen arrivals through the firewall, then feed the admitted
+        # subset to the selected aggregator.  A rejected update is dropped
+        # exactly like a fault-injection dropout; if nothing is admitted
+        # the global classifier simply carries over.
+        outcome = admit_and_aggregate(
+            t,
+            dict(zip(uploading, received)),
+            {k: self.clients[k].data_size for k in uploading},
+            aggregator=self.aggregator,
+            firewall=self.firewall,
+            reference=reference,
+        )
+        if outcome.global_state is not None:
+            self.global_state = outcome.global_state
+        self.rejections.extend(outcome.rejected)
+        admitted = list(outcome.admitted)
+        self.last_survivors = admitted
         # The reported train loss mirrors what the server can observe:
-        # the mean over *surviving* clients — a faulted client's loss
-        # never reaches the server, so it must not leak into the metric.
+        # the mean over *admitted* clients — a faulted or quarantined
+        # client's loss never enters the server-side metric.
         loss_by_client = dict(zip(sampled, losses))
-        survivor_losses = [loss_by_client[k] for k in uploading]
+        survivor_losses = [loss_by_client[k] for k in admitted]
         return float(np.mean(survivor_losses)) if survivor_losses else 0.0

@@ -1,10 +1,34 @@
 """Federated-learning machinery: clients, server loop, aggregation."""
 
-from repro.federated.aggregation import interpolate_state, weighted_average_state
+from repro.federated.aggregation import (
+    AggregationError,
+    drop_nonfinite_states,
+    ensure_finite_states,
+    interpolate_state,
+    weighted_average_state,
+)
 from repro.federated.base import FederatedAlgorithm
 from repro.federated.client import FederatedClient
 from repro.federated.executor import SerialExecutor, ThreadExecutor, make_executor
 from repro.federated.faults import FaultInjector
+from repro.federated.firewall import (
+    CosineOutlierValidator,
+    FiniteValidator,
+    NormBoundValidator,
+    SchemaValidator,
+    UpdateFirewall,
+    UpdateValidator,
+    default_firewall,
+    update_norm,
+)
+from repro.federated.robust import (
+    AGGREGATOR_NAMES,
+    AggregationOutcome,
+    Aggregator,
+    admit_and_aggregate,
+    make_aggregator,
+    screen_updates,
+)
 from repro.federated.evaluation import (
     confusion_matrix,
     macro_f1,
@@ -26,6 +50,23 @@ __all__ = [
     "RunHistory",
     "weighted_average_state",
     "interpolate_state",
+    "AggregationError",
+    "drop_nonfinite_states",
+    "ensure_finite_states",
+    "AGGREGATOR_NAMES",
+    "Aggregator",
+    "AggregationOutcome",
+    "make_aggregator",
+    "screen_updates",
+    "admit_and_aggregate",
+    "UpdateValidator",
+    "SchemaValidator",
+    "FiniteValidator",
+    "NormBoundValidator",
+    "CosineOutlierValidator",
+    "UpdateFirewall",
+    "default_firewall",
+    "update_norm",
     "LocalUpdateConfig",
     "local_update",
     "FederationSpec",

@@ -4,6 +4,14 @@
 linear combination of state dicts.  It serves both the FedClassAvg
 classifier aggregation (states hold just the classifier) and full-model
 FedAvg (states hold everything).
+
+A single NaN/Inf entry in any input state would silently contaminate the
+whole global classifier (and, one broadcast later, every client), so
+aggregation refuses non-finite input outright: :class:`AggregationError`
+names the offending state and key.  The update-admission firewall
+(:mod:`repro.federated.firewall`) normally quarantines such updates
+before they get here — this check is the last line of defense when the
+firewall is disabled.
 """
 
 from __future__ import annotations
@@ -12,7 +20,56 @@ import numpy as np
 
 from repro import telemetry
 
-__all__ = ["weighted_average_state", "interpolate_state"]
+__all__ = [
+    "AggregationError",
+    "drop_nonfinite_states",
+    "ensure_finite_states",
+    "weighted_average_state",
+    "interpolate_state",
+]
+
+
+class AggregationError(ValueError):
+    """Aggregation input is unusable (e.g. a non-finite update entry)."""
+
+
+def _first_nonfinite_key(state: dict[str, np.ndarray]) -> str | None:
+    for key, arr in state.items():
+        a = np.asarray(arr)
+        if a.dtype.kind in "fc" and not np.isfinite(a).all():
+            return key
+    return None
+
+
+def ensure_finite_states(states: list[dict[str, np.ndarray]]) -> None:
+    """Raise :class:`AggregationError` if any float entry is NaN/Inf."""
+    for i, s in enumerate(states):
+        key = _first_nonfinite_key(s)
+        if key is not None:
+            raise AggregationError(
+                f"state {i} has non-finite values in {key!r} — refusing to "
+                "average a corrupted update into the global classifier"
+            )
+
+
+def drop_nonfinite_states(
+    states: list[dict[str, np.ndarray]],
+    weights: list[float],
+) -> tuple[list[dict[str, np.ndarray]], list[float]]:
+    """Drop states carrying NaN/Inf, along with their paired weights.
+
+    Meant for the t=0 init average: an initial classifier carries no
+    training signal, so a corrupted one is excluded from the symmetric
+    starting point instead of failing the federation the way
+    :func:`ensure_finite_states` does for real round aggregation.  Both
+    transports call this in client-id order, so the surviving subset —
+    and therefore the init average — stays bit-identical across sim/TCP.
+    """
+    kept = [(s, w) for s, w in zip(states, weights) if _first_nonfinite_key(s) is None]
+    if not kept:
+        return [], []
+    ss, ws = zip(*kept)
+    return list(ss), list(ws)
 
 
 def weighted_average_state(
@@ -23,7 +80,8 @@ def weighted_average_state(
 
     ``weights`` default to uniform and are normalized to sum to 1.  Integer
     buffers (e.g. BatchNorm ``num_batches_tracked``) are averaged in float
-    and cast back, matching FedAvg reference implementations.
+    and cast back, matching FedAvg reference implementations.  Raises
+    :class:`AggregationError` when any input state carries NaN/Inf.
     """
     if not states:
         raise ValueError("no states to aggregate")
@@ -31,6 +89,7 @@ def weighted_average_state(
     for s in states[1:]:
         if list(s.keys()) != keys:
             raise ValueError("state dicts are not aligned (different keys/order)")
+    ensure_finite_states(states)
     if weights is None:
         w = np.full(len(states), 1.0 / len(states))
     else:

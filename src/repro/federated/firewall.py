@@ -1,0 +1,294 @@
+"""Update admission firewall: deterministic validators before aggregation.
+
+Every collected update passes a pipeline of validators *before* it can
+enter the weighted average; a rejected update is excluded exactly like a
+fault-injection dropout — the round completes with the admitted
+survivors, the global classifier never sees the rejected bytes.  Each
+rejection emits an ``update_rejected`` health alert naming the failing
+validator, bumps the ``net.rejected_updates`` counter (plus a per-client
+``net.rejected_updates.client<k>`` counter), and marks the client's
+``client_round`` record with ``rejected=1`` so ``repro report`` shows
+who is being quarantined.
+
+Validators (applied in order; the first failure rejects):
+
+* :class:`SchemaValidator` — keys (exact order), shapes, and dtype kinds
+  must match the broadcast classifier; malformed updates never reach the
+  numeric checks;
+* :class:`FiniteValidator` — NaN/Inf scan over every float entry (the
+  ``nan_bomb`` defense);
+* :class:`NormBoundValidator` — the update's L2 distance from the
+  broadcast classifier must stay within ``max_ratio`` times the rolling
+  median of previously *admitted* update norms (the ``scale(k)`` and
+  blow-up defense); warms up for ``min_history`` admissions before
+  enforcing so early rounds with no baseline admit everything;
+* :class:`CosineOutlierValidator` — the update's cosine distance from
+  the broadcast classifier must stay under ``max_distance``; a trained
+  classifier stays directionally close to the one it started from, a
+  sign-flipped one points the opposite way (distance ≈ 2).
+
+Every decision is a pure function of (update, reference, admitted
+history) — no randomness, no wall-clock — so equal-seed runs reject
+identically on both transports, preserving the determinism bar under
+attack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "UpdateValidator",
+    "SchemaValidator",
+    "FiniteValidator",
+    "NormBoundValidator",
+    "CosineOutlierValidator",
+    "UpdateFirewall",
+    "default_firewall",
+]
+
+
+def update_norm(
+    state: dict[str, np.ndarray], reference: dict[str, np.ndarray] | None
+) -> float:
+    """L2 norm of the update's float entries, relative to ``reference``
+    when given (the broadcast classifier), absolute otherwise."""
+    total = 0.0
+    for key, arr in state.items():
+        a = np.asarray(arr)
+        if a.dtype.kind in "iu":
+            continue
+        d = np.asarray(arr, dtype=np.float64)
+        if reference is not None and key in reference:
+            d = d - np.asarray(reference[key], dtype=np.float64)
+        total += float((d * d).sum())
+    return math.sqrt(total)
+
+
+class UpdateValidator:
+    """One admission check.
+
+    ``check`` returns a human-readable rejection reason or ``None`` to
+    pass; ``ctx`` is a per-update scratch dict shared along the pipeline
+    (so e.g. the update norm is computed once).  ``note_admitted`` fires
+    only after *every* validator passed — stateful validators update
+    their baselines from admitted updates only, never from rejected
+    ones (otherwise an attacker could poison the baseline itself).
+    """
+
+    name = "validator"
+
+    def check(
+        self,
+        round_idx: int,
+        client: int,
+        state: dict[str, np.ndarray],
+        reference: dict[str, np.ndarray] | None,
+        ctx: dict,
+    ) -> str | None:
+        return None
+
+    def note_admitted(self, ctx: dict) -> None:
+        pass
+
+
+class SchemaValidator(UpdateValidator):
+    """Keys/shapes/dtype-kinds must align with the broadcast classifier.
+
+    Dtype is compared by kind (float/int), not exact width: the server's
+    float64 aggregate is broadcast to clients holding float32 models, so
+    honest uploads legitimately differ in precision.
+    """
+
+    name = "schema"
+
+    def check(self, round_idx, client, state, reference, ctx):
+        if reference is None:
+            return None
+        if list(state) != list(reference):
+            return (
+                f"keys {sorted(state)} do not match the broadcast "
+                f"classifier's {sorted(reference)}"
+            )
+        for key in reference:
+            got, want = np.asarray(state[key]), np.asarray(reference[key])
+            if got.shape != want.shape:
+                return f"{key!r} has shape {got.shape}, expected {want.shape}"
+            if got.dtype.kind != want.dtype.kind:
+                return (
+                    f"{key!r} has dtype kind {got.dtype.kind!r}, "
+                    f"expected {want.dtype.kind!r}"
+                )
+        return None
+
+
+class FiniteValidator(UpdateValidator):
+    """Reject any update carrying NaN/Inf in a float entry."""
+
+    name = "finite"
+
+    def check(self, round_idx, client, state, reference, ctx):
+        for key, arr in state.items():
+            a = np.asarray(arr)
+            if a.dtype.kind in "fc" and not np.isfinite(a).all():
+                return f"non-finite values in {key!r}"
+        return None
+
+
+class NormBoundValidator(UpdateValidator):
+    """Bound each update's norm by the rolling median of admitted norms.
+
+    The reference scale is learned from the run itself (update norms
+    shrink as training converges, so a fixed bound would be either
+    toothless early or trigger-happy late): the last ``window`` admitted
+    norms' median, multiplied by ``max_ratio``.  Enforcement starts only
+    once ``min_history`` updates have been admitted.
+    """
+
+    name = "norm_bound"
+
+    def __init__(
+        self,
+        max_ratio: float = 25.0,
+        window: int = 32,
+        min_history: int = 3,
+        floor: float = 1e-8,
+    ):
+        if max_ratio <= 1.0:
+            raise ValueError("max_ratio must be > 1")
+        self.max_ratio = max_ratio
+        self.min_history = min_history
+        self.floor = floor
+        self._norms: deque[float] = deque(maxlen=window)
+
+    def _median(self) -> float:
+        ordered = sorted(self._norms)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    def check(self, round_idx, client, state, reference, ctx):
+        norm = ctx.setdefault("update_norm", update_norm(state, reference))
+        if len(self._norms) < self.min_history:
+            return None
+        median = self._median()
+        limit = self.max_ratio * max(median, self.floor)
+        if norm > limit:
+            return (
+                f"update norm {norm:.4g} exceeds {self.max_ratio:g}x the "
+                f"rolling median of admitted norms ({median:.4g})"
+            )
+        return None
+
+    def note_admitted(self, ctx):
+        if "update_norm" in ctx:
+            self._norms.append(ctx["update_norm"])
+
+
+class CosineOutlierValidator(UpdateValidator):
+    """Reject updates pointing away from the broadcast classifier.
+
+    One local epoch moves a classifier a small distance from where it
+    started, so honest uploads keep a cosine similarity well above 0
+    with the broadcast reference; a sign-flipped upload scores ≈ −1
+    (distance ≈ 2).  Scale attacks pass this check unchanged (scaling
+    preserves direction) — that is the norm validator's job.
+    """
+
+    name = "cosine_outlier"
+
+    def __init__(self, max_distance: float = 1.5):
+        if not 0.0 < max_distance <= 2.0:
+            raise ValueError("max_distance must be in (0, 2]")
+        self.max_distance = max_distance
+
+    def check(self, round_idx, client, state, reference, ctx):
+        if reference is None:
+            return None
+        from repro.federated.robust import flatten_state
+
+        u, r = flatten_state(state), flatten_state(reference)
+        if u.shape != r.shape:
+            return None  # schema validator's territory
+        nu, nr = float(np.linalg.norm(u)), float(np.linalg.norm(r))
+        if nu < 1e-12 or nr < 1e-12:
+            return None
+        distance = 1.0 - float(u @ r) / (nu * nr)
+        if distance > self.max_distance:
+            return (
+                f"cosine distance {distance:.3f} from the broadcast "
+                f"classifier exceeds {self.max_distance:g}"
+            )
+        return None
+
+
+class UpdateFirewall:
+    """Runs every collected update through the validator pipeline.
+
+    ``screen`` returns ``None`` to admit or a rejection record
+    ``{"round", "client", "validator", "reason"}``; rejections are also
+    accumulated on :attr:`rejections`, emitted as ``update_rejected``
+    health alerts, and counted on ``net.rejected_updates``.
+    """
+
+    def __init__(self, validators: list[UpdateValidator] | None = None):
+        self.validators = (
+            list(validators)
+            if validators is not None
+            else [
+                SchemaValidator(),
+                FiniteValidator(),
+                NormBoundValidator(),
+                CosineOutlierValidator(),
+            ]
+        )
+        self.rejections: list[dict] = []
+
+    def screen(
+        self,
+        round_idx: int,
+        client: int,
+        state: dict[str, np.ndarray],
+        reference: dict[str, np.ndarray] | None = None,
+    ) -> dict | None:
+        ctx: dict = {}
+        for validator in self.validators:
+            reason = validator.check(round_idx, client, state, reference, ctx)
+            if reason is None:
+                continue
+            rejection = {
+                "round": int(round_idx),
+                "client": int(client),
+                "validator": validator.name,
+                "reason": reason,
+            }
+            self.rejections.append(rejection)
+            telemetry.counter("net.rejected_updates").inc()
+            telemetry.counter(f"net.rejected_updates.client{client}").inc()
+            monitor = telemetry.get_telemetry().health
+            if monitor is not None:
+                monitor.observe_client(client, rejected=1.0)
+                monitor.emit_alert(
+                    "update_rejected",
+                    f"client {client}'s round-{round_idx} update rejected by "
+                    f"{validator.name}: {reason}",
+                    client=client,
+                    severity="warning",
+                    round_idx=round_idx,
+                    validator=validator.name,
+                )
+            return rejection
+        for validator in self.validators:
+            validator.note_admitted(ctx)
+        return None
+
+
+def default_firewall() -> UpdateFirewall:
+    """The standard validator pipeline (fresh state)."""
+    return UpdateFirewall()

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -48,7 +49,13 @@ import numpy as np
 from repro.net.protocol import MAX_FRAME_BYTES, Message, MsgType
 from repro.net.transport import Connection
 
-__all__ = ["ChaosConfig", "ChaosEngine", "ChaosConnection"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosConnection",
+    "AdversaryPersona",
+    "AdversarySchedule",
+]
 
 #: frame types eligible for fault injection (data plane only)
 _FAULTABLE = frozenset({MsgType.CLIENT_UPDATE, MsgType.EVAL})
@@ -56,6 +63,7 @@ _FAULTABLE = frozenset({MsgType.CLIENT_UPDATE, MsgType.EVAL})
 # spawn-key tags: distinct fault sites must draw from distinct streams
 _KIND_SEND = 0xC4A0
 _KIND_CONNECT = 0xC4A1
+_KIND_ADVERSARY = 0xC4A2
 
 
 @dataclass(frozen=True)
@@ -251,3 +259,178 @@ class ChaosConnection(Connection):
             f"chaos: injected partition ({self.engine.config.partition_attempts} "
             "connect refusal(s) to follow)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Adversary personas: Byzantine clients, deterministically
+# ---------------------------------------------------------------------------
+#
+# Transport chaos above models an unreliable *network*; adversary personas
+# model an unreliable (or hostile) *participant* — a worker that trains and
+# frames its upload perfectly, but the classifier inside is poisoned.  The
+# corruption is a pure function of ``(seed, client, round, payload)``: the
+# gaussian persona draws from a stream keyed by logical identity exactly
+# like the fault engine's ``_draw``, and the rest are deterministic
+# transforms.  Applied once per ``(client, round)``, *before* the worker
+# caches the update for rejoin resends, so a resent frame carries the same
+# poisoned bytes — equal-seed attack runs are bit-identical end to end.
+
+_ADVERSARY_KINDS = ("nan_bomb", "sign_flip", "scale", "gaussian_noise", "stale_replay")
+
+
+@dataclass(frozen=True)
+class AdversaryPersona:
+    """One client's attack behaviour.
+
+    * ``nan_bomb`` — every float entry becomes NaN;
+    * ``sign_flip`` — the update is negated (classic Byzantine poisoning);
+    * ``scale`` — the update is multiplied by ``factor``;
+    * ``gaussian_noise`` — seeded N(0, ``sigma``) noise added per entry;
+    * ``stale_replay`` — resends the client's own update from ``lag``
+      rounds ago (passes every shape/finite check; only staleness-aware
+      defenses catch it).  Until ``lag`` rounds of history exist the
+      client behaves honestly.
+    """
+
+    kind: str
+    factor: float = 1000.0
+    sigma: float = 1.0
+    lag: int = 1
+
+    def __post_init__(self):
+        if self.kind not in _ADVERSARY_KINDS:
+            raise ValueError(
+                f"unknown adversary persona {self.kind!r} "
+                f"(choices: {', '.join(_ADVERSARY_KINDS)})"
+            )
+        if self.lag < 1:
+            raise ValueError("stale_replay lag must be >= 1")
+        if self.sigma <= 0:
+            raise ValueError("gaussian_noise sigma must be > 0")
+
+    def to_dict(self) -> dict:
+        d: dict = {"persona": self.kind}
+        if self.kind == "scale":
+            d["factor"] = self.factor
+        elif self.kind == "gaussian_noise":
+            d["sigma"] = self.sigma
+        elif self.kind == "stale_replay":
+            d["lag"] = self.lag
+        return d
+
+    @classmethod
+    def from_spec(cls, spec) -> "AdversaryPersona":
+        """Accepts ``"sign_flip"`` or ``{"persona": "scale", "factor": 50}``."""
+        if isinstance(spec, str):
+            return cls(kind=spec)
+        if isinstance(spec, dict):
+            d = dict(spec)
+            kind = d.pop("persona", None) or d.pop("kind", None)
+            if kind is None:
+                raise ValueError(f"adversary spec {spec!r} is missing 'persona'")
+            return cls(kind=kind, **d)
+        raise ValueError(f"bad adversary spec {spec!r}")
+
+
+class AdversarySchedule:
+    """Per-client adversary personas with seeded, replayable corruption.
+
+    ``corrupt(client, round_idx, state)`` returns the (possibly poisoned)
+    update a Byzantine ``client`` would upload for ``round_idx``.  Honest
+    clients' updates pass through untouched; init-round reports
+    (``round_idx < 0``) are never corrupted on either transport so the
+    global classifier starts from the same clean average in every run.
+    Tallies land in :attr:`counts` / :attr:`by_client` and the per-event
+    :attr:`log`, reported in the worker's BYE frame.
+    """
+
+    def __init__(self, personas: dict[int, AdversaryPersona], seed: int = 0):
+        self.personas = {int(k): v for k, v in personas.items()}
+        self.seed = int(seed)
+        self.counts: dict[str, int] = {}
+        self.by_client: dict[int, int] = {}
+        self.log: list[dict] = []
+        self._history: dict[int, deque] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.personas)
+
+    def _rng(self, client: int, round_idx: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            entropy=self.seed,
+            spawn_key=(_KIND_ADVERSARY, int(client), int(round_idx) + 2),
+        )
+        return np.random.default_rng(seq)
+
+    def _tally(self, client: int, round_idx: int, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.by_client[client] = self.by_client.get(client, 0) + 1
+        self.log.append({"round": int(round_idx), "client": int(client), "kind": kind})
+
+    def corrupt(
+        self, client: int, round_idx: int, state: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        persona = self.personas.get(int(client))
+        if persona is None or round_idx < 0:
+            return state
+        if persona.kind == "stale_replay":
+            hist = self._history.setdefault(int(client), deque(maxlen=persona.lag + 1))
+            hist.append({k: np.asarray(v).copy() for k, v in state.items()})
+            if len(hist) <= persona.lag:
+                return state  # no history yet: behave honestly
+            self._tally(client, round_idx, persona.kind)
+            return {k: v.copy() for k, v in hist[0].items()}
+
+        out: dict[str, np.ndarray] = {}
+        rng = self._rng(client, round_idx) if persona.kind == "gaussian_noise" else None
+        for key, arr in state.items():
+            a = np.asarray(arr)
+            if a.dtype.kind in "iu":
+                out[key] = a.copy()
+            elif persona.kind == "nan_bomb":
+                out[key] = np.full_like(a, np.nan)
+            elif persona.kind == "sign_flip":
+                out[key] = -a
+            elif persona.kind == "scale":
+                # .astype keeps the upload's dtype: float32 * python float
+                # promotes to float64, which would trip the schema check
+                out[key] = (a * persona.factor).astype(a.dtype)
+            else:
+                assert persona.kind == "gaussian_noise"
+                out[key] = (a + rng.normal(0.0, persona.sigma, a.shape)).astype(a.dtype)
+        self._tally(client, round_idx, persona.kind)
+        return out
+
+    def report(self) -> dict:
+        return {
+            "counts": dict(self.counts),
+            "by_client": {str(k): v for k, v in sorted(self.by_client.items())},
+        }
+
+    # -- config plumbing ---------------------------------------------------
+
+    def to_config(self) -> dict:
+        return {
+            "seed": self.seed,
+            "clients": {str(k): v.to_dict() for k, v in sorted(self.personas.items())},
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "AdversarySchedule":
+        if not isinstance(config, dict):
+            raise ValueError("adversaries config must be a JSON object")
+        clients = config.get("clients", {})
+        if not isinstance(clients, dict):
+            raise ValueError("adversaries 'clients' must map client id -> persona")
+        personas = {
+            int(k): AdversaryPersona.from_spec(v) for k, v in clients.items()
+        }
+        return cls(personas, seed=int(config.get("seed", 0)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_config(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdversarySchedule":
+        return cls.from_config(json.loads(text))

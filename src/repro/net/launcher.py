@@ -165,6 +165,9 @@ def run_tcp_federation(
     crash_after_round: int | None = None,
     crash_in_round: int | None = None,
     wire: str = "delta",
+    aggregator=None,
+    firewall=None,
+    adversaries=None,
     worker_telemetry: str | None = None,
     verbose: bool = False,
 ) -> tuple[ServerResult, list[int | None]]:
@@ -193,8 +196,18 @@ def run_tcp_federation(
     JSONL (rank ``i`` writes ``rank_telemetry_path(base, i)``) so a
     fully-telemetered run can be merged into one cross-process trace
     with ``python -m repro.cli trace-merge``.
+
+    ``aggregator`` selects the server's aggregation rule (spec string or
+    :class:`repro.federated.robust.Aggregator`); ``firewall`` is an
+    :class:`repro.federated.firewall.UpdateFirewall` screening collected
+    updates; ``adversaries`` (an
+    :class:`repro.net.chaos.AdversarySchedule` or its config dict) is
+    shipped to the workers via CONFIG so poisoned uploads originate at
+    the clients, exactly as on the sim path.
     """
     num_clients = int(spec_dict["num_clients"])
+    if adversaries is not None and not isinstance(adversaries, dict):
+        adversaries = adversaries.to_config()
     config = make_run_config(
         spec_dict,
         trainer=trainer,
@@ -202,6 +215,7 @@ def run_tcp_federation(
         share_all_weights=share_all_weights,
         heartbeat_s=heartbeat_s,
         wire=wire,
+        adversaries=adversaries,
     )
     faulty = chaos_config is not None and chaos_config.enabled
     if rejoin_grace_s is None:
@@ -227,6 +241,8 @@ def run_tcp_federation(
         rejoin_grace_s=rejoin_grace_s,
         crash_after_round=crash_after_round,
         crash_in_round=crash_in_round,
+        aggregator=aggregator,
+        firewall=firewall,
         verbose=verbose,
     )
     bound_host, bound_port = server.listen()

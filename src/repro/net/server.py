@@ -28,8 +28,9 @@ import numpy as np
 
 from repro import telemetry
 from repro.comm.cost import CostModel
-from repro.federated.aggregation import weighted_average_state
+from repro.federated.aggregation import drop_nonfinite_states, weighted_average_state
 from repro.federated.checkpoint import load_server_checkpoint, save_server_checkpoint
+from repro.federated.robust import admit_and_aggregate, make_aggregator, screen_updates
 from repro.federated.history import RoundMetrics, RunHistory
 from repro.federated.sampler import ClientSampler
 from repro.net.encoding import parse_wire_mode
@@ -108,6 +109,7 @@ def make_run_config(
     heartbeat_s: float = 0.5,
     algorithm: str = "fedclassavg",
     wire: str = "delta",
+    adversaries: dict | None = None,
 ) -> dict:
     """The CONFIG payload a worker needs to reconstruct its clients.
 
@@ -119,9 +121,14 @@ def make_run_config(
     :data:`repro.net.encoding.WIRE_MODES`); both sides adopt it — the
     server via :class:`TcpTransport`, workers when this config arrives.
     The default lossless ``delta`` preserves the bit-identity bar.
+
+    ``adversaries`` is an :class:`repro.net.chaos.AdversarySchedule`
+    config dict (``to_config()`` format); each worker instantiates the
+    schedule for its own clients so poisoned uploads are produced at the
+    source, exactly where the sim path applies them.
     """
     parse_wire_mode(wire)  # reject junk before it crosses the wire
-    return {
+    config = {
         "algorithm": algorithm,
         "spec": dict(spec_dict),
         "trainer": dict(trainer or {}),
@@ -130,6 +137,13 @@ def make_run_config(
         "heartbeat_s": float(heartbeat_s),
         "wire": str(wire),
     }
+    if adversaries:
+        from repro.net.chaos import AdversarySchedule
+
+        # validate eagerly: a bad persona should fail at launch, not on
+        # a worker three processes away
+        config["adversaries"] = AdversarySchedule.from_config(adversaries).to_config()
+    return config
 
 
 class ServerResult:
@@ -146,6 +160,7 @@ class ServerResult:
         permanently_lost: list[int] | None = None,
         worker_reports: list[dict] | None = None,
         codec_stats: dict | None = None,
+        rejected_updates: list[dict] | None = None,
     ):
         self.history = history
         self.cost = cost
@@ -164,6 +179,8 @@ class ServerResult:
         #: server-side wire-codec tallies (frames, snapshot/delta split,
         #: raw vs wire bytes, encode/decode seconds)
         self.codec_stats = dict(codec_stats or {})
+        #: firewall rejections: {round, client, validator, reason}
+        self.rejected_updates = list(rejected_updates or [])
 
 
 class FedTcpServer:
@@ -200,6 +217,8 @@ class FedTcpServer:
         rejoin_grace_s: float = 0.0,
         crash_after_round: int | None = None,
         crash_in_round: int | None = None,
+        aggregator=None,
+        firewall=None,
         verbose: bool = False,
     ):
         self.num_clients = num_clients
@@ -210,6 +229,12 @@ class FedTcpServer:
         self.join_timeout_s = join_timeout_s
         self.round_timeout_s = round_timeout_s
         self.quorum = quorum
+        #: robust aggregation rule (spec string or Aggregator instance);
+        #: the same entry point the SimComm path uses
+        self.aggregator = make_aggregator(aggregator)
+        #: optional UpdateFirewall screening collected updates
+        self.firewall = firewall
+        self.rejected_log: list[dict] = []
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         #: crash hooks (tests): abort all sockets + raise SimulatedCrash
@@ -404,13 +429,28 @@ class FedTcpServer:
             with tel.context(round=t, algorithm=self.name):
                 with tel.span("round", round=t, algorithm=self.name, participants=len(sampled)):
                     updates, compute_s, phases = self._one_round(t, sampled, evaluated)
-            updates, skipped = self._apply_quorum(t, sampled, updates)
-            survivors = sorted(updates)
+            # admission firewall: screen arrivals against the broadcast
+            # classifier before they can count toward quorum or enter the
+            # aggregate — a rejected update is excluded exactly like a
+            # dropout, but the client is tracked as arrived (not timed out)
+            arrived = set(updates)
+            admitted_states, rejected = screen_updates(
+                t,
+                {k: s for k, (_m, s) in updates.items()},
+                self.firewall,
+                self.global_state,
+            )
+            admitted = {k: updates[k] for k in admitted_states}
+            admitted, skipped = self._apply_quorum(
+                t, sampled, admitted, arrived, rejected
+            )
+            self.rejected_log.extend(rejected)
+            survivors = sorted(admitted)
 
             # deadline misses by still-live workers: the FaultInjector's
             # "upload never arrived" case without a death
             timed_out = [
-                k for k in sampled if k not in updates and tp.client_is_live(k)
+                k for k in sampled if k not in arrived and tp.client_is_live(k)
             ]
             for k in timed_out:
                 if monitor is not None:
@@ -424,14 +464,22 @@ class FedTcpServer:
                     )
 
             if survivors and not skipped:
-                states = [updates[k][1] for k in survivors]
-                weights = [self.data_sizes[k] for k in survivors]
                 agg0 = time.perf_counter()
-                self.global_state = weighted_average_state(states, weights)
+                # shared entry point with the SimComm path; the firewall
+                # already screened, so only the aggregator runs here
+                outcome = admit_and_aggregate(
+                    t,
+                    {k: admitted[k][1] for k in survivors},
+                    {k: self.data_sizes[k] for k in survivors},
+                    aggregator=self.aggregator,
+                    reference=self.global_state,
+                )
+                if outcome.global_state is not None:
+                    self.global_state = outcome.global_state
                 phases["aggregate_s"] = time.perf_counter() - agg0
             else:
                 phases["aggregate_s"] = 0.0
-            losses = {k: updates[k][0].get("loss") for k in survivors}
+            losses = {k: admitted[k][0].get("loss") for k in survivors}
             survivor_losses = [v for v in losses.values() if v is not None]
             train_loss = float(np.mean(survivor_losses)) if survivor_losses else 0.0
 
@@ -481,6 +529,7 @@ class FedTcpServer:
                     "sampled": sampled,
                     "survivors": survivors,
                     "timed_out": timed_out,
+                    "rejected": rejected,
                     "losses": losses,
                     "bytes": round_bytes,
                     "skipped": skipped,
@@ -517,6 +566,7 @@ class FedTcpServer:
             recovered_clients=self.recovered_clients,
             permanently_lost=sorted(self._lost_now),
             worker_reports=tp.worker_reports,
+            rejected_updates=self.rejected_log,
         )
 
     # -- round internals -------------------------------------------------
@@ -539,36 +589,57 @@ class FedTcpServer:
             self.data_sizes[k] = int(meta["data_size"])
         states = [got[k][1] for k in everyone]
         weights = [self.data_sizes[k] for k in everyone]
+        # mirror FedClassAvg.setup(): a NaN-initialized classifier is
+        # excluded from the init average instead of failing the start
+        states, weights = drop_nonfinite_states(states, weights)
         self.global_state = weighted_average_state(states, weights)
 
     def _apply_quorum(
-        self, t: int, sampled: list[int], updates: dict[int, tuple[dict, dict]]
+        self,
+        t: int,
+        sampled: list[int],
+        admitted: dict[int, tuple[dict, dict]],
+        arrived: set[int] | None = None,
+        rejected: list[dict] | None = None,
     ) -> tuple[dict[int, tuple[dict, dict]], bool]:
-        """Enforce the quorum policy on a round's collected updates.
+        """Enforce the quorum policy on a round's *admitted* updates.
 
-        Returns ``(updates, skipped)``; may re-collect under
-        ``extend_deadline`` and raises :class:`QuorumError` under
-        ``abort``.  A missed quorum always fires a ``quorum_miss``
+        Only firewall-admitted updates count toward quorum — a round
+        where five uploads arrive but three are quarantined has two
+        participants, not five, and must trigger ``on_miss`` rather than
+        silently aggregating a sliver of the cohort.  ``arrived`` tracks
+        every client whose upload was collected (admitted or not) so the
+        ``extend_deadline`` path only re-waits for clients that never
+        sent anything; late arrivals during an extension pass through
+        the same firewall and extend ``rejected`` in place.
+
+        Returns ``(admitted, skipped)``; raises :class:`QuorumError`
+        under ``abort``.  A missed quorum always fires a ``quorum_miss``
         health alert and bumps ``net.quorum_misses``.
         """
         policy = self.quorum
         if policy is None:
-            return updates, False
+            return admitted, False
+        arrived = set(arrived) if arrived is not None else set(admitted)
         need = policy.required(len(sampled))
         monitor = telemetry.get_telemetry().health
         extensions = 0
         while (
-            len(updates) < need
+            len(admitted) < need
             and policy.on_miss == "extend_deadline"
             and extensions < policy.max_extensions
         ):
+            missing = [k for k in sampled if k not in arrived]
+            if not missing:
+                # everyone already arrived — the shortfall is rejections,
+                # and waiting longer cannot un-reject anything
+                break
             extensions += 1
             telemetry.counter("net.deadline_extensions").inc()
-            missing = [k for k in sampled if k not in updates]
             if monitor is not None:
                 monitor.emit_alert(
                     "quorum_miss",
-                    f"round {t} has {len(updates)}/{need} needed updates — "
+                    f"round {t} has {len(admitted)}/{need} admitted updates — "
                     f"extending deadline for {missing} "
                     f"(extension {extensions}/{policy.max_extensions})",
                     severity="warning",
@@ -577,31 +648,40 @@ class FedTcpServer:
             more = self.transport.collect_updates(
                 t, missing, Deadline(policy.extension_s or self.round_timeout_s)
             )
-            updates.update(more)
-        if len(updates) >= need:
-            return updates, False
+            arrived.update(more)
+            more_admitted, more_rejected = screen_updates(
+                t,
+                {k: s for k, (_m, s) in more.items()},
+                self.firewall,
+                self.global_state,
+            )
+            if rejected is not None:
+                rejected.extend(more_rejected)
+            admitted.update({k: more[k] for k in more_admitted})
+        if len(admitted) >= need:
+            return admitted, False
         telemetry.counter("net.quorum_misses").inc()
         if policy.on_miss == "abort":
             if monitor is not None:
                 monitor.emit_alert(
                     "quorum_miss",
-                    f"round {t} got {len(updates)}/{need} needed updates — aborting the run",
+                    f"round {t} got {len(admitted)}/{need} admitted updates — aborting the run",
                     severity="critical",
                     round_idx=t,
                 )
             raise QuorumError(
-                f"round {t}: {len(updates)} update(s) arrived, quorum requires {need}"
+                f"round {t}: {len(admitted)} admitted update(s), quorum requires {need}"
             )
         telemetry.counter("net.rounds_skipped").inc()
         if monitor is not None:
             monitor.emit_alert(
                 "quorum_miss",
-                f"round {t} got {len(updates)}/{need} needed updates — "
+                f"round {t} got {len(admitted)}/{need} admitted updates — "
                 "skipping aggregation (global classifier unchanged)",
                 severity="warning",
                 round_idx=t,
             )
-        return updates, True
+        return admitted, True
 
     def _trace_meta(self) -> dict | None:
         """``_trace`` section for outbound frames (None when not tracing).

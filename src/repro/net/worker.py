@@ -53,7 +53,7 @@ import numpy as np
 from repro import telemetry
 from repro.federated.setup import FederationSpec, build_federation
 from repro.federated.trainer import LocalUpdateConfig, local_update
-from repro.net.chaos import ChaosConfig, ChaosConnection, ChaosEngine
+from repro.net.chaos import AdversarySchedule, ChaosConfig, ChaosConnection, ChaosEngine
 from repro.net.protocol import ConnectionClosed, Message, MsgType
 from repro.net.retry import Heartbeat, RetryPolicy, call_with_retries
 from repro.net.transport import Connection
@@ -125,6 +125,9 @@ class _Session:
         self.eval_sent = False
         self.rejoins = 0
         self.connect_retries = 0
+        #: AdversarySchedule from CONFIG (None = every client honest);
+        #: survives reconnects so stale_replay history is not lost
+        self.adversaries: AdversarySchedule | None = None
 
     def payload_of(self, client):
         return client.model.state_dict() if self.share_all else client.model.classifier_state()
@@ -309,6 +312,8 @@ def _run_session(
             sess.by_id = {c.client_id: c for c in clients}
             log(f"built {len(sess.by_id)} client(s) from spec seed={spec.seed}")
         sess.cfg = cfg
+        if sess.adversaries is None and cfg.get("adversaries"):
+            sess.adversaries = AdversarySchedule.from_config(cfg["adversaries"])
 
         rejoin_info = cfg.get("rejoin") if rejoining else None
         rejoin_round = int(rejoin_info.get("round", -1)) if rejoin_info is not None else None
@@ -362,6 +367,8 @@ def _run_session(
                 }
                 if engine is not None:
                     report["chaos"] = dict(engine.counts)
+                if sess.adversaries is not None and sess.adversaries.enabled:
+                    report["adversary"] = sess.adversaries.report()
                 try:
                     conn.send(Message(MsgType.BYE, report))
                 except OSError:
@@ -474,6 +481,12 @@ def _train_and_send(
         "duration_s": duration,
     }
     payload = sess.payload_of(client)
+    # adversary corruption happens here — on the raw classifier, exactly
+    # once per (client, round) — *before* the resend cache, so a rejoin
+    # resends the same poisoned bytes (stale_replay history must not
+    # advance twice either)
+    if sess.adversaries is not None:
+        payload = sess.adversaries.corrupt(k, t, payload)
     # cache before sending: if the send faults, the rejoin path resends
     # this exact result instead of training again
     sess.round_updates[k] = (meta, payload)

@@ -38,8 +38,11 @@ The TCP runtime also routes **infrastructure alerts** through
 training observations: ``client_lost`` (critical — a worker link died
 mid-run), ``client_recovered`` (info — the worker rejoined and its
 clients are participating again), ``client_timeout`` (warning — an
-upload missed the round deadline), and ``quorum_miss`` (warning on a
-skipped/extended round, critical on abort).  They share the alert
+upload missed the round deadline), ``quorum_miss`` (warning on a
+skipped/extended round, critical on abort), and ``update_rejected``
+(warning — the admission firewall quarantined a collected update before
+aggregation; the alert names the failing validator and the offending
+client, see :mod:`repro.federated.firewall`).  They share the alert
 record shape, the JSONL sink, and the ``on_alert`` callback, so run
 reports show training-level and fleet-level incidents in one stream.
 """

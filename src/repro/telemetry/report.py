@@ -77,6 +77,24 @@ def sparkline(values: list[float | None], width: int = 16) -> str:
     return "".join(chars)
 
 
+def binary_sparkline(values: list[float | None], width: int = 16) -> str:
+    """Sparkline on a fixed 0/1 scale for event series (e.g. rejections).
+
+    ``sparkline``'s per-series normalization would render an always-0
+    series and an always-1 series identically; events need an absolute
+    scale — ``▁`` for quiet rounds, ``█`` for rounds the event fired,
+    ``·`` for rounds with no observation.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        idx = [round(i * (len(values) - 1) / (width - 1)) for i in range(width)]
+        values = [values[i] for i in idx]
+    return "".join(
+        "·" if not _finite(v) else ("█" if v else "▁") for v in values
+    )
+
+
 class RunSummary:
     """Parsed view of one run's telemetry records."""
 
@@ -154,9 +172,20 @@ class RunSummary:
                     "bytes_up": sum(r.get("bytes_up") or 0 for r in mine),
                     "mem_peak": peak or None,
                     "alerts": alert_counts.get(k, 0),
+                    # firewall quarantine: count + per-round 0/1 series
+                    # (None where the firewall recorded nothing)
+                    "rejected": sum(1 for r in mine if r.get("rejected")),
+                    "rejected_series": [r.get("rejected") for r in mine],
                 }
             )
         return rows
+
+    def alerts_by_severity(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for a in self.alerts:
+            sev = a.get("severity") or "?"
+            counts[sev] = counts.get(sev, 0) + 1
+        return counts
 
 
 def summarize_run(records: list[dict]) -> RunSummary:
@@ -193,13 +222,16 @@ def _render_client_table(s: RunSummary, spark_width: int = 12) -> str:
     rows = s.client_rows()
     if not rows:
         return "(no per-client telemetry recorded)"
-    # the memory column only appears when some run had the profiler on
+    # the memory column only appears when some run had the profiler on,
+    # the rejection columns only when the firewall quarantined someone
     with_mem = any(row["mem_peak"] for row in rows)
+    with_rej = any(row["rejected"] for row in rows)
     header = (
         f"{'client':>6}  {'part':>4}  {'surv':>4}  {'loss':>8}  "
         f"{'loss trend':<{spark_width}}  {'acc':>6}  {'acc trend':<{spark_width}}  "
         f"{'dur_s':>7}  {'up':>10}  "
         + (f"{'mem_peak':>10}  " if with_mem else "")
+        + (f"{'rej':>4}  {'rej trend':<{spark_width}}  " if with_rej else "")
         + f"{'alerts':>6}"
     )
     lines = [header, "-" * len(header)]
@@ -210,14 +242,37 @@ def _render_client_table(s: RunSummary, spark_width: int = 12) -> str:
         mem = ""
         if with_mem:
             mem = (f"{_fmt_bytes(row['mem_peak']):>10}" if row["mem_peak"] else f"{'-':>10}") + "  "
+        rej = ""
+        if with_rej:
+            rej = (
+                f"{row['rejected']:>4}  "
+                f"{binary_sparkline(row['rejected_series'], spark_width):<{spark_width}}  "
+            )
         lines.append(
             f"{row['client']:>6}  {row['sampled']:>4}  {row['survived']:>4}  "
             f"{_fmt_opt(loss, '8.4f'):>8}  {sparkline(row['losses'], spark_width):<{spark_width}}  "
             f"{_fmt_opt(acc, '6.4f'):>6}  {sparkline(row['accs'], spark_width):<{spark_width}}  "
             f"{_fmt_opt(row['mean_duration_s'], '7.3f'):>7}  "
-            f"{_fmt_bytes(row['bytes_up']):>10}  {mem}{row['alerts']:>6}{flag}"
+            f"{_fmt_bytes(row['bytes_up']):>10}  {mem}{rej}{row['alerts']:>6}{flag}"
         )
     return "\n".join(lines)
+
+
+_SEVERITY_ORDER = ("critical", "warning", "info")
+
+
+def _render_alert_rollup(s: RunSummary) -> str | None:
+    """One-line severity rollup, with quarantines called out explicitly."""
+    counts = s.alerts_by_severity()
+    if not counts:
+        return None
+    ordered = [sev for sev in _SEVERITY_ORDER if sev in counts]
+    ordered += [sev for sev in sorted(counts) if sev not in _SEVERITY_ORDER]
+    line = "alerts by severity: " + " ".join(f"{sev}={counts[sev]}" for sev in ordered)
+    rejected = sum(1 for a in s.alerts if a.get("detector") == "update_rejected")
+    if rejected:
+        line += f" · update_rejected={rejected}"
+    return line
 
 
 def _render_alerts(alerts: list[dict]) -> str:
@@ -307,9 +362,12 @@ def render_report(records: list[dict]) -> str:
             _render_client_table(s),
             "",
             f"alerts ({len(s.alerts)}):",
-            _render_alerts(s.alerts),
         ]
     )
+    rollup = _render_alert_rollup(s)
+    if rollup is not None:
+        sections.append(rollup)
+    sections.append(_render_alerts(s.alerts))
     return "\n".join(sections)
 
 

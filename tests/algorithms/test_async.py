@@ -84,3 +84,45 @@ class TestAsyncLoop:
         algo.setup()
         order = [k for _, k, _ in sorted(algo._events)]
         assert order != sorted(order) or len(set(order)) == len(order)
+
+
+class TestAsyncFirewall:
+    """The staleness merge goes through the same admission screening as
+    synchronous aggregation — a delivered NaN bomb must never merge."""
+
+    def _algo(self, clients, personas):
+        from repro.federated import default_firewall
+        from repro.net.chaos import AdversaryPersona, AdversarySchedule
+
+        sched = AdversarySchedule(
+            {k: AdversaryPersona(kind) for k, kind in personas.items()}, seed=0
+        )
+        return AsyncFedClassAvg(
+            clients, seed=0, firewall=default_firewall(), adversaries=sched
+        )
+
+    def test_nan_bomb_is_quarantined(self, micro_federation):
+        clients, _ = micro_federation
+        algo = self._algo(clients, {1: "nan_bomb"})
+        algo.run(2)
+        assert all(np.isfinite(v).all() for v in algo.global_state.values())
+        assert algo.rejections
+        assert all(r["client"] == 1 for r in algo.rejections)
+        assert all(r["validator"] == "finite" for r in algo.rejections)
+
+    def test_rejected_merge_does_not_bump_version(self, micro_federation):
+        clients, _ = micro_federation
+        algo = self._algo(clients, {k: "nan_bomb" for k in range(len(clients))})
+        algo.run(1)
+        # every upload was quarantined: the global never moved
+        assert algo.server_version == 0
+        assert len(algo.rejections) == len(clients)
+
+    def test_clean_run_rejects_nothing(self, micro_federation):
+        clients, _ = micro_federation
+        from repro.federated import default_firewall
+
+        algo = AsyncFedClassAvg(clients, seed=0, firewall=default_firewall())
+        algo.run(2)
+        assert algo.rejections == []
+        assert algo.server_version > 0

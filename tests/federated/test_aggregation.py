@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.federated import interpolate_state, weighted_average_state
+from repro.federated import (
+    AggregationError,
+    drop_nonfinite_states,
+    ensure_finite_states,
+    interpolate_state,
+    weighted_average_state,
+)
 
 
 def _state(value, shape=(2, 2)):
@@ -61,6 +67,56 @@ class TestWeightedAverage:
         out = weighted_average_state([s1, s2])
         out["w"][...] = 99
         assert np.allclose(s1["w"], 1)
+
+
+class TestNonFiniteRejection:
+    """A NaN/Inf upload must raise a typed error naming the offending key
+    even with the admission firewall disabled — silently averaging a
+    corrupted update would poison every client's personalization."""
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_raises_typed_error(self, bad):
+        poisoned = _state(1.0)
+        poisoned["b"][1] = bad
+        with pytest.raises(AggregationError, match="'b'"):
+            weighted_average_state([_state(0.0), poisoned])
+
+    def test_error_is_a_value_error(self):
+        # callers that catch ValueError keep working
+        assert issubclass(AggregationError, ValueError)
+
+    def test_ensure_finite_accepts_clean_states(self):
+        ensure_finite_states([_state(1.0), _state(2.0)])
+
+    def test_ensure_finite_names_the_state_index(self):
+        with pytest.raises(AggregationError, match="state 1"):
+            ensure_finite_states([_state(0.0), _state(np.nan)])
+
+    def test_integer_buffers_are_not_scanned(self):
+        states = [
+            {"n": np.array([2**62], dtype=np.int64)},
+            {"n": np.array([4], dtype=np.int64)},
+        ]
+        weighted_average_state(states)  # must not raise
+
+
+class TestDropNonfinite:
+    """The t=0 init path excludes corrupted initial classifiers instead
+    of raising (an init state carries no training signal)."""
+
+    def test_drops_state_and_paired_weight(self):
+        states = [_state(0.0), _state(np.nan), _state(2.0)]
+        kept, weights = drop_nonfinite_states(states, [10, 20, 30])
+        assert kept == [states[0], states[2]]
+        assert weights == [10, 30]
+
+    def test_all_clean_is_identity(self):
+        states = [_state(0.0), _state(1.0)]
+        kept, weights = drop_nonfinite_states(states, [1, 2])
+        assert kept == states and weights == [1, 2]
+
+    def test_all_poisoned_returns_empty(self):
+        assert drop_nonfinite_states([_state(np.nan)], [1]) == ([], [])
 
 
 class TestInterpolate:

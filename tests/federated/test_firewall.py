@@ -1,0 +1,185 @@
+"""Admission firewall: validator units and the screening pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.federated.firewall import (
+    CosineOutlierValidator,
+    FiniteValidator,
+    NormBoundValidator,
+    SchemaValidator,
+    UpdateFirewall,
+    default_firewall,
+    update_norm,
+)
+
+
+def _state(value, shape=(2, 2), dtype=np.float32):
+    return {"w": np.full(shape, value, dtype=dtype), "b": np.full(3, value, dtype=dtype)}
+
+
+class TestUpdateNorm:
+    def test_relative_to_reference(self):
+        assert update_norm(_state(1.0), _state(1.0)) == pytest.approx(0.0)
+        # 7 coordinates each off by 2 -> sqrt(7 * 4)
+        assert update_norm(_state(3.0), _state(1.0)) == pytest.approx(np.sqrt(28.0))
+
+    def test_absolute_without_reference(self):
+        assert update_norm(_state(2.0), None) == pytest.approx(np.sqrt(28.0))
+
+    def test_integer_buffers_ignored(self):
+        state = {"w": np.zeros(2), "n": np.array([10**6], dtype=np.int64)}
+        assert update_norm(state, None) == 0.0
+
+
+class TestSchemaValidator:
+    def setup_method(self):
+        self.v = SchemaValidator()
+        self.ref = _state(1.0)
+
+    def test_matching_update_passes(self):
+        assert self.v.check(0, 0, _state(2.0), self.ref, {}) is None
+
+    def test_no_reference_passes(self):
+        assert self.v.check(0, 0, _state(2.0), None, {}) is None
+
+    def test_key_mismatch_rejected(self):
+        bad = {"w": np.ones((2, 2), np.float32)}
+        assert "keys" in self.v.check(0, 0, bad, self.ref, {})
+
+    def test_shape_mismatch_rejected(self):
+        bad = _state(1.0, shape=(3, 3))
+        assert "shape" in self.v.check(0, 0, bad, self.ref, {})
+
+    def test_dtype_kind_mismatch_rejected(self):
+        bad = {"w": np.ones((2, 2), np.int64), "b": np.ones(3, np.int64)}
+        assert "dtype kind" in self.v.check(0, 0, bad, self.ref, {})
+
+    def test_float32_vs_float64_accepted(self):
+        # the float64 global is broadcast to float32 clients — honest
+        # uploads differ in width, never in kind
+        up = _state(1.0, dtype=np.float32)
+        ref = _state(1.0, dtype=np.float64)
+        assert self.v.check(0, 0, up, ref, {}) is None
+
+
+class TestFiniteValidator:
+    def test_finite_passes(self):
+        assert FiniteValidator().check(0, 0, _state(1.0), None, {}) is None
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_rejected(self, bad):
+        reason = FiniteValidator().check(0, 0, _state(bad), None, {})
+        assert "non-finite" in reason
+
+
+class TestNormBoundValidator:
+    def test_warmup_admits_everything(self):
+        v = NormBoundValidator(max_ratio=2.0, min_history=3)
+        assert v.check(0, 0, _state(1e9), _state(0.0), {}) is None
+
+    def test_enforces_after_history(self):
+        v = NormBoundValidator(max_ratio=2.0, min_history=3)
+        ref = _state(0.0)
+        for _ in range(3):
+            ctx = {}
+            assert v.check(0, 0, _state(1.0), ref, ctx) is None
+            v.note_admitted(ctx)
+        assert v.check(1, 0, _state(1.5), ref, {}) is None  # within 2x median
+        reason = v.check(1, 1, _state(100.0), ref, {})
+        assert "rolling median" in reason
+
+    def test_rejected_updates_never_poison_the_baseline(self):
+        v = NormBoundValidator(max_ratio=2.0, min_history=1)
+        ref = _state(0.0)
+        ctx = {}
+        assert v.check(0, 0, _state(1.0), ref, ctx) is None
+        v.note_admitted(ctx)
+        # a rejected giant must not enter the deque (note_admitted not called)
+        assert v.check(1, 1, _state(50.0), ref, {}) is not None
+        # so the next giant is still rejected against the honest median
+        assert v.check(2, 2, _state(50.0), ref, {}) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormBoundValidator(max_ratio=1.0)
+
+
+class TestCosineOutlierValidator:
+    def test_aligned_update_passes(self):
+        v = CosineOutlierValidator()
+        assert v.check(0, 0, _state(2.0), _state(1.0), {}) is None
+
+    def test_sign_flip_rejected(self):
+        v = CosineOutlierValidator(max_distance=1.5)
+        reason = v.check(0, 0, _state(-1.0), _state(1.0), {})
+        assert "cosine distance" in reason
+
+    def test_scaling_preserves_direction(self):
+        v = CosineOutlierValidator()
+        assert v.check(0, 0, _state(1000.0), _state(1.0), {}) is None
+
+    def test_zero_norms_pass(self):
+        v = CosineOutlierValidator()
+        assert v.check(0, 0, _state(0.0), _state(1.0), {}) is None
+        assert v.check(0, 0, _state(1.0), _state(0.0), {}) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineOutlierValidator(max_distance=0.0)
+        with pytest.raises(ValueError):
+            CosineOutlierValidator(max_distance=2.5)
+
+
+class TestUpdateFirewall:
+    def test_default_pipeline_order(self):
+        names = [v.name for v in default_firewall().validators]
+        assert names == ["schema", "finite", "norm_bound", "cosine_outlier"]
+
+    def test_first_failure_names_the_validator(self):
+        fw = default_firewall()
+        rec = fw.screen(3, 7, _state(np.nan), _state(1.0))
+        assert rec == {
+            "round": 3,
+            "client": 7,
+            "validator": "finite",
+            "reason": rec["reason"],
+        }
+        assert fw.rejections == [rec]
+
+    def test_admission_returns_none(self):
+        fw = default_firewall()
+        assert fw.screen(0, 0, _state(1.1), _state(1.0)) is None
+        assert fw.rejections == []
+
+    def test_counters_bumped_per_client(self, tmp_path):
+        tel = telemetry.configure(jsonl=str(tmp_path / "ctr.jsonl"))
+        try:
+            fw = default_firewall()
+            fw.screen(0, 4, _state(np.inf), _state(1.0))
+            assert telemetry.counter("net.rejected_updates").value == 1
+            assert telemetry.counter("net.rejected_updates.client4").value == 1
+        finally:
+            tel.close()
+            telemetry.disable()
+
+    def test_alert_emitted_when_monitor_configured(self, tmp_path):
+        tel = telemetry.configure(jsonl=str(tmp_path / "fw.jsonl"))
+        try:
+            fw = default_firewall()
+            fw.screen(2, 1, _state(np.nan), _state(1.0))
+            alerts = [a for a in tel.health.alerts if a["detector"] == "update_rejected"]
+            assert len(alerts) == 1
+            assert alerts[0]["client"] == 1
+            assert alerts[0]["severity"] == "warning"
+            assert alerts[0]["validator"] == "finite"
+            assert "rejected by finite" in alerts[0]["message"]
+        finally:
+            tel.close()
+            telemetry.disable()
+
+    def test_custom_validator_list(self):
+        fw = UpdateFirewall(validators=[FiniteValidator()])
+        # only the finite check runs: a sign-flip sails through
+        assert fw.screen(0, 0, _state(-1.0), _state(1.0)) is None

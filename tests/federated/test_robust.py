@@ -1,0 +1,221 @@
+"""Byzantine-robust aggregators and the shared admission entry point."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    AggregationError,
+    admit_and_aggregate,
+    default_firewall,
+    make_aggregator,
+    weighted_average_state,
+)
+from repro.federated.robust import (
+    CoordinateMedianAggregator,
+    KrumAggregator,
+    MeanAggregator,
+    MultiKrumAggregator,
+    NormClippedMeanAggregator,
+    TrimmedMeanAggregator,
+    flatten_state,
+    krum_scores,
+)
+
+
+def _state(value, shape=(2, 2)):
+    return {"w": np.full(shape, float(value)), "b": np.full(3, float(value))}
+
+
+class TestMakeAggregator:
+    def test_none_and_mean_give_plain_mean(self):
+        assert isinstance(make_aggregator(None), MeanAggregator)
+        assert isinstance(make_aggregator("mean"), MeanAggregator)
+
+    def test_instance_passes_through(self):
+        agg = TrimmedMeanAggregator(0.3)
+        assert make_aggregator(agg) is agg
+
+    @pytest.mark.parametrize(
+        "spec, cls",
+        [
+            ("coordinate_median", CoordinateMedianAggregator),
+            ("median", CoordinateMedianAggregator),
+            ("trimmed_mean", TrimmedMeanAggregator),
+            ("trimmed_mean:0.34", TrimmedMeanAggregator),
+            ("norm_clipped_mean:5.0", NormClippedMeanAggregator),
+            ("norm_clip:5.0", NormClippedMeanAggregator),
+            ("krum:2", KrumAggregator),
+            ("multi_krum:1:3", MultiKrumAggregator),
+        ],
+    )
+    def test_spec_parsing(self, spec, cls):
+        assert isinstance(make_aggregator(spec), cls)
+
+    def test_parsed_arguments_land(self):
+        assert make_aggregator("trimmed_mean:0.34").beta == pytest.approx(0.34)
+        mk = make_aggregator("multi_krum:2:4")
+        assert (mk.f, mk.m) == (2, 4)
+
+    @pytest.mark.parametrize(
+        "spec", ["nope", "trimmed_mean:lots", "trimmed_mean:0.7", "krum:-1", "multi_krum:1:0"]
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            make_aggregator(spec)
+
+
+class TestCoordinateMedian:
+    def test_unweighted_odd_is_the_median(self):
+        out = CoordinateMedianAggregator()([_state(-100), _state(1), _state(2)])
+        assert np.allclose(out["w"], 1.0)
+
+    def test_outlier_cannot_move_the_median(self):
+        honest = [_state(1.0), _state(1.1), _state(0.9)]
+        clean = CoordinateMedianAggregator()(honest)
+        attacked = CoordinateMedianAggregator()(honest + [_state(1e9)])
+        # the single outlier shifts the median at most to a neighboring
+        # honest value, never toward 1e9
+        assert attacked["w"].max() <= 1.1 + 1e-12
+        assert abs(float(attacked["w"].mean()) - float(clean["w"].mean())) < 0.2
+
+    def test_majority_weight_wins(self):
+        out = CoordinateMedianAggregator()(
+            [_state(0), _state(10)], weights=[3.0, 1.0]
+        )
+        assert np.allclose(out["w"], 0.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(AggregationError):
+            CoordinateMedianAggregator()([_state(np.nan), _state(1)])
+
+
+class TestTrimmedMean:
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(0.5)
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(-0.1)
+
+    def test_trims_both_extremes(self):
+        out = TrimmedMeanAggregator(0.34)(
+            [_state(-1e9), _state(1.0), _state(1e9)]
+        )
+        assert np.allclose(out["w"], 1.0)
+
+    def test_zero_beta_is_the_weighted_mean(self):
+        states = [_state(0), _state(4)]
+        out = TrimmedMeanAggregator(0.0)(states, weights=[1, 3])
+        want = weighted_average_state(states, [1, 3])
+        assert np.allclose(out["w"], want["w"])
+
+    def test_never_trims_everything(self):
+        # n=2, beta=0.4: floor(0.8)=0 per side — both survive
+        out = TrimmedMeanAggregator(0.4)([_state(0), _state(2)])
+        assert np.allclose(out["w"], 1.0)
+
+
+class TestNormClippedMean:
+    def test_within_ball_untouched(self):
+        states = [_state(0.1), _state(0.2)]
+        ref = _state(0.0)
+        out = NormClippedMeanAggregator(1e6)(states, reference=ref)
+        want = weighted_average_state(states)
+        assert np.allclose(out["w"], want["w"])
+
+    def test_huge_update_is_clipped_toward_reference(self):
+        ref = _state(0.0)
+        out = NormClippedMeanAggregator(1.0)(
+            [_state(0.0), _state(1e6)], reference=ref
+        )
+        # the poisoned update contributes at most max_norm of drift, split
+        # over two clients: |mean| <= 0.5
+        assert float(np.abs(out["w"]).max()) <= 0.5 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormClippedMeanAggregator(0.0)
+
+
+class TestKrum:
+    def test_scores_isolate_the_outlier(self):
+        states = [_state(1.0), _state(1.1), _state(0.9), _state(50.0)]
+        scores = krum_scores(states, f=1)
+        assert int(np.argmax(scores)) == 3
+
+    def test_krum_picks_an_honest_update(self):
+        states = [_state(1.0), _state(1.1), _state(0.9), _state(50.0)]
+        out = KrumAggregator(f=1)(states)
+        assert float(out["w"].mean()) < 2.0
+
+    def test_krum_output_is_float64_copy(self):
+        states = [
+            {"w": np.ones((2, 2), np.float32)},
+            {"w": np.ones((2, 2), np.float32) * 2},
+        ]
+        out = KrumAggregator(f=0)(states)
+        assert out["w"].dtype == np.float64
+        out["w"][...] = 99
+        assert np.allclose(states[0]["w"], 1.0)
+
+    def test_multi_krum_averages_the_keep_set(self):
+        states = [_state(1.0), _state(3.0), _state(1e6)]
+        out = MultiKrumAggregator(f=1, m=2)(states)
+        assert np.allclose(out["w"], 2.0)
+
+    def test_tie_breaks_to_lowest_index(self):
+        states = [_state(1.0), _state(1.0), _state(1.0)]
+        scores = krum_scores(states, f=0)
+        assert int(np.argmin(scores)) == 0
+
+
+class TestAdmitAndAggregate:
+    def test_no_firewall_admits_everything_sorted(self):
+        out = admit_and_aggregate(
+            0, {2: _state(2), 0: _state(0), 1: _state(1)}, {0: 1.0, 1: 1.0, 2: 1.0}
+        )
+        assert out.admitted == [0, 1, 2]
+        assert out.rejected == []
+        assert np.allclose(out.global_state["w"], 1.0)
+
+    def test_weights_keyed_by_client_id(self):
+        out = admit_and_aggregate(0, {5: _state(0), 9: _state(4)}, {5: 1.0, 9: 3.0})
+        assert np.allclose(out.global_state["w"], 3.0)
+
+    def test_firewall_rejections_excluded_from_the_average(self):
+        fw = default_firewall()
+        ref = _state(1.0)
+        updates = {0: _state(1.0), 1: _state(np.nan), 2: _state(1.2)}
+        out = admit_and_aggregate(
+            0, updates, {k: 1.0 for k in updates}, firewall=fw, reference=ref
+        )
+        assert out.admitted == [0, 2]
+        assert [r["client"] for r in out.rejected] == [1]
+        assert out.rejected[0]["validator"] == "finite"
+        assert np.allclose(out.global_state["w"], 1.1)
+
+    def test_everything_rejected_returns_none(self):
+        fw = default_firewall()
+        out = admit_and_aggregate(
+            0, {0: _state(np.nan)}, {0: 1.0}, firewall=fw, reference=_state(1.0)
+        )
+        assert out.global_state is None
+        assert out.admitted == []
+        assert len(out.rejected) == 1
+
+    def test_custom_aggregator_is_used(self):
+        out = admit_and_aggregate(
+            0,
+            {0: _state(-1e9), 1: _state(1.0), 2: _state(1e9)},
+            {0: 1.0, 1: 1.0, 2: 1.0},
+            aggregator=make_aggregator("trimmed_mean:0.34"),
+        )
+        assert np.allclose(out.global_state["w"], 1.0)
+
+
+class TestFlattenState:
+    def test_skips_integer_buffers(self):
+        state = {"w": np.ones(3), "n": np.array([7], dtype=np.int64)}
+        assert flatten_state(state).shape == (3,)
+
+    def test_float64_output(self):
+        assert flatten_state({"w": np.ones(2, np.float32)}).dtype == np.float64

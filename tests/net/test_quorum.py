@@ -15,9 +15,9 @@ import numpy as np
 import pytest
 
 from repro import telemetry
-from repro.federated import FederationSpec
+from repro.federated import FederationSpec, default_firewall
 from repro.net.launcher import run_tcp_federation
-from repro.net.server import QuorumError, QuorumPolicy
+from repro.net.server import FedTcpServer, QuorumError, QuorumPolicy
 
 NUM_CLIENTS = 3
 
@@ -69,6 +69,98 @@ class TestQuorumPolicy:
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             QuorumPolicy(**kwargs)
+
+
+def _ref_state(value=1.0):
+    return {"w": np.full((2, 2), value, dtype=np.float64)}
+
+
+def _quorum_server(policy):
+    """A FedTcpServer for unit-testing ``_apply_quorum`` — the transport
+    is constructed but never bound, so no socket is involved."""
+    server = FedTcpServer(5, 1, {}, quorum=policy, firewall=default_firewall())
+    server.global_state = _ref_state()
+    return server
+
+
+def _screened(server, t, updates):
+    """Mimic ``_run_rounds``: screen arrivals, hand survivors to quorum."""
+    from repro.federated import screen_updates
+
+    arrived = set(updates)
+    admitted_states, rejected = screen_updates(
+        t, {k: s for k, (_m, s) in updates.items()}, server.firewall, server.global_state
+    )
+    admitted = {k: updates[k] for k in admitted_states}
+    return admitted, arrived, rejected
+
+
+class TestQuorumCountsAdmittedOnly:
+    """Five uploads arrive, three are quarantined: participation is 2,
+    not 5 — every ``on_miss`` mode must treat that as a quorum miss."""
+
+    def _updates(self):
+        meta = {"loss": 0.5}
+        good = {k: (meta, _ref_state(1.0 + 0.01 * k)) for k in (0, 1)}
+        bad = {k: (meta, _ref_state(np.nan)) for k in (2, 3, 4)}
+        return {**good, **bad}
+
+    def test_rejections_do_not_count_toward_quorum_skip(self):
+        server = _quorum_server(QuorumPolicy(min_count=4, on_miss="skip_round"))
+        admitted, arrived, rejected = _screened(server, 0, self._updates())
+        assert sorted(admitted) == [0, 1]
+        assert [r["client"] for r in rejected] == [2, 3, 4]
+        result, skipped = server._apply_quorum(0, list(range(5)), admitted, arrived, rejected)
+        assert skipped is True  # 2 admitted < 4 required despite 5 arrivals
+
+    def test_quorum_met_by_admitted_updates_alone(self):
+        server = _quorum_server(QuorumPolicy(min_count=2, on_miss="skip_round"))
+        admitted, arrived, rejected = _screened(server, 0, self._updates())
+        result, skipped = server._apply_quorum(0, list(range(5)), admitted, arrived, rejected)
+        assert skipped is False
+        assert sorted(result) == [0, 1]
+
+    def test_abort_mode_raises_on_rejection_shortfall(self):
+        server = _quorum_server(QuorumPolicy(min_count=4, on_miss="abort"))
+        admitted, arrived, rejected = _screened(server, 0, self._updates())
+        with pytest.raises(QuorumError, match="quorum requires 4"):
+            server._apply_quorum(0, list(range(5)), admitted, arrived, rejected)
+
+    def test_extend_mode_does_not_wait_when_everyone_arrived(self):
+        # all five arrived; the shortfall is rejections, so extending the
+        # deadline cannot help — _apply_quorum must not call the transport
+        server = _quorum_server(
+            QuorumPolicy(min_count=4, on_miss="extend_deadline", max_extensions=3)
+        )
+
+        def boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("extension must not re-collect when nothing is missing")
+
+        server.transport.collect_updates = boom
+        admitted, arrived, rejected = _screened(server, 0, self._updates())
+        result, skipped = server._apply_quorum(0, list(range(5)), admitted, arrived, rejected)
+        assert skipped is True
+
+    def test_extension_arrivals_are_rescreened(self):
+        # client 3 never arrived; during the extension it sends a NaN bomb
+        # which must be screened out, leaving the quorum still missed
+        server = _quorum_server(
+            QuorumPolicy(min_count=3, on_miss="extend_deadline", max_extensions=1)
+        )
+        updates = {k: ({"loss": 0.5}, _ref_state(1.0 + 0.01 * k)) for k in (0, 1)}
+        calls = []
+
+        def late_nan(t, missing, deadline):
+            calls.append(sorted(missing))
+            return {3: ({"loss": 9.0}, _ref_state(np.nan))}
+
+        server.transport.collect_updates = late_nan
+        admitted, arrived, rejected = _screened(server, 0, updates)
+        result, skipped = server._apply_quorum(0, [0, 1, 3], admitted, arrived, rejected)
+        assert calls == [[3]]  # only the truly-missing client was re-waited
+        assert skipped is True  # late NaN was rejected, quorum still short
+        assert sorted(result) == [0, 1]
+        assert [r["client"] for r in rejected] == [3]
 
 
 def _run(policy, tmp_path, tag):

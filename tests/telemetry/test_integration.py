@@ -220,7 +220,11 @@ class TestHealthIntegration:
     def test_injected_nan_loss_produces_alert_record(self, micro_federation, tmp_path):
         """Poisoning a client's weights with NaN must surface as a
         critical nan_loss alert in the JSONL — through the real
-        local_update path, not a synthetic observation."""
+        local_update path, not a synthetic observation.  The admission
+        firewall quarantines the resulting NaN upload so the run itself
+        survives (aggregation refuses non-finite input outright)."""
+        from repro.federated import default_firewall
+
         clients, _ = micro_federation
         bad = clients[1]
         for p in bad.model.parameters():
@@ -228,7 +232,7 @@ class TestHealthIntegration:
         path = str(tmp_path / "nan.jsonl")
         tel = telemetry.configure(jsonl=path)
         try:
-            FedClassAvg(clients, rho=0.1, seed=0).run(1)
+            FedClassAvg(clients, rho=0.1, seed=0, firewall=default_firewall()).run(1)
         finally:
             tel.close()
             telemetry.disable()
@@ -267,13 +271,15 @@ class TestHealthIntegration:
         assert [a["client"] for a in straggler] == [slow.client_id]
 
     def test_on_alert_callback_fires_during_run(self, micro_federation):
+        from repro.federated import default_firewall
+
         clients, _ = micro_federation
         for p in clients[0].model.parameters():
             p.data[...] = np.nan
         seen = []
         tel = telemetry.configure(on_alert=seen.append)
         try:
-            FedClassAvg(clients, rho=0.1, seed=0).run(1)
+            FedClassAvg(clients, rho=0.1, seed=0, firewall=default_firewall()).run(1)
         finally:
             tel.close()
             telemetry.disable()

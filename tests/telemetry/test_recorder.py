@@ -14,7 +14,7 @@ import pytest
 
 from repro import telemetry
 from repro.core import FedClassAvg
-from repro.federated import build_federation
+from repro.federated import build_federation, default_firewall
 from repro.telemetry import FlightRecorder, read_jsonl
 from repro.telemetry.recorder import BUNDLE_FORMAT, decode_state, encode_state
 from repro.telemetry.replay import format_replay_result, load_bundle, replay_bundle
@@ -98,19 +98,18 @@ class TestFlightRecorder:
 
 
 def _poison(client):
-    """NaN-poison a client's classifier.
+    """NaN-poison a client's whole model.
 
-    FedClassAvg averages the initial classifiers at setup, so one
-    poisoned client contaminates the broadcast — every participant's
-    logits (and loss) go NaN on the first batch, tripping the NaN-loss
-    detector per client.  The classifier is chosen over an extractor
-    weight because NaNs entering a ReLU implemented as ``where(x > 0,
-    x, 0)`` are silently squashed to zero; the classifier output feeds
-    the loss directly.
+    Setup excludes a non-finite initial classifier from the init average
+    (and the firewall quarantines the client's NaN upload), so the
+    poison stays local: only this client's forward pass — and therefore
+    its loss — goes NaN, tripping the NaN-loss detector for exactly the
+    poisoned client.  Every parameter is NaNed (not just the classifier)
+    because the broadcast overwrites the classifier with the healthy
+    global state at round start.
     """
-    for name, p in client.model.named_parameters():
-        if name.startswith("classifier"):
-            p.data[...] = np.nan
+    for p in client.model.parameters():
+        p.data[...] = np.nan
 
 
 class TestAlertToReplayPipeline:
@@ -123,15 +122,14 @@ class TestAlertToReplayPipeline:
             tel.recorder.set_run_config(spec=asdict(micro_spec), algorithm="fedclassavg")
             clients, _ = build_federation(micro_spec)
             _poison(clients[2])
-            algo = FedClassAvg(clients, seed=0)
+            algo = FedClassAvg(clients, seed=0, firewall=default_firewall())
             algo.run(1)
             bundles = list(tel.recorder.bundles_written)
         finally:
             tel.close()
             telemetry.disable()
 
-        # every participant saw the NaN broadcast and alerted; replay the
-        # originally-poisoned client's bundle
+        # the poisoned client alerted; replay its bundle
         assert len(bundles) >= 1
         path = next(p for p in bundles if "client2" in p)
         bundle = load_bundle(path)
@@ -160,7 +158,7 @@ class TestAlertToReplayPipeline:
             tel.recorder.set_run_config(spec=asdict(micro_spec), algorithm="fedclassavg")
             clients, _ = build_federation(micro_spec)
             _poison(clients[1])
-            FedClassAvg(clients, seed=0).run(1)
+            FedClassAvg(clients, seed=0, firewall=default_firewall()).run(1)
             bundles = list(tel.recorder.bundles_written)
         finally:
             tel.close()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.telemetry.report import (
+    binary_sparkline,
     diff_runs,
     format_diff,
     gate_violations,
@@ -81,6 +82,18 @@ class TestSparkline:
         assert sparkline([]) == ""
 
 
+class TestBinarySparkline:
+    def test_fixed_scale(self):
+        # always-0 and always-1 series must render differently (the
+        # normalized sparkline would show ▅▅ for both)
+        assert binary_sparkline([0.0, 0.0]) == "▁▁"
+        assert binary_sparkline([1.0, 1.0]) == "██"
+        assert binary_sparkline([0.0, 1.0, None]) == "▁█·"
+
+    def test_resamples_long_series(self):
+        assert len(binary_sparkline([1.0] * 100, width=12)) == 12
+
+
 class TestSummarizeRun:
     def test_acc_aggregates_skip_unevaluated_rounds(self):
         records = [round_rec(0, mean_acc=None), round_rec(1, mean_acc=0.7), round_rec(2, mean_acc=0.6)]
@@ -119,6 +132,63 @@ class TestRenderReport:
         table = out.split("per-client health:")[1].split("alerts (")[0]
         rows = [line for line in table.splitlines() if line.rstrip().endswith("!")]
         assert len(rows) == 1 and rows[0].strip().startswith("0")
+
+    def test_rejection_column_only_when_someone_was_quarantined(self):
+        plain = render_report(make_run())
+        assert "rej trend" not in plain
+        records = make_run()
+        # client 1 is rejected in rounds 0 and 2, client 0 never
+        for rec in records:
+            if rec.get("type") == "client_round":
+                rec["rejected"] = (
+                    1.0 if rec["client"] == 1 and rec["round"] != 1 else 0.0
+                )
+        records.append(
+            {
+                "type": "alert",
+                "round": 0,
+                "client": 1,
+                "detector": "update_rejected",
+                "severity": "warning",
+                "validator": "finite",
+                "message": "client 1's round-0 update rejected by finite: nan",
+            }
+        )
+        out = render_report(records)
+        table = out.split("per-client health:")[1].split("alerts (")[0]
+        assert "rej trend" in table
+        row0, row1 = [
+            line for line in table.splitlines() if line.strip().startswith(("0", "1"))
+        ]
+        assert "▁▁▁" in row0 and "█▁█" in row1
+
+    def test_alert_rollup_line(self):
+        records = make_run(alerts=2)
+        records.append(
+            {
+                "type": "alert",
+                "round": 1,
+                "client": 1,
+                "detector": "update_rejected",
+                "severity": "warning",
+                "message": "quarantined",
+            }
+        )
+        records.append(
+            {
+                "type": "alert",
+                "round": 1,
+                "client": 1,
+                "detector": "client_lost",
+                "severity": "critical",
+                "message": "gone",
+            }
+        )
+        out = render_report(records)
+        assert "alerts by severity: critical=1 warning=3 · update_rejected=1" in out
+
+    def test_no_rollup_without_alerts(self):
+        assert "alerts by severity" not in render_report(make_run())
 
     def test_mem_peak_column_only_with_mem_records(self):
         plain = render_report(make_run())

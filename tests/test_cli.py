@@ -233,16 +233,17 @@ class TestReplaySubcommand:
 
         from repro import telemetry
         from repro.core import FedClassAvg
-        from repro.federated import build_federation
+        from repro.federated import build_federation, default_firewall
 
         tel = telemetry.configure(jsonl=None, recorder=str(tmp_path / "bundles"))
         try:
             tel.recorder.set_run_config(spec=asdict(micro_spec), algorithm="fedclassavg")
             clients, _ = build_federation(micro_spec)
-            for name, p in clients[1].model.named_parameters():
-                if name.startswith("classifier"):
-                    p.data[...] = np.nan
-            FedClassAvg(clients, seed=0).run(1)
+            for p in clients[1].model.parameters():
+                p.data[...] = np.nan
+            # the firewall quarantines client 1's NaN upload so the run
+            # survives to persist the bundle its nan_loss alert triggers
+            FedClassAvg(clients, seed=0, firewall=default_firewall()).run(1)
             bundles = list(tel.recorder.bundles_written)
         finally:
             tel.close()
